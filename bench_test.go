@@ -1,0 +1,297 @@
+// Package repro's root benchmark suite regenerates every table and figure of
+// the paper from the command line:
+//
+//	go test -bench . -benchmem
+//
+// Each BenchmarkTable*/BenchmarkFigure* runs the corresponding experiment of
+// internal/bench and reports the headline quantities as custom metrics
+// (cycles, speedups, GCUPS). The Benchmark{WFA,SWG,Machine,BTDecode}*
+// benchmarks measure the underlying engines directly. The full tables are
+// printed by cmd/wfasic-bench.
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bench"
+	"repro/internal/bt"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+	"repro/internal/swg"
+	"repro/internal/wfa"
+)
+
+func benchParams() bench.Params {
+	p := bench.QuickParams()
+	p.MaxAligners = 4
+	return p
+}
+
+// BenchmarkTable1 regenerates Table 1 (per-pair reading and alignment
+// cycles, Equation 7 bound) and reports the 10K rows as metrics.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.AlignmentCycles), "aligncyc/"+r.Input)
+		}
+		b.ReportMetric(float64(rows[4].ReadingCycles), "readcyc/10K")
+	}
+}
+
+// BenchmarkFigure9 regenerates the speedup study of Figure 9.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure9(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[5].SpeedupNoBT, "speedupNoBT/10K-10%")
+		b.ReportMetric(rows[5].SpeedupBT, "speedupBT/10K-10%")
+		b.ReportMetric(rows[0].SpeedupNoBT, "speedupNoBT/100-5%")
+		b.ReportMetric(rows[0].SpeedupVector, "vector/100-5%")
+	}
+}
+
+// BenchmarkFigure10 regenerates the multi-Aligner scalability study.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure10(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(rows[5].Speedup) - 1
+		b.ReportMetric(rows[5].Speedup[last], fmt.Sprintf("scaling%d/10K-10%%", last+1))
+		b.ReportMetric(rows[0].Speedup[last], fmt.Sprintf("scaling%d/100-5%%", last+1))
+	}
+}
+
+// BenchmarkFigure11 regenerates the configuration comparison.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure11(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[5].Rel[bench.Fig11OneAligner64NoSep], "noSepGain/10K-10%")
+		b.ReportMetric(rows[0].Rel[bench.Fig11TwoAligners32Sep], "2x32PSGain/100-5%")
+	}
+}
+
+// BenchmarkTable2 regenerates the GCUPS/area comparison.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Measured {
+				continue
+			}
+			label := "BT"
+			if strings.Contains(r.Platform, "Without") {
+				label = "NoBT"
+			}
+			b.ReportMetric(r.GCUPS, "GCUPS/"+label)
+			b.ReportMetric(r.GCUPSPerMM2, "GCUPSmm2/"+label)
+		}
+	}
+}
+
+// --- engine micro-benchmarks ---
+
+var microSets = []struct {
+	name   string
+	length int
+	rate   float64
+}{
+	{"100-5%", 100, 0.05},
+	{"1K-5%", 1000, 0.05},
+	{"1K-10%", 1000, 0.10},
+	{"10K-5%", 10000, 0.05},
+}
+
+func microPair(length int, rate float64) seqio.Pair {
+	g := seqgen.New(uint64(length), uint64(rate*1000))
+	return g.Pair(1, length, rate)
+}
+
+// BenchmarkWFAScore measures the software WFA in score-only (ring buffer)
+// mode.
+func BenchmarkWFAScore(b *testing.B) {
+	for _, s := range microSets {
+		b.Run(s.name, func(b *testing.B) {
+			p := microPair(s.length, s.rate)
+			b.SetBytes(int64(len(p.A) + len(p.B)))
+			for i := 0; i < b.N; i++ {
+				res, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+				if !res.Success {
+					b.Fatal("alignment failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWFABacktrace measures the software WFA with full CIGAR recovery.
+func BenchmarkWFABacktrace(b *testing.B) {
+	for _, s := range microSets {
+		if s.length > 1000 {
+			continue // full wavefront retention is O(s^2) memory
+		}
+		b.Run(s.name, func(b *testing.B) {
+			p := microPair(s.length, s.rate)
+			for i := 0; i < b.N; i++ {
+				res, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
+				if len(res.CIGAR) == 0 {
+					b.Fatal("no CIGAR")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSWGScore measures the full-DP baseline (Equation 2).
+func BenchmarkSWGScore(b *testing.B) {
+	for _, s := range microSets {
+		if s.length > 1000 {
+			continue // O(n*m) cells
+		}
+		b.Run(s.name, func(b *testing.B) {
+			p := microPair(s.length, s.rate)
+			for i := 0; i < b.N; i++ {
+				swg.Score(p.A, p.B, align.DefaultPenalties)
+			}
+		})
+	}
+}
+
+// BenchmarkMachineAlign measures the cycle-level accelerator simulation
+// end-to-end for one pair (image build, DMA, extract, align, collect).
+func BenchmarkMachineAlign(b *testing.B) {
+	for _, s := range microSets {
+		b.Run(s.name, func(b *testing.B) {
+			cfg := core.ChipConfig()
+			p := microPair(s.length, s.rate)
+			if len(p.A) > cfg.MaxReadLenCap {
+				p.A = p.A[:cfg.MaxReadLenCap]
+			}
+			if len(p.B) > cfg.MaxReadLenCap {
+				p.B = p.B[:cfg.MaxReadLenCap]
+			}
+			set := &seqio.InputSet{Pairs: []seqio.Pair{p}}
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				system, err := soc.New(cfg, 32<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := system.RunAccelerated(set, soc.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.AccelCycles
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkBTDecode measures the CPU-side backtrace decoder on a
+// pre-generated stream.
+func BenchmarkBTDecode(b *testing.B) {
+	cfg := core.ChipConfig()
+	p := microPair(1000, 0.10)
+	set := &seqio.InputSet{Pairs: []seqio.Pair{p}}
+	system, err := soc.New(cfg, 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := set.BuildImage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	system.Memory.Write(0x1000, img)
+	out := uint64(0x1000+len(img)+15) &^ 15
+	if err := system.Driver.Configure(soc.JobConfig{
+		InputAddr: 0x1000, OutputAddr: out,
+		NumPairs: 1, MaxReadLen: set.EffectiveMaxReadLen(), Backtrace: true,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := system.Driver.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := system.Driver.PollIdle(1 << 40); err != nil {
+		b.Fatal(err)
+	}
+	count, _ := system.Driver.OutCount()
+	raw := system.Memory.Read(int64(out), count*mem.BeatBytes)
+	pairs := map[uint32]seqio.Pair{p.ID: p}
+	dec := bt.NewDecoder(cfg)
+	b.ResetTimer()
+	for _, sep := range []bool{false, true} {
+		name := "noSep"
+		if sep {
+			name = "sep"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dec.DecodeRegion(raw, count, pairs, sep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtendUnit measures the hardware Extend comparator (16 bases per
+// block, Figure 7).
+func BenchmarkExtendUnit(b *testing.B) {
+	g := seqgen.New(3, 3)
+	seq := g.RandomSequence(10000)
+	ramA, err := core.LoadSeqRAM(0, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ramB, err := core.LoadSeqRAM(0, seq) // identical: maximal extension
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(seq)))
+	for i := 0; i < b.N; i++ {
+		res := core.ExtendDiag(ramA, ramB, 0, 0)
+		if res.Matches != len(seq) {
+			b.Fatal("extension did not reach the end")
+		}
+	}
+}
+
+// BenchmarkImageBuild measures input-image serialization (the CPU's parse
+// step of Figure 4).
+func BenchmarkImageBuild(b *testing.B) {
+	g := seqgen.New(5, 5)
+	set := &seqio.InputSet{}
+	for i := 0; i < 32; i++ {
+		set.Pairs = append(set.Pairs, g.Pair(uint32(i), 1000, 0.05))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := set.BuildImage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(img)))
+	}
+}

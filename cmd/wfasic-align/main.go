@@ -1,0 +1,152 @@
+// Command wfasic-align aligns pairs of DNA sequences on the simulated
+// WFAsic SoC:
+//
+//	wfasic-gen -n 20 -length 1000 -error 0.05 -o pairs.tsv
+//	wfasic-align -input pairs.tsv -backtrace
+//
+// With -engine accel (default) the pairs run through the full co-designed
+// pipeline of Figure 4: the CPU writes the input image into simulated main
+// memory, the accelerator aligns via DMA, and — with -backtrace — the CPU
+// reconstructs the CIGARs from the backtrace stream. -engine scalar/vector/
+// swg run the software baselines with modeled Sargantana cycle counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+)
+
+func main() {
+	input := flag.String("input", "", "pairs file from wfasic-gen")
+	fasta := flag.String("fasta", "", "queries.fa:texts.fa — align record i against record i")
+	engine := flag.String("engine", "accel", "accel, scalar, vector, or swg")
+	backtrace := flag.Bool("backtrace", false, "enable the backtrace / CIGAR output")
+	separate := flag.Bool("separate", false, "force the data-separation backtrace method")
+	aligners := flag.Int("aligners", 1, "number of Aligner modules")
+	sections := flag.Int("sections", 64, "parallel sections per Aligner")
+	memMB := flag.Int("mem", 256, "main memory size in MiB")
+	showCIGAR := flag.Bool("cigar", false, "print CIGARs (requires -backtrace on accel)")
+	trace := flag.Bool("trace", false, "log accelerator datapath events to stderr")
+	flag.Parse()
+
+	var set *seqio.InputSet
+	switch {
+	case *input != "":
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		set, perr = seqio.ReadPairs(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+	case *fasta != "":
+		parts := strings.SplitN(*fasta, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-fasta wants queries.fa:texts.fa"))
+		}
+		var files [2][]seqio.FASTARecord
+		for i, name := range parts {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			recs, err := seqio.ReadFASTA(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			files[i] = recs
+		}
+		var perr error
+		set, perr = seqio.PairFASTA(files[0], files[1])
+		if perr != nil {
+			fatal(perr)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "wfasic-align: -input or -fasta is required (generate inputs with wfasic-gen)")
+		os.Exit(2)
+	}
+	if len(set.Pairs) == 0 {
+		fatal(fmt.Errorf("no pairs in the input"))
+	}
+
+	cfg := core.ChipConfig()
+	cfg.NumAligners = *aligners
+	cfg.ParallelSections = *sections
+	s, err := soc.New(cfg, *memMB<<20)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *trace {
+		s.Machine.SetTracer(func(e core.TraceEvent) {
+			fmt.Fprintln(os.Stderr, e)
+		})
+	}
+
+	switch *engine {
+	case "accel":
+		rep, err := s.RunAccelerated(set, soc.RunOptions{Backtrace: *backtrace, SeparateData: *separate})
+		if err != nil {
+			fatal(err)
+		}
+		printOutcomes(rep.Outcomes, *showCIGAR)
+		fmt.Printf("# accelerator cycles: %d\n", rep.AccelCycles)
+		if *backtrace {
+			fmt.Printf("# CPU backtrace cycles: %d (method: %s)\n",
+				rep.CPUBacktraceCycles, method(*separate || *aligners > 1))
+			fmt.Printf("# total pipeline cycles: %d\n", rep.TotalCycles)
+		}
+	case "scalar", "vector", "swg":
+		mode := soc.CPUScalar
+		if *engine == "vector" {
+			mode = soc.CPUVector
+		} else if *engine == "swg" {
+			mode = soc.CPUSWG
+		}
+		rep, err := s.RunCPU(set, mode, *backtrace)
+		if err != nil {
+			fatal(err)
+		}
+		printOutcomes(rep.Outcomes, *showCIGAR && *backtrace)
+		fmt.Printf("# modeled %s cycles: %d\n", mode, rep.Cycles)
+	default:
+		fmt.Fprintf(os.Stderr, "wfasic-align: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+}
+
+func method(separate bool) string {
+	if separate {
+		return "data separation"
+	}
+	return "no separation (boundary jumps)"
+}
+
+func printOutcomes(outcomes []soc.PairOutcome, withCIGAR bool) {
+	for _, o := range outcomes {
+		status := "OK"
+		if !o.Result.Success {
+			status = "FAILED"
+		}
+		if withCIGAR && o.Result.Success {
+			fmt.Printf("%d\t%s\tscore=%d\t%s\n", o.ID, status, o.Result.Score, o.Result.CIGAR)
+		} else {
+			fmt.Printf("%d\t%s\tscore=%d\n", o.ID, status, o.Result.Score)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfasic-align: %v\n", err)
+	os.Exit(1)
+}

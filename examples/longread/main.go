@@ -1,0 +1,64 @@
+// Long-read batch alignment: the paper's target workload — third-generation
+// 10K-base reads — aligned in batch on the simulated accelerator, with the
+// per-pair cycle accounting of Table 1 and the GCUPS figures of Table 2.
+//
+//	go run ./examples/longread
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asicmodel"
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+)
+
+func main() {
+	cfg := core.ChipConfig()
+
+	// Generate a small batch of 10K-base pairs at 5% error rate (the
+	// Section 5.3 methodology), capped at the hardware read-length limit.
+	g := seqgen.New(2024, 7)
+	set := &seqio.InputSet{}
+	const pairs = 4
+	for i := 0; i < pairs; i++ {
+		p := g.Pair(uint32(i+1), 10000, 0.05)
+		if len(p.A) > cfg.MaxReadLenCap {
+			p.A = p.A[:cfg.MaxReadLenCap]
+		}
+		if len(p.B) > cfg.MaxReadLenCap {
+			p.B = p.B[:cfg.MaxReadLenCap]
+		}
+		set.Pairs = append(set.Pairs, p)
+	}
+
+	system, err := soc.New(cfg, 256<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := system.RunAccelerated(set, soc.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-pair accelerator cycles (compare with Table 1's 10K-5% row):")
+	fmt.Printf("%6s %10s %12s %10s\n", "pair", "read cyc", "align cyc", "score")
+	var equivCells int64
+	for i, tm := range rep.PairTimings {
+		fmt.Printf("%6d %10d %12d %10d\n", tm.ID, tm.ReadingCycles, tm.AlignCycles, tm.Score)
+		p := set.Pairs[i]
+		equivCells += asicmodel.EquivalentCells(len(p.A), len(p.B))
+	}
+
+	ph := asicmodel.Model(cfg)
+	seconds := float64(rep.AccelCycles) / (ph.FreqGHz * 1e9)
+	fmt.Printf("\nbatch: %d pairs in %d cycles (%.1f us at the modeled %.2f GHz ASIC clock)\n",
+		pairs, rep.AccelCycles, seconds*1e6, ph.FreqGHz)
+	fmt.Printf("throughput: %.0f GCUPS without backtrace (paper's Table 2: 390)\n",
+		asicmodel.GCUPS(equivCells, seconds))
+	fmt.Printf("area efficiency: %.0f GCUPS/mm^2 on %.1f mm^2 (paper: 244 on 1.6 mm^2)\n",
+		asicmodel.GCUPS(equivCells, seconds)/ph.AreaMM2, ph.AreaMM2)
+}

@@ -1,0 +1,146 @@
+package align
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPenaltiesValidate(t *testing.T) {
+	cases := []struct {
+		p  Penalties
+		ok bool
+	}{
+		{DefaultPenalties, true},
+		{Penalties{1, 0, 1}, true},
+		{Penalties{0, 6, 2}, false},
+		{Penalties{-1, 6, 2}, false},
+		{Penalties{4, -1, 2}, false},
+		{Penalties{4, 6, 0}, false},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%v: Validate err=%v, want ok=%v", tc.p, err, tc.ok)
+		}
+	}
+}
+
+func TestGapCost(t *testing.T) {
+	p := DefaultPenalties
+	if got := p.GapCost(0); got != 0 {
+		t.Errorf("GapCost(0)=%d", got)
+	}
+	if got := p.GapCost(1); got != 8 {
+		t.Errorf("GapCost(1)=%d want 8", got)
+	}
+	if got := p.GapCost(5); got != 16 {
+		t.Errorf("GapCost(5)=%d want 16", got)
+	}
+}
+
+func TestCIGARStringAndParse(t *testing.T) {
+	c := CIGAR{'M', 'M', 'M', 'X', 'I', 'I', 'D', 'M'}
+	if got := c.String(); got != "3M1X2I1D1M" {
+		t.Fatalf("String()=%q", got)
+	}
+	back, err := ParseCIGAR("3M1X2I1D1M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(c) {
+		t.Fatalf("round trip %q != %q", back, c)
+	}
+	// Bare ops without counts.
+	bare, err := ParseCIGAR("MXID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != "1M1X1I1D" {
+		t.Fatalf("bare parse: %s", bare.String())
+	}
+	for _, bad := range []string{"3Z", "M3", "0M", "12"} {
+		if _, err := ParseCIGAR(bad); err == nil {
+			t.Errorf("ParseCIGAR(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCIGARScore(t *testing.T) {
+	p := DefaultPenalties
+	cases := []struct {
+		cigar string
+		want  int
+	}{
+		{"10M", 0},
+		{"1X", 4},
+		{"3X", 12},
+		{"1I", 8},       // open+extend
+		{"3I", 6 + 3*2}, // one opening, three bases
+		{"1I1D", 8 + 8}, // two openings (type switch reopens)
+		{"1I1M1I", 16},  // two separate openings
+		{"2M1X2I3M1D", 4 + 8 + 2 + 8},
+	}
+	for _, tc := range cases {
+		c, err := ParseCIGAR(tc.cigar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Score(p); got != tc.want {
+			t.Errorf("%s: score %d want %d", tc.cigar, got, tc.want)
+		}
+	}
+}
+
+func TestCIGARValidate(t *testing.T) {
+	a, b := []byte("ACGT"), []byte("AGGT")
+	good := CIGAR{'M', 'X', 'M', 'M'}
+	if err := good.Validate(a, b); err != nil {
+		t.Fatalf("good CIGAR rejected: %v", err)
+	}
+	bad := []CIGAR{
+		{'M', 'M', 'M', 'M'},      // claims match where mismatch
+		{'M', 'X', 'M'},           // under-consumes
+		{'M', 'X', 'M', 'M', 'I'}, // over-consumes b
+		{'M', 'X', 'M', 'M', 'D'}, // over-consumes a
+		{'M', 'X', 'M', 'Q'},      // invalid op
+	}
+	for i, c := range bad {
+		if err := c.Validate(a, b); err == nil {
+			t.Errorf("bad CIGAR %d accepted", i)
+		}
+	}
+	// I/D bookkeeping: a="AC" b="AGC" needs an insertion of G.
+	c := CIGAR{'M', 'I', 'M'}
+	if err := c.Validate([]byte("AC"), []byte("AGC")); err != nil {
+		t.Fatalf("insertion CIGAR rejected: %v", err)
+	}
+}
+
+func TestCIGARStringParseRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		n := r.IntN(200)
+		c := make(CIGAR, n)
+		ops := []Op{OpMatch, OpMismatch, OpInsert, OpDelete}
+		for i := range c {
+			c[i] = ops[r.IntN(4)]
+		}
+		back, err := ParseCIGAR(c.String())
+		if err != nil {
+			return false
+		}
+		return string(back) == string(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapRuns(t *testing.T) {
+	c, _ := ParseCIGAR("2I3M1D1D2M3I")
+	openings, bases := c.GapRuns()
+	if openings != 3 || bases != 7 {
+		t.Fatalf("GapRuns = (%d,%d), want (3,7)", openings, bases)
+	}
+}

@@ -1,0 +1,171 @@
+package align
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Op is a single CIGAR operation. The four values match the paper's
+// backtrace notation (Figure 1a).
+type Op byte
+
+// CIGAR operation codes.
+const (
+	OpMatch    Op = 'M'
+	OpMismatch Op = 'X'
+	OpInsert   Op = 'I' // consumes sequence b
+	OpDelete   Op = 'D' // consumes sequence a
+)
+
+// Valid reports whether the operation is one of M, X, I, D.
+func (o Op) Valid() bool {
+	switch o {
+	case OpMatch, OpMismatch, OpInsert, OpDelete:
+		return true
+	}
+	return false
+}
+
+// CIGAR is a dense (one byte per aligned column) edit transcript that
+// transforms sequence a into sequence b.
+type CIGAR []Op
+
+// String renders the run-length-encoded form, e.g. "12M1X3M2I".
+func (c CIGAR) String() string {
+	var buf bytes.Buffer
+	for i := 0; i < len(c); {
+		j := i
+		for j < len(c) && c[j] == c[i] {
+			j++
+		}
+		buf.WriteString(strconv.Itoa(j - i))
+		buf.WriteByte(byte(c[i]))
+		i = j
+	}
+	return buf.String()
+}
+
+// Counts returns the number of matches, mismatches, insertions and deletions.
+func (c CIGAR) Counts() (m, x, ins, del int) {
+	for _, op := range c {
+		switch op {
+		case OpMatch:
+			m++
+		case OpMismatch:
+			x++
+		case OpInsert:
+			ins++
+		case OpDelete:
+			del++
+		}
+	}
+	return
+}
+
+// GapRuns returns the number of gap openings and the total number of gap
+// bases (each opening is also an extension, per Equation 2 of the paper).
+func (c CIGAR) GapRuns() (openings, bases int) {
+	prev := Op(0)
+	for _, op := range c {
+		if op == OpInsert || op == OpDelete {
+			bases++
+			if op != prev {
+				openings++
+			}
+		}
+		prev = op
+	}
+	return
+}
+
+// Score computes the gap-affine error score of the transcript under p.
+// It is the quantity minimized by both SWG and WFA, and drives Equation 5:
+//
+//	score = num_x*x + num_gap_openings*(o+e) + num_gap_extensions*e
+func (c CIGAR) Score(p Penalties) int {
+	_, x, _, _ := c.Counts()
+	openings, bases := c.GapRuns()
+	return x*p.Mismatch + openings*p.GapOpen + bases*p.GapExtend
+}
+
+// Validate checks that the transcript is a legal alignment of a to b: every
+// op code is valid, the consumed lengths are exact, M columns align equal
+// bases and X columns align different bases.
+func (c CIGAR) Validate(a, b []byte) error {
+	i, j := 0, 0
+	for pos, op := range c {
+		switch op {
+		case OpMatch, OpMismatch:
+			if i >= len(a) || j >= len(b) {
+				return fmt.Errorf("align: op %c at column %d overruns sequences (i=%d/%d, j=%d/%d)", op, pos, i, len(a), j, len(b))
+			}
+			if (a[i] == b[j]) != (op == OpMatch) {
+				return fmt.Errorf("align: op %c at column %d disagrees with bases a[%d]=%c b[%d]=%c", op, pos, i, a[i], j, b[j])
+			}
+			i++
+			j++
+		case OpInsert:
+			if j >= len(b) {
+				return fmt.Errorf("align: insertion at column %d overruns sequence b (j=%d/%d)", pos, j, len(b))
+			}
+			j++
+		case OpDelete:
+			if i >= len(a) {
+				return fmt.Errorf("align: deletion at column %d overruns sequence a (i=%d/%d)", pos, i, len(a))
+			}
+			i++
+		default:
+			return fmt.Errorf("align: invalid op %q at column %d", byte(op), pos)
+		}
+	}
+	if i != len(a) || j != len(b) {
+		return fmt.Errorf("align: transcript consumes (%d,%d) bases, sequences have (%d,%d)", i, j, len(a), len(b))
+	}
+	return nil
+}
+
+// ParseCIGAR parses the run-length-encoded form produced by String.
+func ParseCIGAR(s string) (CIGAR, error) {
+	var out CIGAR
+	n := 0
+	sawDigit := false
+	for idx := 0; idx < len(s); idx++ {
+		ch := s[idx]
+		if ch >= '0' && ch <= '9' {
+			n = n*10 + int(ch-'0')
+			sawDigit = true
+			continue
+		}
+		op := Op(ch)
+		if !op.Valid() {
+			return nil, fmt.Errorf("align: invalid CIGAR op %q at index %d", ch, idx)
+		}
+		if !sawDigit {
+			n = 1
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("align: zero-length run at index %d", idx)
+		}
+		for k := 0; k < n; k++ {
+			out = append(out, op)
+		}
+		n = 0
+		sawDigit = false
+	}
+	if sawDigit {
+		return nil, fmt.Errorf("align: trailing count %d without op", n)
+	}
+	return out, nil
+}
+
+// Result is the outcome of one pairwise alignment.
+type Result struct {
+	// Score is the gap-affine error score (0 for identical sequences).
+	Score int
+	// CIGAR is the edit transcript; nil when only the score was requested.
+	CIGAR CIGAR
+	// Success mirrors the accelerator's Success flag: false when the input
+	// was unsupported or the alignment exceeded the configured score budget.
+	Success bool
+}

@@ -1,0 +1,72 @@
+// Package align defines the shared vocabulary of the repository: DNA
+// sequences, gap-affine penalty sets, CIGAR strings and alignment results.
+//
+// # Conventions
+//
+// An alignment transforms sequence a (the "query", vertical axis of the
+// DP-matrix) into sequence b (the "text", horizontal axis). The CIGAR
+// operations are:
+//
+//	M  match          consumes one base of a and one base of b (equal)
+//	X  mismatch       consumes one base of a and one base of b (different)
+//	I  insertion      consumes one base of b only
+//	D  deletion       consumes one base of a only
+//
+// Under the wavefront formulation of the paper (Equation 3/4), the diagonal
+// index is k = j - i and the offset stored in a wavefront cell is j, so an
+// insertion advances j (k+1) and a deletion advances i (k-1).
+package align
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Penalties is a gap-affine scoring function in "error score" (minimization)
+// form, exactly as used by the WFA and SWG recurrences of the paper: a match
+// costs 0, a mismatch costs Mismatch, and a gap of length L costs
+// GapOpen + L*GapExtend (the first gap base pays both the opening and one
+// extension, per Equation 2).
+type Penalties struct {
+	Mismatch  int // x > 0
+	GapOpen   int // o >= 0
+	GapExtend int // e > 0
+}
+
+// DefaultPenalties is the penalty set used throughout the paper's examples
+// and evaluation: (x, o, e) = (4, 6, 2).
+var DefaultPenalties = Penalties{Mismatch: 4, GapOpen: 6, GapExtend: 2}
+
+// ErrInvalidPenalties reports a penalty set outside the domain the WFA
+// recurrence supports.
+var ErrInvalidPenalties = errors.New("align: invalid penalty set")
+
+// Validate checks that the penalty set is usable by both the SWG and WFA
+// implementations. The WFA recurrence requires strictly positive mismatch and
+// gap-extension penalties (a zero-cost operation would let a wavefront score
+// stall) and a non-negative gap-opening penalty.
+func (p Penalties) Validate() error {
+	if p.Mismatch <= 0 {
+		return fmt.Errorf("%w: mismatch penalty %d must be > 0", ErrInvalidPenalties, p.Mismatch)
+	}
+	if p.GapOpen < 0 {
+		return fmt.Errorf("%w: gap-open penalty %d must be >= 0", ErrInvalidPenalties, p.GapOpen)
+	}
+	if p.GapExtend <= 0 {
+		return fmt.Errorf("%w: gap-extend penalty %d must be > 0", ErrInvalidPenalties, p.GapExtend)
+	}
+	return nil
+}
+
+// GapCost returns the cost of a contiguous gap of length n (n >= 1).
+func (p Penalties) GapCost(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return p.GapOpen + n*p.GapExtend
+}
+
+// String renders the penalty set in the (x,o,e) notation of the paper.
+func (p Penalties) String() string {
+	return fmt.Sprintf("(x=%d,o=%d,e=%d)", p.Mismatch, p.GapOpen, p.GapExtend)
+}

@@ -1,0 +1,73 @@
+package align
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Format renders an alignment in the classic three-row layout (query, match
+// bar, text), width columns per block:
+//
+//	ACGTACG-T
+//	||.|||| |
+//	ACCTACGAT
+//
+// The transcript must validate against a and b.
+func Format(a, b []byte, c CIGAR, width int) (string, error) {
+	if err := c.Validate(a, b); err != nil {
+		return "", err
+	}
+	if width < 10 {
+		width = 60
+	}
+	var qa, bar, tb bytes.Buffer
+	i, j := 0, 0
+	for _, op := range c {
+		switch op {
+		case OpMatch:
+			qa.WriteByte(a[i])
+			bar.WriteByte('|')
+			tb.WriteByte(b[j])
+			i++
+			j++
+		case OpMismatch:
+			qa.WriteByte(a[i])
+			bar.WriteByte('.')
+			tb.WriteByte(b[j])
+			i++
+			j++
+		case OpInsert:
+			qa.WriteByte('-')
+			bar.WriteByte(' ')
+			tb.WriteByte(b[j])
+			j++
+		case OpDelete:
+			qa.WriteByte(a[i])
+			bar.WriteByte(' ')
+			tb.WriteByte('-')
+			i++
+		}
+	}
+	var out bytes.Buffer
+	q, m, t := qa.Bytes(), bar.Bytes(), tb.Bytes()
+	for off := 0; off < len(q); off += width {
+		end := off + width
+		if end > len(q) {
+			end = len(q)
+		}
+		fmt.Fprintf(&out, "%s\n%s\n%s\n", q[off:end], m[off:end], t[off:end])
+		if end < len(q) {
+			out.WriteByte('\n')
+		}
+	}
+	return out.String(), nil
+}
+
+// Identity returns the fraction of alignment columns that are matches.
+func (c CIGAR) Identity() float64 {
+	if len(c) == 0 {
+		return 1
+	}
+	m, _, _, _ := c.Counts()
+	return float64(m) / float64(len(c))
+}

@@ -1,0 +1,62 @@
+package align
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	a := []byte("ACGTACGT")
+	b := []byte("ACCTACGAT")
+	c, err := ParseCIGAR("2M1X4M1I1M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format(a, b, c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "ACGTACG-T" || lines[1] != "||.|||| |" || lines[2] != "ACCTACGAT" {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFormatWraps(t *testing.T) {
+	a := []byte(strings.Repeat("A", 25))
+	c := make(CIGAR, 25)
+	for i := range c {
+		c[i] = OpMatch
+	}
+	out, err := Format(a, a, c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 blocks of 3 lines separated by blank lines: 11 lines total.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("wrapping wrong (%d lines):\n%s", len(lines), out)
+	}
+	if lines[0] != strings.Repeat("A", 10) || lines[8] != strings.Repeat("A", 5) {
+		t.Fatalf("block contents wrong:\n%s", out)
+	}
+}
+
+func TestFormatRejectsInvalid(t *testing.T) {
+	if _, err := Format([]byte("AC"), []byte("AC"), CIGAR{'M'}, 60); err == nil {
+		t.Fatal("under-consuming CIGAR rendered")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	c, _ := ParseCIGAR("8M1X1I")
+	if got := c.Identity(); got != 0.8 {
+		t.Fatalf("Identity=%f", got)
+	}
+	if got := (CIGAR{}).Identity(); got != 1 {
+		t.Fatalf("empty Identity=%f", got)
+	}
+}

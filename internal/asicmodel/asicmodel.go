@@ -1,0 +1,193 @@
+// Package asicmodel reproduces the physical-design numbers of the paper
+// (Section 5.2 and Table 2) with an analytic model parameterized by the
+// accelerator configuration.
+//
+// What the paper obtained with Cadence Genus/Innovus/Voltus on GF22FDX, this
+// package derives from the configuration's memory inventory: the wavefront
+// windows, the replicated Input_Seq RAMs and the I/O FIFOs determine the
+// memory macros ("260 memory macros that occupy 85% of the area"); a small
+// logic term covers the parallel sections; frequency is derated from the
+// post-synthesis value by macro-driven routing congestion; power scales with
+// the macro and section counts. The model is calibrated to land on the
+// published chip numbers (1.6mm^2, 0.48MB, 260 macros, 1.1GHz, 312mW) for
+// the published configuration and scales plausibly for the Figure 11
+// ablations.
+package asicmodel
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Calibration constants (GF22FDX, high-performance register-file macros).
+const (
+	// AreaPerMemByteMM2 is macro area per byte of storage: fitted so the
+	// chip's ~466KB of memory occupies 85% of 1.6mm^2.
+	AreaPerMemByteMM2 = 1.36 / 466_000.0
+	// LogicFixedMM2 and LogicPerSectionMM2 split the remaining 0.24mm^2
+	// of the chip between control and the 64 parallel sections.
+	LogicFixedMM2      = 0.035
+	LogicPerSectionMM2 = 0.0032
+	// SynthFreqGHz is the post-synthesis frequency (Section 5.2: 1.5GHz).
+	SynthFreqGHz = 1.5
+	// CongestionPerMacro derates frequency per memory macro: fitted so 260
+	// macros land at the post-PnR 1.1GHz.
+	CongestionPerMacro = 0.0014
+	// Power split at 1.1GHz/0.8V/85C, fitted to 312mW.
+	PowerPerMacroMW   = 0.9
+	PowerPerSectionMW = 0.95
+	PowerFixedMW      = 17.0
+)
+
+// Sargantana CPU constants (Section 3 / [19]).
+const (
+	SargantanaAreaMM2 = 1.37
+	SargantanaFreqGHz = 1.26
+)
+
+// Physical summarizes the modeled implementation of one configuration.
+type Physical struct {
+	MemoryBytes  int     // total macro storage
+	MemoryMacros int     // macro instances
+	MemAreaMM2   float64 // macro area
+	LogicAreaMM2 float64
+	AreaMM2      float64 // total accelerator area
+	FreqGHz      float64 // post-PnR frequency
+	PowerMW      float64 // post-PnR power at FreqGHz
+	SoCAreaMM2   float64 // accelerator + Sargantana
+}
+
+// gcd3 is the penalty stride of the wavefront window columns.
+func gcd3(a, b, c int) int {
+	g := gcd(a, gcd(b, c))
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// WindowColumns returns how many wavefront columns each component window
+// stores (Figure 6: five M~ columns, two I~ and two D~ columns for penalties
+// (4,6,2)).
+func WindowColumns(cfg core.Config) (m, i, d int) {
+	p := cfg.Penalties
+	stride := gcd3(p.Mismatch, p.GapExtend, p.GapOpen+p.GapExtend)
+	m = (p.GapOpen+p.GapExtend)/stride + 1
+	i = p.GapExtend/stride + 1
+	d = i
+	return m, i, d
+}
+
+// OffsetBits is the wavefront-cell width: enough bits for an offset up to
+// the read-length cap plus a sign bit for the invalid sentinel.
+func OffsetBits(cfg core.Config) int {
+	return int(math.Ceil(math.Log2(float64(cfg.MaxReadLenCap+1)))) + 1
+}
+
+// MemoryInventory itemizes one accelerator's macro storage in bytes.
+type MemoryInventory struct {
+	WavefrontBytes int // banked M~/I~/D~ windows incl. the duplicated M~ banks
+	InputSeqBytes  int // 2 sequences x ParallelSections replicas per Aligner
+	FIFOBytes      int // input + output FIFOs
+	TotalBytes     int
+	Macros         int
+}
+
+// Inventory computes the memory inventory of the configuration.
+func Inventory(cfg core.Config) MemoryInventory {
+	var inv MemoryInventory
+	mCols, iCols, dCols := WindowColumns(cfg)
+	rows := 2*cfg.KMax + 1
+	cellBits := OffsetBits(cfg)
+	colBytes := (rows*cellBits + 7) / 8
+	P := cfg.ParallelSections
+	// M~ banks plus the two duplicated banks (RAM 1' and RAM N').
+	mBytes := mCols * colBytes * (P + 2) / P
+	idBytes := (iCols + dCols) * colBytes
+	inv.WavefrontBytes = (mBytes + idBytes) * cfg.NumAligners
+
+	seqRAMBytes := cfg.InputSeqRAMDepth() * 4
+	inv.InputSeqBytes = 2 * P * seqRAMBytes * cfg.NumAligners
+
+	inv.FIFOBytes = (cfg.InputFIFODepth + cfg.OutputFIFODepth) * 16
+
+	inv.TotalBytes = inv.WavefrontBytes + inv.InputSeqBytes + inv.FIFOBytes
+
+	bank := core.Banking{P: P, KMax: cfg.KMax}
+	perAligner := bank.MacroCount(true) + 2*P   // wavefront banks + Input_Seq a/b
+	inv.Macros = perAligner*cfg.NumAligners + 2 // + the two FIFOs
+	return inv
+}
+
+// Model derives the physical summary for a configuration.
+func Model(cfg core.Config) Physical {
+	inv := Inventory(cfg)
+	var ph Physical
+	ph.MemoryBytes = inv.TotalBytes
+	ph.MemoryMacros = inv.Macros
+	ph.MemAreaMM2 = float64(inv.TotalBytes) * AreaPerMemByteMM2
+	ph.LogicAreaMM2 = LogicFixedMM2 + float64(cfg.ParallelSections*cfg.NumAligners)*LogicPerSectionMM2
+	ph.AreaMM2 = ph.MemAreaMM2 + ph.LogicAreaMM2
+	ph.FreqGHz = SynthFreqGHz / (1 + CongestionPerMacro*float64(inv.Macros))
+	ph.PowerMW = (PowerFixedMW +
+		PowerPerMacroMW*float64(inv.Macros) +
+		PowerPerSectionMW*float64(cfg.ParallelSections*cfg.NumAligners)) * ph.FreqGHz / 1.1
+	ph.SoCAreaMM2 = ph.AreaMM2 + SargantanaAreaMM2
+	return ph
+}
+
+// EquivalentCells is the CUPS convention of Section 5.5: although WFA-based
+// designs avoid computing the full DP-matrix, CUPS counts "the equivalent
+// number of DP cells that the SWG algorithm would need to compute the
+// optimal alignment".
+func EquivalentCells(n, m int) int64 {
+	return int64(n) * int64(m)
+}
+
+// GCUPS converts equivalent cells and wall time to Giga cell-updates/s.
+func GCUPS(equivCells int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(equivCells) / seconds / 1e9
+}
+
+// Comparator is one external row of Table 2, cited from the paper.
+type Comparator struct {
+	Name    string
+	GCUPS   float64
+	AreaMM2 float64
+	Note    string
+}
+
+// Table2Comparators returns the literature rows of Table 2 exactly as the
+// paper cites them (these are the paper's own citations of external work,
+// not measurements of this reproduction).
+func Table2Comparators() []Comparator {
+	return []Comparator{
+		{Name: "GACT-ASIC [Heuristic]", GCUPS: 2129, AreaMM2: 85.6,
+			Note: "Darwin's seed-extension module; peak tiles/s x tile size [20]"},
+		{Name: "WFA-CPU on AMD EPYC [1 thread]", GCUPS: 7.5, AreaMM2: 1008,
+			Note: "8 CCDs x 74mm^2 + 416mm^2 IOD [10]"},
+		{Name: "WFA-CPU on AMD EPYC [64 threads]", GCUPS: 98, AreaMM2: 1008,
+			Note: "memory-bound: does not scale linearly from 1 to 64 threads"},
+		{Name: "WFA-GPU [NVIDIA GeForce 3080]", GCUPS: 476, AreaMM2: 628,
+			Note: "derived from the WFA-GPU supplementary material [1]"},
+	}
+}
+
+// WFAFPGAPeakGCUPS and WFAFPGAAligners record the Section 5.5 comparison
+// with the WFA-FPGA design [9] (excluded from Table 2 because it does not
+// support 10Kbp reads): 1252 peak GCUPS across at least 40 Aligners.
+const (
+	WFAFPGAPeakGCUPS = 1252.0
+	WFAFPGAAligners  = 40
+)

@@ -1,0 +1,120 @@
+package asicmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestWindowColumns(t *testing.T) {
+	cfg := core.ChipConfig()
+	m, i, d := WindowColumns(cfg)
+	// Figure 6 / Section 4.3.1: 4 previous M~ wavefronts + the frame
+	// column; 1 previous I~/D~ + frame.
+	if m != 5 || i != 2 || d != 2 {
+		t.Fatalf("window columns (%d,%d,%d), want (5,2,2)", m, i, d)
+	}
+}
+
+func TestOffsetBits(t *testing.T) {
+	if got := OffsetBits(core.ChipConfig()); got != 15 {
+		t.Fatalf("OffsetBits=%d want 15 for 10K reads", got)
+	}
+}
+
+func TestChipInventoryMatchesPaper(t *testing.T) {
+	inv := Inventory(core.ChipConfig())
+	// Section 5.2: 0.48MB of memory and 260 memory macros.
+	if inv.Macros != 260 {
+		t.Fatalf("Macros=%d want 260", inv.Macros)
+	}
+	approx(t, "TotalBytes", float64(inv.TotalBytes), 480_000, 0.06)
+	// The Input_Seq replicas dominate (64 sections x 2 sequences).
+	if inv.InputSeqBytes < inv.WavefrontBytes {
+		t.Fatalf("expected Input_Seq (%d) to dominate wavefront (%d) storage",
+			inv.InputSeqBytes, inv.WavefrontBytes)
+	}
+}
+
+func TestChipPhysicalMatchesPaper(t *testing.T) {
+	ph := Model(core.ChipConfig())
+	approx(t, "AreaMM2", ph.AreaMM2, 1.6, 0.05)
+	approx(t, "FreqGHz", ph.FreqGHz, 1.1, 0.03)
+	approx(t, "PowerMW", ph.PowerMW, 312, 0.05)
+	approx(t, "SoCAreaMM2", ph.SoCAreaMM2, 3.0, 0.05)
+	// Section 5.2: macros occupy 85% of the area.
+	approx(t, "mem share", ph.MemAreaMM2/ph.AreaMM2, 0.85, 0.03)
+}
+
+func TestHalfSectionsAreaRatio(t *testing.T) {
+	// Section 5.4: "One Aligner with 32 parallel sections is only 1.5x
+	// smaller than one Aligner with 64 parallel sections."
+	full := Model(core.ChipConfig())
+	half := core.ChipConfig()
+	half.ParallelSections = 32
+	ph := Model(half)
+	ratio := full.AreaMM2 / ph.AreaMM2
+	if ratio < 1.3 || ratio > 1.8 {
+		t.Fatalf("64PS/32PS area ratio %.2f outside [1.3,1.8] (paper: ~1.5)", ratio)
+	}
+	// And therefore 2x32PS needs more area than 1x64PS.
+	two32 := core.ChipConfig()
+	two32.ParallelSections = 32
+	two32.NumAligners = 2
+	ph2 := Model(two32)
+	if ph2.AreaMM2 <= full.AreaMM2 {
+		t.Fatalf("2x32PS area %.2f not larger than 1x64PS %.2f", ph2.AreaMM2, full.AreaMM2)
+	}
+}
+
+func TestGCUPS(t *testing.T) {
+	if got := GCUPS(1e9, 1.0); got != 1.0 {
+		t.Fatalf("GCUPS(1e9,1s)=%f", got)
+	}
+	if got := GCUPS(100, 0); got != 0 {
+		t.Fatalf("GCUPS with zero time = %f", got)
+	}
+	if got := EquivalentCells(10000, 10000); got != 1e8 {
+		t.Fatalf("EquivalentCells=%d", got)
+	}
+}
+
+func TestTable2Comparators(t *testing.T) {
+	rows := Table2Comparators()
+	if len(rows) != 4 {
+		t.Fatalf("want 4 comparator rows, got %d", len(rows))
+	}
+	// Values exactly as Table 2 cites them.
+	want := map[string][2]float64{
+		"GACT-ASIC [Heuristic]":            {2129, 85.6},
+		"WFA-CPU on AMD EPYC [1 thread]":   {7.5, 1008},
+		"WFA-CPU on AMD EPYC [64 threads]": {98, 1008},
+		"WFA-GPU [NVIDIA GeForce 3080]":    {476, 628},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Name)
+			continue
+		}
+		if r.GCUPS != w[0] || r.AreaMM2 != w[1] {
+			t.Errorf("%s: (%.1f, %.1f) want (%.1f, %.1f)", r.Name, r.GCUPS, r.AreaMM2, w[0], w[1])
+		}
+	}
+}
+
+func TestPerAlignerGCUPSComparison(t *testing.T) {
+	// Section 5.5: WFA-FPGA reaches 31.3 GCUPS per Aligner.
+	perAligner := WFAFPGAPeakGCUPS / WFAFPGAAligners
+	if perAligner < 31 || perAligner > 32 {
+		t.Fatalf("WFA-FPGA per-aligner GCUPS %.1f", perAligner)
+	}
+}

@@ -1,0 +1,135 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5): Table 1 (reading/alignment cycles and the
+// Equation 7 Aligner bound), Figure 9 (speedups over the CPU scalar code),
+// Figure 10 (multi-Aligner scalability), Figure 11 (configuration
+// comparison), Table 2 (GCUPS and area across platforms) and the
+// Section 5.2 physical summary — plus ablations over the design parameters
+// DESIGN.md calls out.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+)
+
+// Params scales the experiments.
+type Params struct {
+	// PairsPerSet is the number of synthetic pairs per input set used for
+	// alignment-cycle averaging (Table 1 reading cycles always come from a
+	// single-pair run, the paper's DMA-latency measurement).
+	PairsPerSet int
+	// LongReadDivisor scales PairsPerSet down for the long-read sets so
+	// bench runtimes stay proportionate (pairs = max(1, PairsPerSet/div)).
+	LongReadDivisor int
+	// MaxAligners bounds the Figure 10 sweep (the paper shows up to 10).
+	MaxAligners int
+}
+
+// DefaultParams reproduces the paper's plots at a laptop-friendly scale.
+func DefaultParams() Params {
+	return Params{PairsPerSet: 8, LongReadDivisor: 4, MaxAligners: 10}
+}
+
+// QuickParams is a minimal configuration for unit tests.
+func QuickParams() Params {
+	return Params{PairsPerSet: 2, LongReadDivisor: 2, MaxAligners: 3}
+}
+
+func (p Params) pairsFor(profile seqgen.Profile) int {
+	n := p.PairsPerSet
+	if profile.Length >= 10000 && p.LongReadDivisor > 1 {
+		n = n / p.LongReadDivisor
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// setCache memoizes generated input sets (several experiments share them).
+var setCache sync.Map // key string -> *seqio.InputSet
+
+// InputSetFor deterministically generates (and caches) the input set of a
+// profile, capping query lengths at the chip's read-length limit the way the
+// paper's inputs respect the 10K-base design bound.
+func InputSetFor(profile seqgen.Profile, cap int) *seqio.InputSet {
+	key := fmt.Sprintf("%s/%d/%d", profile.Name, profile.NumPairs, cap)
+	if v, ok := setCache.Load(key); ok {
+		return v.(*seqio.InputSet)
+	}
+	g := seqgen.New(uint64(profile.Length)*2654435761+uint64(profile.ErrorRate*1e4), 0xBEEF)
+	set := &seqio.InputSet{}
+	for i := 0; i < profile.NumPairs; i++ {
+		pair := g.Pair(uint32(i+1), profile.Length, profile.ErrorRate)
+		if cap > 0 && len(pair.A) > cap {
+			pair.A = pair.A[:cap]
+		}
+		if cap > 0 && len(pair.B) > cap {
+			pair.B = pair.B[:cap]
+		}
+		set.Pairs = append(set.Pairs, pair)
+	}
+	if cap > 0 {
+		set.MaxReadLen = seqio.RoundReadLen(minInt(cap, maxPairLen(set)))
+	}
+	setCache.Store(key, set)
+	return set
+}
+
+func maxPairLen(set *seqio.InputSet) int {
+	longest := 0
+	for _, p := range set.Pairs {
+		if len(p.A) > longest {
+			longest = len(p.A)
+		}
+		if len(p.B) > longest {
+			longest = len(p.B)
+		}
+	}
+	return longest
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newSoC builds a SoC sized for the set (including backtrace output when
+// requested).
+func newSoC(cfg core.Config, set *seqio.InputSet, backtrace bool) (*soc.SoC, error) {
+	// Build a scratch SoC first to borrow the output estimator.
+	memBytes := 1 << 22
+	s, err := soc.New(cfg, memBytes)
+	if err != nil {
+		return nil, err
+	}
+	need := set.ImageBytes() + 1<<20
+	if backtrace {
+		outBytes, err := s.EstimateBTOutputBytes(set)
+		if err != nil {
+			return nil, err
+		}
+		need += outBytes + outBytes/8
+	} else {
+		need += len(set.Pairs)*16 + 1<<12
+	}
+	if need > memBytes {
+		return soc.New(cfg, need)
+	}
+	return s, nil
+}
+
+// roundUp is ceil division.
+func roundUp(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

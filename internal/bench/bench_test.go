@@ -1,0 +1,241 @@
+package bench
+
+import "testing"
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 9 runs 10K simulations")
+	}
+	rows, err := Figure9(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	t.Logf("\n%s", RenderFigure9(rows))
+	for _, r := range rows {
+		if r.SpeedupNoBT < 20 {
+			t.Errorf("%s: no-BT speedup %.1f implausibly low", r.Input, r.SpeedupNoBT)
+		}
+		if r.SpeedupBT >= r.SpeedupNoBT {
+			t.Errorf("%s: BT speedup %.1f not below no-BT %.1f", r.Input, r.SpeedupBT, r.SpeedupNoBT)
+		}
+		if r.SpeedupVector <= 1 || r.SpeedupVector > 6 {
+			t.Errorf("%s: vector speedup %.2f outside (1,6]", r.Input, r.SpeedupVector)
+		}
+	}
+	// The paper's headline: speedup grows with read length, peaking at
+	// 10K-10% (1076x). Our 10K rows must beat the 100bp rows.
+	if rows[5].SpeedupNoBT <= rows[0].SpeedupNoBT {
+		t.Errorf("10K-10%% (%.0fx) not faster than 100-5%% (%.0fx)", rows[5].SpeedupNoBT, rows[0].SpeedupNoBT)
+	}
+	// Anchor: 10K-10% within 2x of the paper's 1076x.
+	if rows[5].SpeedupNoBT < 538 || rows[5].SpeedupNoBT > 2152 {
+		t.Errorf("10K-10%% no-BT speedup %.0fx outside [538, 2152] (paper: 1076x)", rows[5].SpeedupNoBT)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 10 sweeps aligner counts")
+	}
+	params := QuickParams()
+	rows, err := Figure10(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderFigure10(rows))
+	for _, r := range rows {
+		if r.Speedup[0] != 1.0 {
+			t.Errorf("%s: N=1 speedup %.2f != 1", r.Input, r.Speedup[0])
+		}
+		for n := 1; n < len(r.Speedup); n++ {
+			if r.Speedup[n] < r.Speedup[n-1]*0.9 {
+				t.Errorf("%s: speedup regressed at N=%d: %.2f after %.2f", r.Input, n+1, r.Speedup[n], r.Speedup[n-1])
+			}
+			if r.Speedup[n] > float64(n+1)*1.1 {
+				t.Errorf("%s: superlinear speedup %.2f at N=%d", r.Input, r.Speedup[n], n+1)
+			}
+		}
+	}
+	// Long reads scale better than short reads at the largest N.
+	last := len(rows[0].Speedup) - 1
+	if rows[5].Speedup[last] <= rows[0].Speedup[last] {
+		t.Errorf("10K-10%% scaling (%.2f) not better than 100-5%% (%.2f)",
+			rows[5].Speedup[last], rows[0].Speedup[last])
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 11 sweeps configurations")
+	}
+	rows, err := Figure11(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderFigure11(rows))
+	for _, r := range rows {
+		// The paper's headline finding: No-Sep wins for every input.
+		if r.Rel[Fig11OneAligner64NoSep] <= r.Rel[Fig11OneAligner64Sep] ||
+			r.Rel[Fig11OneAligner64NoSep] <= r.Rel[Fig11TwoAligners32Sep] {
+			t.Errorf("%s: No-Sep (%.2f) does not win over Sep (%.2f) and 2-32PS (%.2f)",
+				r.Input, r.Rel[Fig11OneAligner64NoSep], r.Rel[Fig11OneAligner64Sep], r.Rel[Fig11TwoAligners32Sep])
+		}
+	}
+	// No-Sep's advantage grows with read length.
+	if rows[5].Rel[Fig11OneAligner64NoSep] <= rows[0].Rel[Fig11OneAligner64NoSep] {
+		t.Errorf("No-Sep advantage did not grow with length: 10K-10%%=%.1f vs 100-5%%=%.1f",
+			rows[5].Rel[Fig11OneAligner64NoSep], rows[0].Rel[Fig11OneAligner64NoSep])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 runs 10K simulations")
+	}
+	rows, err := Table2(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderTable2(rows))
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Platform] = r
+	}
+	noBT := byName["WFAsic [Without Backtrace]"]
+	withBT := byName["WFAsic [With Backtrace]"]
+	if noBT.GCUPS <= withBT.GCUPS {
+		t.Errorf("no-BT GCUPS %.0f not above BT GCUPS %.0f", noBT.GCUPS, withBT.GCUPS)
+	}
+	// The paper's Table 2 takeaway: WFAsic wins GCUPS/mm2 against every
+	// platform (both with and without backtrace beat GACT's 25).
+	for _, r := range rows {
+		if r.Measured {
+			continue
+		}
+		if noBT.GCUPSPerMM2 <= r.GCUPSPerMM2 {
+			t.Errorf("WFAsic no-BT GCUPS/mm2 %.1f does not beat %s (%.1f)",
+				noBT.GCUPSPerMM2, r.Platform, r.GCUPSPerMM2)
+		}
+	}
+	if withBT.GCUPSPerMM2 <= 25 {
+		t.Errorf("WFAsic BT GCUPS/mm2 %.1f does not beat GACT's 25", withBT.GCUPSPerMM2)
+	}
+	// Anchors: paper reports 390 (no BT) and 61 (BT) GCUPS; accept 2x.
+	if noBT.GCUPS < 195 || noBT.GCUPS > 1560 {
+		t.Errorf("no-BT GCUPS %.0f outside [195,1560] (paper: 390)", noBT.GCUPS)
+	}
+	if withBT.GCUPS < 15 || withBT.GCUPS > 500 {
+		t.Errorf("BT GCUPS %.0f outside [15,500] (paper: 61)", withBT.GCUPS)
+	}
+	t.Logf("\n%s", PhysicalSummary())
+}
+
+func TestHeuristicAccuracyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heuristic accuracy sweeps aligners")
+	}
+	rows, err := HeuristicAccuracy(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderHeuristicAccuracy(rows))
+	anyLoss := false
+	for _, r := range rows {
+		if r.BandedExactFrac < 1 || r.GACTExactFrac < 1 {
+			anyLoss = true
+		}
+		if r.BandedMeanExcess < 0 || r.GACTMeanExcess < 0 {
+			t.Errorf("%s: heuristic beat the exact optimum", r.Input)
+		}
+	}
+	// The Section 6 claim: heuristics can compromise accuracy. At least one
+	// set must show a loss somewhere across the sweep.
+	if !anyLoss {
+		t.Error("no heuristic accuracy loss observed on any input set")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations sweep configurations")
+	}
+	ps, err := ParallelSectionsAblation(QuickParams(), "1K-10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := KMaxAblation(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := BandwidthAblation(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := AlgorithmComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderAblations(ps, km, bw, algo))
+
+	// More sections help, with diminishing returns.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].AlignCycles > ps[i-1].AlignCycles {
+			t.Errorf("PS=%d slower than PS=%d", ps[i].ParallelSections, ps[i-1].ParallelSections)
+		}
+	}
+	// k_max: success rate is monotone non-decreasing and reaches 100%.
+	for i := 1; i < len(km); i++ {
+		if km[i].SuccessRate < km[i-1].SuccessRate {
+			t.Errorf("success rate fell from k_max=%d to %d", km[i-1].KMax, km[i].KMax)
+		}
+	}
+	if km[len(km)-1].SuccessRate != 1.0 {
+		t.Errorf("chip k_max success rate %.2f != 1", km[len(km)-1].SuccessRate)
+	}
+	if km[0].SuccessRate == 1.0 {
+		t.Errorf("k_max=64 unexpectedly aligned every 1K-10%% pair")
+	}
+	// Bandwidth: reading cycles grow with burst overhead; Eq 7's bound
+	// shrinks as reading slows down.
+	for i := 1; i < len(bw); i++ {
+		if bw[i].ReadingCycles <= bw[i-1].ReadingCycles {
+			t.Errorf("reading cycles not increasing with burst overhead")
+		}
+		if bw[i].EqSevenN > bw[i-1].EqSevenN {
+			t.Errorf("Eq7 bound grew with slower memory")
+		}
+	}
+	// WFA computes a small fraction of the SWG cells; exactness holds.
+	for _, r := range algo {
+		if !r.SameScore {
+			t.Errorf("%s: WFA and SWG disagree", r.Input)
+		}
+		if r.CellsFraction > 0.5 {
+			t.Errorf("%s: WFA computed %.0f%% of the DP cells", r.Input, 100*r.CellsFraction)
+		}
+	}
+}
+
+func TestErrorDistributionClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution ablation runs full simulations")
+	}
+	rows, err := ErrorDistributionAblation(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderDistribution(rows))
+	// The Section 5.3 claim: cycles per unit of alignment score are stable
+	// across error distributions (within 2x even for extreme bursts).
+	base := rows[0].CyclesPerScore
+	for _, r := range rows[1:] {
+		ratio := r.CyclesPerScore / base
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: cycles/score %.1f vs uniform %.1f (ratio %.2f) — distribution sensitivity too strong",
+				r.Distribution, r.CyclesPerScore, base, ratio)
+		}
+	}
+}

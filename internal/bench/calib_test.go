@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// TestCalibrationBreakdown prints the structural counters behind the
+// alignment-cycle model for every input set, for fitting the Timing
+// constants against Table 1 (run with -v).
+func TestCalibrationBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration breakdown runs 10K simulations")
+	}
+	cfg := core.ChipConfig()
+	for _, profile := range seqgen.PaperSets(1) {
+		set := InputSetFor(profile, cfg.MaxReadLenCap)
+		s, err := newSoC(cfg, set, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.RunAccelerated(set, soc.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Machine.Aligners()[0].Stats
+		t.Logf("%-8s align=%d steps=%d empty=%d batches=%d maxBlocksSum=%d extBlocks=%d cells=%d",
+			profile.Name, rep.PairTimings[0].AlignCycles,
+			st.Steps, st.EmptySteps, st.Batches, st.MaxBlocksSum, st.ExtendBlocks, st.CellsComputed)
+	}
+}

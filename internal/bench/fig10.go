@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Figure10Row is one input set's scalability series: speedup of N Aligners
+// over one Aligner with backtrace disabled, N = 1..MaxAligners.
+type Figure10Row struct {
+	Input    string
+	Cycles   []int64   // total job cycles per Aligner count (index N-1)
+	Speedup  []float64 // over the one-Aligner run
+	EqSevenN int64     // Equation 7 prediction of the saturation point
+}
+
+// Figure10 reproduces the scalability study: "for the input sets with long
+// sequences, the design scales perfectly", while short reads saturate at the
+// Equation 7 bound because the accelerator becomes DMA-bound. The sweep is
+// weak-scaling — every Aligner count processes params.PairsPerSet pairs per
+// Aligner — so the measurement is free of end-of-batch makespan
+// quantization; the speedup over one Aligner is N * cycles_1(base) /
+// cycles_N(N*base).
+func Figure10(params Params) ([]Figure10Row, error) {
+	var rows []Figure10Row
+	for _, profile := range seqgen.PaperSets(1) {
+		basePairs := params.pairsFor(profile)
+		chip := core.ChipConfig()
+
+		row := Figure10Row{Input: profile.Name}
+		var baseCycles int64
+		for n := 1; n <= params.MaxAligners; n++ {
+			p := profile
+			p.NumPairs = basePairs * n
+			set := InputSetFor(p, chip.MaxReadLenCap)
+			cfg := core.ChipConfig()
+			cfg.NumAligners = n
+			s, err := newSoC(cfg, set, false)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := s.RunAccelerated(set, soc.RunOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig10 %s N=%d: %w", profile.Name, n, err)
+			}
+			row.Cycles = append(row.Cycles, rep.AccelCycles)
+			if n == 1 {
+				baseCycles = rep.AccelCycles
+				var alignSum, readSum int64
+				for _, tm := range rep.PairTimings {
+					alignSum += tm.AlignCycles
+					readSum += tm.ReadingCycles
+				}
+				k := int64(len(rep.PairTimings))
+				row.EqSevenN = MaxEfficientAligners(alignSum/k, maxInt64(readSum/k, 1))
+			}
+			row.Speedup = append(row.Speedup, float64(n)*ratio(baseCycles, rep.AccelCycles))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderFigure10 prints the scalability series (paper: 9.87x and 9.67x at
+// 10 Aligners for 10K-10% and 10K-5%; short reads saturate earlier).
+func RenderFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: speedup of N Aligners over 1 Aligner (backtrace off)\n")
+	fmt.Fprintf(&b, "%-10s", "Input")
+	if len(rows) > 0 {
+		for n := 1; n <= len(rows[0].Speedup); n++ {
+			fmt.Fprintf(&b, " %6s", fmt.Sprintf("N=%d", n))
+		}
+	}
+	fmt.Fprintf(&b, " %8s\n", "Eq7-N")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Input)
+		for _, sp := range r.Speedup {
+			fmt.Fprintf(&b, " %6.2f", sp)
+		}
+		fmt.Fprintf(&b, " %8d\n", r.EqSevenN)
+	}
+	return b.String()
+}

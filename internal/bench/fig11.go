@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Fig11Config identifies one of the three design configurations compared in
+// Figure 11 (all with backtrace enabled).
+type Fig11Config int
+
+// The Figure 11 configurations.
+const (
+	// Fig11OneAligner64Sep: one Aligner of 64 parallel sections, CPU
+	// backtrace with the data-separation method.
+	Fig11OneAligner64Sep Fig11Config = iota
+	// Fig11TwoAligners32Sep: two Aligners of 32 parallel sections (same
+	// compute, interleaved output requires separation).
+	Fig11TwoAligners32Sep
+	// Fig11OneAligner64NoSep: the chip's final configuration — one Aligner,
+	// 64 parallel sections, boundary-scan backtrace without separation.
+	Fig11OneAligner64NoSep
+)
+
+func (c Fig11Config) String() string {
+	switch c {
+	case Fig11OneAligner64Sep:
+		return "1-64PS Aligner [Sep]"
+	case Fig11TwoAligners32Sep:
+		return "2-32PS Aligners [Sep]"
+	case Fig11OneAligner64NoSep:
+		return "1-64PS Aligner [No Sep]"
+	}
+	return "?"
+}
+
+// Figure11Row is one input set's comparison, normalized to the
+// 1-64PS [Sep] baseline as in the paper's figure.
+type Figure11Row struct {
+	Input  string
+	Cycles [3]int64   // total pipeline cycles per configuration
+	Rel    [3]float64 // speedup over Fig11OneAligner64Sep
+}
+
+// Figure11 reproduces the design-configuration analysis of Section 5.4.
+func Figure11(params Params) ([]Figure11Row, error) {
+	var rows []Figure11Row
+	for _, profile := range seqgen.PaperSets(1) {
+		profile.NumPairs = params.pairsFor(profile)
+		base := core.ChipConfig()
+		set := InputSetFor(profile, base.MaxReadLenCap)
+
+		row := Figure11Row{Input: profile.Name}
+		for _, cf := range []Fig11Config{Fig11OneAligner64Sep, Fig11TwoAligners32Sep, Fig11OneAligner64NoSep} {
+			cfg := core.ChipConfig()
+			opts := soc.RunOptions{Backtrace: true}
+			switch cf {
+			case Fig11OneAligner64Sep:
+				opts.SeparateData = true
+			case Fig11TwoAligners32Sep:
+				cfg.NumAligners = 2
+				cfg.ParallelSections = 32
+				opts.SeparateData = true
+			case Fig11OneAligner64NoSep:
+			}
+			s, err := newSoC(cfg, set, true)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := s.RunAccelerated(set, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig11 %s %s: %w", profile.Name, cf, err)
+			}
+			row.Cycles[cf] = rep.TotalCycles
+		}
+		for i := range row.Rel {
+			row.Rel[i] = ratio(row.Cycles[Fig11OneAligner64Sep], row.Cycles[i])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure11 prints the configuration comparison. The paper's findings:
+// eliminating data separation makes 1-64PS [No Sep] the best for every
+// input, especially long reads; among the separating configurations,
+// 2-32PS wins for short reads and ties for long ones.
+func RenderFigure11(rows []Figure11Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: total pipeline speedup over the 1-64PS [Sep] configuration (backtrace on)\n")
+	fmt.Fprintf(&b, "%-10s %22s %22s %24s\n",
+		"Input", Fig11OneAligner64Sep, Fig11TwoAligners32Sep, Fig11OneAligner64NoSep)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %21.2fx %21.2fx %23.2fx\n",
+			r.Input, r.Rel[0], r.Rel[1], r.Rel[2])
+	}
+	return b.String()
+}

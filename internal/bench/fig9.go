@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Figure9Row is one input set's bar group in Figure 9: speedups over the
+// CPU scalar code of (a) the accelerator without backtrace, (b) the
+// accelerator plus the CPU backtrace step, and (c) the CPU vector code.
+type Figure9Row struct {
+	Input string
+
+	CPUScalarCycles int64
+	CPUVectorCycles int64
+	AccelNoBTCycles int64
+	AccelBTCycles   int64 // accelerator + CPU backtrace (Figure 4 pipeline)
+
+	SpeedupNoBT   float64
+	SpeedupBT     float64
+	SpeedupVector float64
+}
+
+// Figure9 reproduces Figure 9 on the chip configuration (one Aligner, 64
+// parallel sections; the final no-separation backtrace method).
+func Figure9(params Params) ([]Figure9Row, error) {
+	cfg := core.ChipConfig()
+	var rows []Figure9Row
+	for _, profile := range seqgen.PaperSets(1) {
+		profile.NumPairs = params.pairsFor(profile)
+		set := InputSetFor(profile, cfg.MaxReadLenCap)
+
+		sNoBT, err := newSoC(cfg, set, false)
+		if err != nil {
+			return nil, err
+		}
+		noBT, err := sNoBT.RunAccelerated(set, soc.RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig9 %s noBT: %w", profile.Name, err)
+		}
+		sBT, err := newSoC(cfg, set, true)
+		if err != nil {
+			return nil, err
+		}
+		withBT, err := sBT.RunAccelerated(set, soc.RunOptions{Backtrace: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig9 %s BT: %w", profile.Name, err)
+		}
+		scalar, err := sNoBT.RunCPU(set, soc.CPUScalar, false)
+		if err != nil {
+			return nil, err
+		}
+		vector, err := sNoBT.RunCPU(set, soc.CPUVector, false)
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, Figure9Row{
+			Input:           profile.Name,
+			CPUScalarCycles: scalar.Cycles,
+			CPUVectorCycles: vector.Cycles,
+			AccelNoBTCycles: noBT.AccelCycles,
+			AccelBTCycles:   withBT.TotalCycles,
+			SpeedupNoBT:     ratio(scalar.Cycles, noBT.AccelCycles),
+			SpeedupBT:       ratio(scalar.Cycles, withBT.TotalCycles),
+			SpeedupVector:   ratio(scalar.Cycles, vector.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// RenderFigure9 prints the speedup series of Figure 9. The paper reports
+// 143x-1076x without backtrace and 2.8x-344x with it.
+func RenderFigure9(rows []Figure9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: speedup over the WFA-CPU scalar code (paper: 143x-1076x no-BT, 2.8x-344x BT)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s\n", "Input", "WFAsic[NoBT]", "WFAsic[BT]", "CPU vector")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %13.1fx %13.1fx %13.2fx\n",
+			r.Input, r.SpeedupNoBT, r.SpeedupBT, r.SpeedupVector)
+	}
+	return b.String()
+}

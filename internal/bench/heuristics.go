@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/heuristic"
+	"repro/internal/seqgen"
+	"repro/internal/wfa"
+)
+
+// HeuristicAccuracyRow quantifies the Section 6 claim that, unlike WFAsic,
+// the related-work accelerators "incorporate heuristics that can compromise
+// the accuracy of the results": for each input set the banded (ABSW-style)
+// and tiled (GACT/Darwin-style) aligners are compared against the exact WFA.
+type HeuristicAccuracyRow struct {
+	Input string
+
+	// Banded aligner (half-width 64, ABSW-like).
+	BandedExactFrac  float64 // fraction of pairs with the optimal score
+	BandedMeanExcess float64 // mean (heuristic - optimal) score over optimal pairs
+	BandedCells      int64
+
+	// GACT-style tiled aligner.
+	GACTExactFrac  float64
+	GACTMeanExcess float64
+	GACTCells      int64
+
+	// Exact WFA cells, for the work comparison.
+	WFACells int64
+}
+
+// HeuristicAccuracy runs the comparison over the paper's input sets (long
+// sets are trimmed to 2K bases to keep the O(n*w) and O(n*T) baselines
+// tractable).
+func HeuristicAccuracy(params Params) ([]HeuristicAccuracyRow, error) {
+	gact := heuristic.DefaultGACT()
+	var rows []HeuristicAccuracyRow
+	for _, profile := range seqgen.PaperSets(1) {
+		if profile.Length > 2000 {
+			profile.Length = 2000
+		}
+		profile.NumPairs = params.PairsPerSet
+		set := InputSetFor(profile, 0)
+
+		row := HeuristicAccuracyRow{Input: profile.Name}
+		var bandedExact, gactExact int
+		var bandedExcess, gactExcess int
+		for _, p := range set.Pairs {
+			exact, wst := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+			if !exact.Success {
+				return nil, fmt.Errorf("bench: exact WFA failed on %s", profile.Name)
+			}
+			row.WFACells += wst.CellsComputed
+
+			bres, bst := heuristic.BandedAlign(p.A, p.B, align.DefaultPenalties, 64)
+			row.BandedCells += bst.CellsComputed
+			switch {
+			case bres.Success && bres.Score == exact.Score:
+				bandedExact++
+			case bres.Success:
+				bandedExcess += bres.Score - exact.Score
+			default:
+				bandedExcess += exact.Score // count a failure as a total loss
+			}
+
+			gres, gst := heuristic.GACTAlign(p.A, p.B, align.DefaultPenalties, gact)
+			row.GACTCells += gst.CellsComputed
+			switch {
+			case gres.Success && gres.Score == exact.Score:
+				gactExact++
+			case gres.Success:
+				gactExcess += gres.Score - exact.Score
+			default:
+				gactExcess += exact.Score
+			}
+		}
+		n := len(set.Pairs)
+		row.BandedExactFrac = float64(bandedExact) / float64(n)
+		row.GACTExactFrac = float64(gactExact) / float64(n)
+		row.BandedMeanExcess = float64(bandedExcess) / float64(n)
+		row.GACTMeanExcess = float64(gactExcess) / float64(n)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderHeuristicAccuracy formats the exactness comparison.
+func RenderHeuristicAccuracy(rows []HeuristicAccuracyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heuristic accuracy vs the exact WFA (Section 6 claim; lengths capped at 2K)\n")
+	fmt.Fprintf(&b, "%-10s | %9s %9s %11s | %9s %9s %11s | %11s\n",
+		"Input", "band-ok", "band+err", "band cells", "gact-ok", "gact+err", "gact cells", "WFA cells")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %8.0f%% %9.1f %11d | %8.0f%% %9.1f %11d | %11d\n",
+			r.Input, 100*r.BandedExactFrac, r.BandedMeanExcess, r.BandedCells,
+			100*r.GACTExactFrac, r.GACTMeanExcess, r.GACTCells, r.WFACells)
+	}
+	return b.String()
+}

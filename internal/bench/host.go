@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/asicmodel"
+	"repro/internal/seqgen"
+	"repro/internal/wfa"
+)
+
+// HostThroughputRow measures the real wall-clock throughput of this
+// repository's Go WFA on the machine running the benchmarks — the
+// host-native analogue of Table 2's multi-threaded WFA-CPU rows (which the
+// paper measured on an AMD EPYC). These are measurements of *this* Go
+// implementation on *this* host, not a claim about the paper's numbers.
+type HostThroughputRow struct {
+	Workers int
+	Seconds float64
+	GCUPS   float64
+	Scaling float64 // over the single-worker run
+}
+
+// HostThroughput aligns a 10K-5% batch with wfa.AlignBatch across worker
+// counts.
+func HostThroughput(params Params) ([]HostThroughputRow, error) {
+	profile := seqgen.PaperSets(1)[4] // 10K-5%
+	profile.NumPairs = params.PairsPerSet * 2
+	set := InputSetFor(profile, 0)
+
+	var equivCells int64
+	for _, p := range set.Pairs {
+		equivCells += asicmodel.EquivalentCells(len(p.A), len(p.B))
+	}
+
+	var rows []HostThroughputRow
+	maxWorkers := runtime.GOMAXPROCS(0)
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		start := time.Now()
+		res := wfa.AlignBatch(set.Pairs, align.DefaultPenalties, wfa.Options{}, workers)
+		elapsed := time.Since(start).Seconds()
+		for _, r := range res {
+			if !r.Result.Success {
+				return nil, fmt.Errorf("bench: host WFA failed")
+			}
+		}
+		rows = append(rows, HostThroughputRow{
+			Workers: workers,
+			Seconds: elapsed,
+			GCUPS:   asicmodel.GCUPS(equivCells, elapsed),
+		})
+	}
+	for i := range rows {
+		rows[i].Scaling = rows[i].GCUPS / rows[0].GCUPS
+	}
+	return rows, nil
+}
+
+// RenderHostThroughput formats the host measurement.
+func RenderHostThroughput(rows []HostThroughputRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Host throughput: this repo's Go WFA on 10K-5%% pairs (wall clock, %d CPUs)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%8s %10s %10s %9s\n", "workers", "seconds", "GCUPS", "scaling")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10.3f %10.2f %8.2fx\n", r.Workers, r.Seconds, r.GCUPS, r.Scaling)
+	}
+	return b.String()
+}

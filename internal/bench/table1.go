@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Table1Row is one row of Table 1: per-pair execution cycles for reading a
+// pair of sequences from main memory and for aligning it, plus Equation 7's
+// maximum efficient Aligner count.
+type Table1Row struct {
+	Input           string
+	Length          int
+	ErrorRatePct    int
+	AlignmentCycles int64
+	ReadingCycles   int64
+	MaxAligners     int64
+
+	// PaperAlignment/PaperReading/PaperMaxAligners are the published values
+	// for side-by-side reporting.
+	PaperAlignment   int64
+	PaperReading     int64
+	PaperMaxAligners int64
+}
+
+// paperTable1 records the published Table 1.
+var paperTable1 = map[string][3]int64{
+	"100-5%":  {214, 75, 4},
+	"100-10%": {327, 75, 6},
+	"1K-5%":   {2541, 376, 8},
+	"1K-10%":  {8461, 376, 24},
+	"10K-5%":  {278083, 3420, 83},
+	"10K-10%": {937630, 3420, 276},
+}
+
+// Table1 reproduces Table 1 on the chip configuration (one Aligner, 64
+// parallel sections, backtrace disabled).
+func Table1(params Params) ([]Table1Row, error) {
+	cfg := core.ChipConfig()
+	var rows []Table1Row
+	for _, profile := range seqgen.PaperSets(1) {
+		profile.NumPairs = params.pairsFor(profile)
+		set := InputSetFor(profile, cfg.MaxReadLenCap)
+
+		s, err := newSoC(cfg, set, false)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.RunAccelerated(set, soc.RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", profile.Name, err)
+		}
+		var alignSum int64
+		for _, tm := range rep.PairTimings {
+			alignSum += tm.AlignCycles
+		}
+		alignAvg := alignSum / int64(len(rep.PairTimings))
+		// Reading cycles: the first pair's read is the clean DMA-latency
+		// measurement (later pairs benefit from FIFO prefetch).
+		reading := rep.PairTimings[0].ReadingCycles
+
+		paper := paperTable1[profile.Name]
+		rows = append(rows, Table1Row{
+			Input:            profile.Name,
+			Length:           profile.Length,
+			ErrorRatePct:     int(profile.ErrorRate*100 + 0.5),
+			AlignmentCycles:  alignAvg,
+			ReadingCycles:    reading,
+			MaxAligners:      MaxEfficientAligners(alignAvg, reading),
+			PaperAlignment:   paper[0],
+			PaperReading:     paper[1],
+			PaperMaxAligners: paper[2],
+		})
+	}
+	return rows, nil
+}
+
+// MaxEfficientAligners is Equation 7:
+//
+//	MaxAligners = Roundup(Alignment_cycles / Reading_cycles) + 1
+func MaxEfficientAligners(alignmentCycles, readingCycles int64) int64 {
+	if readingCycles <= 0 {
+		return 1
+	}
+	return roundUp(alignmentCycles, readingCycles) + 1
+}
+
+// RenderTable1 formats the rows like the paper's Table 1, with the
+// published values alongside.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: reading/alignment cycles per pair and Equation 7 Aligner bound\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s | %12s %12s %8s\n",
+		"Input", "Align cyc", "Read cyc", "MaxAlig", "paper align", "paper read", "paper MA")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %12d %8d | %12d %12d %8d\n",
+			r.Input, r.AlignmentCycles, r.ReadingCycles, r.MaxAligners,
+			r.PaperAlignment, r.PaperReading, r.PaperMaxAligners)
+	}
+	return b.String()
+}

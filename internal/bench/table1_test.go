@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+func TestTable1Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 1 runs 10K-base simulations")
+	}
+	rows, err := Table1(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	t.Logf("\n%s", RenderTable1(rows))
+	for _, r := range rows {
+		// Reading cycles are tightly calibrated (DMA latency model).
+		if ratio := float64(r.ReadingCycles) / float64(r.PaperReading); ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: reading cycles %d vs paper %d (ratio %.2f)", r.Input, r.ReadingCycles, r.PaperReading, ratio)
+		}
+		// Alignment cycles must land in the right regime (the shape
+		// criterion): within 2x of the paper's value.
+		if ratio := float64(r.AlignmentCycles) / float64(r.PaperAlignment); ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: alignment cycles %d vs paper %d (ratio %.2f)", r.Input, r.AlignmentCycles, r.PaperAlignment, ratio)
+		}
+	}
+	// Monotonicity: longer reads and higher error rates cost more.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Length == rows[i-1].Length && rows[i].AlignmentCycles <= rows[i-1].AlignmentCycles {
+			t.Errorf("%s not costlier than %s", rows[i].Input, rows[i-1].Input)
+		}
+	}
+}

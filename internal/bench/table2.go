@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asicmodel"
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Table2Row is one row of Table 2: GCUPS, die area, and area efficiency
+// when aligning 10Kbp reads.
+type Table2Row struct {
+	Platform    string
+	GCUPS       float64
+	AreaMM2     float64
+	GCUPSPerMM2 float64
+	Measured    bool // true for the WFAsic rows produced by this simulation
+}
+
+// Table2 reproduces the platform comparison. The WFAsic rows are measured on
+// the simulator with the 10K-5% input set and scaled to the modeled ASIC
+// frequency (Section 5.5: "The GCUPS of the WFAsic accelerator on the ASIC
+// is estimated by scaling the cycle counts measured on the FPGA prototype to
+// the ASIC frequency"); the external rows are the paper's own citations.
+func Table2(params Params) ([]Table2Row, error) {
+	cfg := core.ChipConfig()
+	ph := asicmodel.Model(cfg)
+	profile := seqgen.PaperSets(1)[4] // 10K-5%
+	profile.NumPairs = params.pairsFor(profile)
+	set := InputSetFor(profile, cfg.MaxReadLenCap)
+
+	var equivCells int64
+	for _, p := range set.Pairs {
+		equivCells += asicmodel.EquivalentCells(len(p.A), len(p.B))
+	}
+
+	sNoBT, err := newSoC(cfg, set, false)
+	if err != nil {
+		return nil, err
+	}
+	noBT, err := sNoBT.RunAccelerated(set, soc.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	sBT, err := newSoC(cfg, set, true)
+	if err != nil {
+		return nil, err
+	}
+	withBT, err := sBT.RunAccelerated(set, soc.RunOptions{Backtrace: true})
+	if err != nil {
+		return nil, err
+	}
+
+	accelHz := ph.FreqGHz * 1e9
+	cpuHz := asicmodel.SargantanaFreqGHz * 1e9
+	noBTSeconds := float64(noBT.AccelCycles) / accelHz
+	btSeconds := float64(withBT.AccelCycles)/accelHz +
+		float64(withBT.CPUBacktraceCycles)/cpuHz
+
+	var rows []Table2Row
+	for _, c := range asicmodel.Table2Comparators() {
+		rows = append(rows, Table2Row{
+			Platform:    c.Name,
+			GCUPS:       c.GCUPS,
+			AreaMM2:     c.AreaMM2,
+			GCUPSPerMM2: c.GCUPS / c.AreaMM2,
+		})
+	}
+	rows = append(rows,
+		Table2Row{
+			Platform:    "WFAsic [With Backtrace]",
+			GCUPS:       asicmodel.GCUPS(equivCells, btSeconds),
+			AreaMM2:     ph.AreaMM2,
+			GCUPSPerMM2: asicmodel.GCUPS(equivCells, btSeconds) / ph.AreaMM2,
+			Measured:    true,
+		},
+		Table2Row{
+			Platform:    "WFAsic [Without Backtrace]",
+			GCUPS:       asicmodel.GCUPS(equivCells, noBTSeconds),
+			AreaMM2:     ph.AreaMM2,
+			GCUPSPerMM2: asicmodel.GCUPS(equivCells, noBTSeconds) / ph.AreaMM2,
+			Measured:    true,
+		},
+	)
+	return rows, nil
+}
+
+// RenderTable2 formats the comparison like the paper's Table 2 (paper
+// WFAsic rows: 61 GCUPS with backtrace, 390 without, both at 1.6mm^2).
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: GCUPS and area, 10Kbp reads\n")
+	fmt.Fprintf(&b, "%-35s %10s %10s %14s %s\n", "Platform/Design", "GCUPS", "Area mm2", "GCUPS/mm2", "")
+	for _, r := range rows {
+		src := "(cited)"
+		if r.Measured {
+			src = "(measured)"
+		}
+		fmt.Fprintf(&b, "%-35s %10.1f %10.1f %14.2f %s\n", r.Platform, r.GCUPS, r.AreaMM2, r.GCUPSPerMM2, src)
+	}
+	return b.String()
+}
+
+// PhysicalSummary renders the Section 5.2 implementation numbers.
+func PhysicalSummary() string {
+	cfg := core.ChipConfig()
+	ph := asicmodel.Model(cfg)
+	inv := asicmodel.Inventory(cfg)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.2 physical summary (modeled; paper values in parentheses)\n")
+	fmt.Fprintf(&b, "  area:          %.2f mm2   (1.6 mm2)\n", ph.AreaMM2)
+	fmt.Fprintf(&b, "  frequency:     %.2f GHz   (1.1 GHz post-PnR, 1.5 GHz post-synthesis)\n", ph.FreqGHz)
+	fmt.Fprintf(&b, "  power:         %.0f mW     (312 mW)\n", ph.PowerMW)
+	fmt.Fprintf(&b, "  memory:        %.2f MB    (0.48 MB)\n", float64(ph.MemoryBytes)/1e6)
+	fmt.Fprintf(&b, "  memory macros: %d         (260, 85%% of area; modeled share %.0f%%)\n",
+		ph.MemoryMacros, 100*ph.MemAreaMM2/ph.AreaMM2)
+	fmt.Fprintf(&b, "  SoC area:      %.2f mm2   (~3 mm2 with Sargantana)\n", ph.SoCAreaMM2)
+	fmt.Fprintf(&b, "  inventory:     wavefront %.0f KB, Input_Seq %.0f KB, FIFOs %.0f KB\n",
+		float64(inv.WavefrontBytes)/1e3, float64(inv.InputSeqBytes)/1e3, float64(inv.FIFOBytes)/1e3)
+	fmt.Fprintf(&b, "  Equation 5/6:  Score_max=%d, worst-case detectable differences=%d\n",
+		cfg.ScoreMax(), cfg.MaxDetectableDifferences())
+	return b.String()
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wfa"
+)
+
+// alignerState enumerates the Aligner module's control states.
+type alignerState int
+
+const (
+	alignerIdle alignerState = iota
+	alignerLoading
+	alignerRunning
+	alignerDraining
+)
+
+// obKind distinguishes outbox entries.
+type obKind int
+
+const (
+	obBlock  obKind = iota // one backtrace origin block
+	obResult               // the final result of an alignment
+)
+
+// obEntry is one unit of output the Aligner hands to the Collector, in
+// stream order.
+type obEntry struct {
+	kind  obKind
+	id    uint32
+	block []byte      // obBlock: packed 5-bit origins, BTBlockBytes long
+	res   ScoreRecord // obResult
+}
+
+// outboxCap bounds the Aligner->Collector buffer; a full outbox stalls the
+// Aligner, which is how backtrace traffic backpressures the pipeline
+// (Section 4.1: transferring backtrace data "may limit the performance").
+const outboxCap = 8
+
+// AlignerStats counts one Aligner's work across all pairs it processed.
+type AlignerStats struct {
+	Pairs         int64
+	Steps         int64 // non-empty score steps
+	EmptySteps    int64
+	Batches       int64
+	CellsComputed int64
+	CellsExtended int64
+	ExtendBlocks  int64 // comparator blocks summed over every lane
+	MaxBlocksSum  int64 // per-batch maximum lane blocks, summed (the extend critical path)
+	BTBlocks      int64
+	StallCycles   int64 // cycles stalled on a full outbox
+	BusyCycles    int64
+}
+
+// AlignerHW is one Aligner module (Section 4.3): ParallelSections pairs of
+// Extend and Compute sub-modules over replicated Input_Seq RAMs and banked
+// Wavefront RAMs.
+type AlignerHW struct {
+	cfg  Config
+	bank Banking
+	idx  int
+
+	state alignerState
+
+	// Loaded pair.
+	seqA, seqB  *SeqRAM
+	pairID      uint32
+	unsupported bool
+	btEnabled   bool
+
+	// Run state.
+	tracker  *RangeTracker
+	ring     *wfRing
+	s        int
+	scoreMax int
+	busy     int64
+	finished bool
+	success  bool
+	finalK   int
+
+	outbox []obEntry
+
+	// Per-pair measurement hooks (read by the Machine).
+	startCycle  int64
+	finishCycle int64
+
+	Stats AlignerStats
+
+	// Scratch buffers reused across steps.
+	originsBuf []uint8
+}
+
+// NewAlignerHW builds one Aligner for the configuration.
+func NewAlignerHW(cfg Config, idx int) *AlignerHW {
+	return &AlignerHW{
+		cfg:        cfg,
+		bank:       Banking{P: cfg.ParallelSections, KMax: cfg.KMax},
+		idx:        idx,
+		scoreMax:   cfg.ScoreMax(),
+		originsBuf: make([]uint8, cfg.ParallelSections),
+	}
+}
+
+// Idle reports whether the Aligner can accept a new pair.
+func (a *AlignerHW) Idle() bool { return a.state == alignerIdle }
+
+// BeginLoad transitions to Loading; the Extractor streams the pair in.
+func (a *AlignerHW) BeginLoad() {
+	if a.state != alignerIdle {
+		panic("core: BeginLoad on non-idle Aligner")
+	}
+	a.state = alignerLoading
+}
+
+// Start launches the alignment of the loaded pair at the given cycle.
+func (a *AlignerHW) Start(id uint32, seqA, seqB *SeqRAM, unsupported, btEnabled bool, cycle int64) {
+	if a.state != alignerLoading {
+		panic("core: Start on Aligner that is not loading")
+	}
+	a.pairID = id
+	a.seqA, a.seqB = seqA, seqB
+	a.unsupported = unsupported
+	a.btEnabled = btEnabled
+	a.state = alignerRunning
+	a.startCycle = cycle
+	a.finished = false
+	a.success = false
+	a.finalK = 0
+	a.s = 0
+	a.Stats.Pairs++
+
+	if unsupported {
+		// Section 4.2: the Aligner does not process the alignment and sets
+		// the Success flag to zero.
+		a.finished = true
+		a.busy = 1
+		return
+	}
+
+	n, m := seqA.Length, seqB.Length
+	a.tracker = NewRangeTracker(a.cfg.Penalties, n, m, a.cfg.KMax)
+	window := a.cfg.Penalties.GapOpen + a.cfg.Penalties.GapExtend
+	if a.cfg.Penalties.Mismatch > window {
+		window = a.cfg.Penalties.Mismatch
+	}
+	a.ring = newWFRing(window + 1)
+
+	// Score 0: the initial cell M~(0,0) = 0, extended.
+	m0 := wfa.NewWavefront(0, 0)
+	m0.Set(0, 0, wfa.MTagNone)
+	ext := ExtendDiag(seqA, seqB, 0, 0)
+	m0.Set(0, int32(ext.Matches), wfa.MTagNone)
+	a.Stats.CellsExtended++
+	a.Stats.ExtendBlocks += int64(ext.Blocks)
+	a.ring.put(0, nil, nil, m0)
+	a.busy = int64(a.cfg.Timing.StartupCycles + a.cfg.Timing.ExtendFill + ext.Blocks)
+	if a.isDone(m0) {
+		a.success = true
+		a.finalK = m - n
+		a.finished = true
+	}
+}
+
+// isDone checks the termination condition against the loaded pair.
+func (a *AlignerHW) isDone(mwf *wfa.Wavefront) bool {
+	alignK := a.seqB.Length - a.seqA.Length
+	return mwf.Valid(alignK) && mwf.At(alignK) >= int32(a.seqB.Length)
+}
+
+// TakeOutput pops the oldest outbox entry (Collector side).
+func (a *AlignerHW) TakeOutput() (obEntry, bool) {
+	if len(a.outbox) == 0 {
+		return obEntry{}, false
+	}
+	e := a.outbox[0]
+	a.outbox = a.outbox[1:]
+	return e, true
+}
+
+// HasOutput reports whether outbox entries are pending.
+func (a *AlignerHW) HasOutput() bool { return len(a.outbox) > 0 }
+
+// Tick advances the Aligner one cycle.
+func (a *AlignerHW) Tick(cycle int64) {
+	switch a.state {
+	case alignerIdle, alignerLoading:
+		return
+	case alignerDraining:
+		if len(a.outbox) == 0 {
+			a.state = alignerIdle
+		}
+		return
+	case alignerRunning:
+	}
+	a.Stats.BusyCycles++
+	if a.busy > 0 {
+		a.busy--
+		return
+	}
+	if a.finished {
+		a.emitResult(cycle)
+		return
+	}
+	if len(a.outbox) >= outboxCap {
+		a.Stats.StallCycles++
+		return
+	}
+	a.advanceScore(cycle)
+}
+
+// emitResult queues the final record and moves to draining. A failed
+// alignment reports the last score budget it processed (ScoreMax for an
+// Equation 6 overflow, 0 for an unsupported read) so the CPU decoder can
+// compute how many backtrace blocks the stream contains without scanning it.
+func (a *AlignerHW) emitResult(cycle int64) {
+	score := a.s
+	if !a.success && score > a.scoreMax {
+		score = a.scoreMax
+	}
+	a.outbox = append(a.outbox, obEntry{
+		kind: obResult,
+		id:   a.pairID,
+		res: ScoreRecord{
+			Success: a.success,
+			K:       int16(a.finalK),
+			Score:   uint16(score),
+		},
+	})
+	a.finishCycle = cycle
+	a.state = alignerDraining
+	a.seqA, a.seqB = nil, nil
+	a.tracker, a.ring = nil, nil
+}
+
+// advanceScore processes the next candidate score.
+func (a *AlignerHW) advanceScore(cycle int64) {
+	a.s++
+	if a.s > a.scoreMax {
+		// Equation 6 exceeded: "the alignment in the WFAsic remains
+		// incomplete and is terminated" with Success = 0.
+		a.success = false
+		a.finished = true
+		a.busy = 1
+		return
+	}
+	iR, dR, mR := a.tracker.Extend(a.s)
+	if mR.Empty() {
+		a.Stats.EmptySteps++
+		a.busy = int64(a.cfg.Timing.EmptyStepCycles)
+		return
+	}
+	cycles := a.executeStep(a.s, iR, dR, mR)
+	a.Stats.Steps++
+	a.busy = cycles - 1
+	if a.busy < 0 {
+		a.busy = 0
+	}
+	_ = cycle
+}
+
+// executeStep computes the frame column for score s (Compute sub-modules),
+// extends it (Extend sub-modules), emits the backtrace blocks, checks
+// termination, and returns the step's cycle cost.
+func (a *AlignerHW) executeStep(s int, iR, dR, mR Range) int64 {
+	pen := a.cfg.Penalties
+	x, o, e := pen.Mismatch, pen.GapOpen, pen.GapExtend
+	n, m := a.seqA.Length, a.seqB.Length
+
+	srcMx := a.ring.get(wfa.CompM, s-x)
+	srcMoe := a.ring.get(wfa.CompM, s-o-e)
+	srcIe := a.ring.get(wfa.CompI, s-e)
+	srcDe := a.ring.get(wfa.CompD, s-e)
+
+	trim := func(off int32, k int) int32 {
+		if !wfa.ValidOffset(off) {
+			return wfa.Invalid
+		}
+		if off > int32(m) || off-int32(k) > int32(n) {
+			return wfa.Invalid
+		}
+		return off
+	}
+
+	// Compute I~(s).
+	var iwf *wfa.Wavefront
+	if !iR.Empty() {
+		iwf = wfa.NewWavefront(iR.Lo, iR.Hi)
+		for k := iR.Lo; k <= iR.Hi; k++ {
+			open := srcMoe.At(k - 1)
+			ext := srcIe.At(k - 1)
+			v, tag := open, wfa.GTagOpen
+			if ext > open {
+				v, tag = ext, wfa.GTagExt
+			}
+			if wfa.ValidOffset(v) {
+				v = trim(v+1, k)
+			}
+			if wfa.ValidOffset(v) {
+				iwf.Set(k, v, tag)
+			}
+		}
+	}
+
+	// Compute D~(s).
+	var dwf *wfa.Wavefront
+	if !dR.Empty() {
+		dwf = wfa.NewWavefront(dR.Lo, dR.Hi)
+		for k := dR.Lo; k <= dR.Hi; k++ {
+			open := srcMoe.At(k + 1)
+			ext := srcDe.At(k + 1)
+			v, tag := open, wfa.GTagOpen
+			if ext > open {
+				v, tag = ext, wfa.GTagExt
+			}
+			v = trim(v, k)
+			if wfa.ValidOffset(v) {
+				dwf.Set(k, v, tag)
+			}
+		}
+	}
+
+	// Compute M~(s) — the frame column.
+	mwf := wfa.NewWavefront(mR.Lo, mR.Hi)
+	for k := mR.Lo; k <= mR.Hi; k++ {
+		a.Stats.CellsComputed++
+		var sub int32 = wfa.Invalid
+		if v := srcMx.At(k); wfa.ValidOffset(v) {
+			sub = v + 1
+		}
+		ins := iwf.At(k)
+		del := dwf.At(k)
+		v, tag := sub, wfa.MTagSub
+		if ins > v {
+			v = ins
+			if iwf.TagAt(k) == wfa.GTagOpen {
+				tag = wfa.MTagIOpen
+			} else {
+				tag = wfa.MTagIExt
+			}
+		}
+		if del > v {
+			v = del
+			if dwf.TagAt(k) == wfa.GTagOpen {
+				tag = wfa.MTagDOpen
+			} else {
+				tag = wfa.MTagDExt
+			}
+		}
+		v = trim(v, k)
+		if wfa.ValidOffset(v) {
+			mwf.Set(k, v, tag)
+		}
+	}
+
+	// Extend phase + grid-aligned batch accounting (Figure 6 banking).
+	P := a.cfg.ParallelSections
+	kStart := a.bank.BatchStart(mR.Lo)
+	batches := a.bank.NumBatches(mR.Lo, mR.Hi)
+	t := a.cfg.Timing
+	cycles := int64(t.StepOverhead + t.ComputeLatency + t.ExtendFill)
+	for b := 0; b < batches; b++ {
+		base := kStart + b*P
+		maxBlocks := 0
+		origins := a.originsBuf[:0]
+		for c := 0; c < P; c++ {
+			k := base + c
+			var org uint8
+			if k >= mR.Lo && k <= mR.Hi {
+				if v := mwf.At(k); wfa.ValidOffset(v) {
+					i := int(v) - k
+					j := int(v)
+					ext := ExtendDiag(a.seqA, a.seqB, i, j)
+					mwf.Set(k, v+int32(ext.Matches), mwf.TagAt(k))
+					a.Stats.CellsExtended++
+					a.Stats.ExtendBlocks += int64(ext.Blocks)
+					if ext.Blocks > maxBlocks {
+						maxBlocks = ext.Blocks
+					}
+				}
+				org = wfa.PackOrigin(mwf.TagAt(k), iwf.TagAt(k), dwf.TagAt(k))
+			}
+			origins = append(origins, org)
+		}
+		cycles += int64(t.ComputeIssue + maxBlocks)
+		a.Stats.Batches++
+		a.Stats.MaxBlocksSum += int64(maxBlocks)
+		if a.btEnabled {
+			a.outbox = append(a.outbox, obEntry{
+				kind:  obBlock,
+				id:    a.pairID,
+				block: PackOriginBlock(origins),
+			})
+			a.Stats.BTBlocks++
+		}
+	}
+
+	a.ring.put(s, iwf, dwf, mwf)
+	if a.isDone(mwf) {
+		a.success = true
+		a.finalK = a.seqB.Length - a.seqA.Length
+		a.finished = true
+	}
+	return cycles
+}
+
+// wfRing is the hardware wavefront window: only the dependency window of
+// scores is retained ("in the hardware, we only keep those necessary
+// wavefront vectors", Section 4.3.1).
+type wfRing struct {
+	window  int
+	score   []int
+	m, i, d []*wfa.Wavefront
+}
+
+func newWFRing(window int) *wfRing {
+	r := &wfRing{
+		window: window,
+		score:  make([]int, window),
+		m:      make([]*wfa.Wavefront, window),
+		i:      make([]*wfa.Wavefront, window),
+		d:      make([]*wfa.Wavefront, window),
+	}
+	for idx := range r.score {
+		r.score[idx] = -1
+	}
+	return r
+}
+
+func (r *wfRing) get(c wfa.Component, s int) *wfa.Wavefront {
+	if s < 0 {
+		return nil
+	}
+	slot := s % r.window
+	if r.score[slot] != s {
+		return nil
+	}
+	switch c {
+	case wfa.CompM:
+		return r.m[slot]
+	case wfa.CompI:
+		return r.i[slot]
+	case wfa.CompD:
+		return r.d[slot]
+	}
+	panic(fmt.Sprintf("core: bad component %d", c))
+}
+
+func (r *wfRing) put(s int, iwf, dwf, mwf *wfa.Wavefront) {
+	slot := s % r.window
+	r.score[slot] = s
+	r.i[slot] = iwf
+	r.d[slot] = dwf
+	r.m[slot] = mwf
+}

@@ -1,0 +1,106 @@
+package core
+
+import "fmt"
+
+// Banking models the distribution of the wavefront window across the
+// per-section Wavefront RAMs (Figure 6). Diagonal k maps to window row
+// r = k + KMax; consecutive rows stripe across the ParallelSections banks
+// (bank = r mod P), so a batch of P consecutive, grid-aligned cells reads
+// and writes all banks conflict-free in parallel.
+//
+// Computing a grid-aligned batch of M~ frame-column cells additionally needs
+// the M~ window rows r-1 .. r+P from the gap-source column (Equation 3
+// shifts k by ±1), which touches banks P-1 and 0 twice. Exactly those two
+// banks are duplicated in the chip ("we duplicate the first and the last
+// RAMs (RAM 1' and RAM 4')").
+type Banking struct {
+	P    int // parallel sections = number of banks per wavefront window
+	KMax int // diagonal clamp; window rows are 0 .. 2*KMax
+}
+
+// Rows returns the number of window rows.
+func (b Banking) Rows() int { return 2*b.KMax + 1 }
+
+// RowOf maps a diagonal to its window row.
+func (b Banking) RowOf(k int) int { return k + b.KMax }
+
+// BankOf maps a diagonal to its RAM bank.
+func (b Banking) BankOf(k int) int {
+	r := b.RowOf(k)
+	if r < 0 || r >= b.Rows() {
+		panic(fmt.Sprintf("core: diagonal %d outside window [-%d,%d]", k, b.KMax, b.KMax))
+	}
+	return r % b.P
+}
+
+// AddrOf maps (column, diagonal) to the word address inside the bank.
+// Each bank holds Rows()/P (+1) words per window column.
+func (b Banking) AddrOf(column, k int) int {
+	wordsPerCol := (b.Rows() + b.P - 1) / b.P
+	return column*wordsPerCol + b.RowOf(k)/b.P
+}
+
+// BatchStart returns the first diagonal of the grid-aligned batch containing
+// k: batches start at rows that are multiples of P.
+func (b Banking) BatchStart(k int) int {
+	r := b.RowOf(k)
+	return r - r%b.P - b.KMax
+}
+
+// NumBatches returns how many grid-aligned batches cover [lo, hi].
+func (b Banking) NumBatches(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	first := b.RowOf(lo) / b.P
+	last := b.RowOf(hi) / b.P
+	return last - first + 1
+}
+
+// DuplicatedBanks returns the banks that must be replicated for the M~
+// window (RAM 1' and RAM N' in Figure 6).
+func (b Banking) DuplicatedBanks() (int, int) { return 0, b.P - 1 }
+
+// VerifyComputeAccess checks that one grid-aligned batch's parallel M~-window
+// reads (rows r0-1 .. r0+P for the ±1-shifted gap sources) are servable:
+// every bank is accessed at most once more than its number of physical
+// copies. It returns an error describing the first over-subscribed bank.
+func (b Banking) VerifyComputeAccess(batchStartK int) error {
+	r0 := b.RowOf(batchStartK)
+	if r0%b.P != 0 {
+		return fmt.Errorf("core: batch start row %d not aligned to %d banks", r0, b.P)
+	}
+	copies := make([]int, b.P)
+	for i := range copies {
+		copies[i] = 1
+	}
+	d1, d2 := b.DuplicatedBanks()
+	copies[d1]++
+	copies[d2]++
+	access := make([]int, b.P)
+	for r := r0 - 1; r <= r0+b.P; r++ {
+		if r < 0 || r >= b.Rows() {
+			continue // clamped rows are not read
+		}
+		access[r%b.P]++
+	}
+	for bank, n := range access {
+		if n > copies[bank] {
+			return fmt.Errorf("core: bank %d accessed %d times with %d copies", bank, n, copies[bank])
+		}
+	}
+	return nil
+}
+
+// MacroCount returns how many physical RAM macros one Aligner's wavefront
+// windows need: P banks for each of M~, I~ and D~ plus the two M~ duplicates
+// — with the ASIC optimization of merging I~ and D~ into shared Wavefront_I/D
+// macros (Section 4.6).
+func (b Banking) MacroCount(mergeID bool) int {
+	m := b.P + 2
+	id := 2 * b.P
+	if mergeID {
+		id = b.P
+	}
+	return m + id
+}

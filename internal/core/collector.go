@@ -1,0 +1,161 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Collector implements both Collector variants of Section 4.4. With
+// backtrace enabled (Collector BT) it splits each origin block into 16-byte
+// transactions of 10 payload bytes plus 6 info bytes (block counter, Last
+// flag, alignment ID) and terminates each alignment with a score-record
+// transaction. With backtrace disabled (Collector NBT) it merges four
+// 4-byte result records per transaction, attaching no extra information.
+type Collector struct {
+	cfg       Config
+	btEnabled bool
+	outFIFO   *sim.FIFO[[mem.BeatBytes]byte]
+	aligners  []*AlignerHW
+	rr        int
+
+	// BT chunking state.
+	chunkID      uint32
+	chunkPayload []byte // pending payload bytes of the current block
+	counters     map[uint32]uint32
+
+	// NBT merge buffer.
+	nbtBuf []NBTRecord
+
+	// Completion tracking.
+	resultsSeen int
+	numPairs    int
+
+	// onResult lets the Machine record per-pair timing as results stream
+	// out.
+	onResult func(id uint32, rec ScoreRecord, a *AlignerHW)
+
+	Transactions int64
+}
+
+// NewCollector wires the collector between the Aligners and the output FIFO.
+func NewCollector(cfg Config, outFIFO *sim.FIFO[[mem.BeatBytes]byte], aligners []*AlignerHW) *Collector {
+	return &Collector{cfg: cfg, outFIFO: outFIFO, aligners: aligners, counters: map[uint32]uint32{}}
+}
+
+// Configure latches the job parameters.
+func (c *Collector) Configure(numPairs int, btEnabled bool, onResult func(uint32, ScoreRecord, *AlignerHW)) {
+	c.numPairs = numPairs
+	c.btEnabled = btEnabled
+	c.onResult = onResult
+	c.counters = map[uint32]uint32{}
+	c.chunkPayload = nil
+	c.nbtBuf = c.nbtBuf[:0]
+	c.resultsSeen = 0
+	c.Transactions = 0
+}
+
+// Done reports whether every result has been seen and fully written out.
+func (c *Collector) Done() bool {
+	return c.resultsSeen >= c.numPairs && len(c.chunkPayload) == 0 && len(c.nbtBuf) == 0
+}
+
+// Tick advances the collector: at most one output transaction per cycle.
+func (c *Collector) Tick() {
+	if c.outFIFO.Full() {
+		return
+	}
+	// Continue chunking the current BT block.
+	if len(c.chunkPayload) > 0 {
+		c.emitBTChunk()
+		return
+	}
+	// Pull the next entry from the Aligners, round-robin.
+	n := len(c.aligners)
+	for i := 0; i < n; i++ {
+		a := c.aligners[(c.rr+i)%n]
+		entry, ok := a.TakeOutput()
+		if !ok {
+			continue
+		}
+		c.rr = (c.rr + i + 1) % n
+		c.handle(entry, a)
+		return
+	}
+	// Nothing pending: flush a partial NBT transaction once all results
+	// arrived.
+	if !c.btEnabled && c.resultsSeen >= c.numPairs && len(c.nbtBuf) > 0 {
+		c.flushNBT()
+	}
+}
+
+func (c *Collector) handle(entry obEntry, a *AlignerHW) {
+	switch entry.kind {
+	case obBlock:
+		// Zero-pad the block payload to a whole number of 10-byte chunks
+		// (a 40-byte block fills exactly four transactions, Section 4.4).
+		payload := entry.block
+		if rem := len(payload) % BTPayloadBytes; rem != 0 {
+			payload = append(append([]byte(nil), payload...), make([]byte, BTPayloadBytes-rem)...)
+		}
+		c.chunkID = entry.id
+		c.chunkPayload = payload
+		c.emitBTChunk()
+	case obResult:
+		c.resultsSeen++
+		if c.onResult != nil {
+			c.onResult(entry.id, entry.res, a)
+		}
+		if c.btEnabled {
+			// "the last data that the Aligner provides to the Collector BT
+			// is the alignment score ... sent to the memory in one memory
+			// transaction" with the Last flag set.
+			t := BTTransaction{
+				Payload: entry.res.PackPayload(),
+				Counter: c.counters[entry.id],
+				Last:    true,
+				ID:      entry.id & BTIDMask,
+			}
+			c.counters[entry.id]++
+			c.push(t.Pack())
+		} else {
+			c.nbtBuf = append(c.nbtBuf, NBTRecord{
+				Success: entry.res.Success,
+				Score:   entry.res.Score,
+				ID:      uint16(entry.id),
+			})
+			if len(c.nbtBuf) == NBTPerTransaction {
+				c.flushNBT()
+			}
+		}
+	}
+}
+
+func (c *Collector) emitBTChunk() {
+	var t BTTransaction
+	copy(t.Payload[:], c.chunkPayload[:BTPayloadBytes])
+	c.chunkPayload = c.chunkPayload[BTPayloadBytes:]
+	if len(c.chunkPayload) == 0 {
+		c.chunkPayload = nil
+	}
+	t.Counter = c.counters[c.chunkID]
+	t.ID = c.chunkID & BTIDMask
+	c.counters[c.chunkID]++
+	c.push(t.Pack())
+}
+
+func (c *Collector) flushNBT() {
+	var beat [mem.BeatBytes]byte
+	for i, rec := range c.nbtBuf {
+		packed := rec.Pack()
+		copy(beat[i*NBTRecordBytes:], packed[:])
+	}
+	c.nbtBuf = c.nbtBuf[:0]
+	c.push(beat)
+}
+
+func (c *Collector) push(beat [mem.BeatBytes]byte) {
+	if !c.outFIFO.Push(beat) {
+		panic("core: collector pushed into a full FIFO") // guarded by Tick
+	}
+	c.Transactions++
+}

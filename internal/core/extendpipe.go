@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/seqio"
+	"repro/internal/sim"
+)
+
+// ExtendPipe is the register-level model of one Extend sub-module
+// (Figure 7): two Input_Seq RAMs with registered outputs, the REG_1/REG_2
+// shift pair per sequence, the concatenate-and-shift alignment network and
+// the 16-base comparator. It reproduces the paper's timing — "the comparator
+// compares 16 bases of the sequences at each clock cycle, after five initial
+// cycles" — cycle by cycle, and is verified against the behavioural
+// ExtendDiag used by the Aligner's batch model.
+type ExtendPipe struct {
+	ramA, ramB *sim.DualPortRAM
+	lenA, lenB int
+
+	// Run state.
+	phase  int // 0=idle, 1..5 = fill stages, 6 = comparing
+	i, j   int // current base positions
+	shiftA uint
+	shiftB uint
+	addrA  int
+	addrB  int
+	// reg2 holds the earlier word, reg1 the later word of the current
+	// window; pend stages the prefetched next word (the word advance is
+	// aligned with consumption: one word per 16 compared bases).
+	reg1A, reg2A, pendA uint32
+	reg1B, reg2B, pendB uint32
+	matches             int
+	done                bool
+
+	cycles int64
+}
+
+// NewExtendPipe loads both sequences into fresh dual-port RAM models and
+// returns an idle pipe.
+func NewExtendPipe(seqA, seqB *SeqRAM) *ExtendPipe {
+	p := &ExtendPipe{
+		ramA: sim.NewDualPortRAM(len(seqA.Words) + 2),
+		ramB: sim.NewDualPortRAM(len(seqB.Words) + 2),
+		lenA: seqA.Length,
+		lenB: seqB.Length,
+	}
+	for idx, w := range seqA.Words {
+		p.ramA.Poke(idx, uint64(w))
+	}
+	for idx, w := range seqB.Words {
+		p.ramB.Poke(idx, uint64(w))
+	}
+	return p
+}
+
+// Start launches an extension from wavefront cell (offset, k); Equation 4
+// maps it to the starting positions i = offset-k, j = offset.
+func (p *ExtendPipe) Start(offset int32, k int) {
+	p.i = int(offset) - k
+	p.j = int(offset)
+	p.matches = 0
+	p.done = false
+	p.cycles = 0
+	p.phase = 1
+	p.shiftA = uint(2 * (p.i % seqio.BasesPerWord))
+	p.shiftB = uint(2 * (p.j % seqio.BasesPerWord))
+	p.addrA = p.i / seqio.BasesPerWord
+	p.addrB = p.j / seqio.BasesPerWord
+}
+
+// Busy reports whether a run is in flight.
+func (p *ExtendPipe) Busy() bool { return p.phase != 0 }
+
+// Result returns the matches found once the run completes.
+func (p *ExtendPipe) Result() (matches int, done bool) { return p.matches, p.done }
+
+// Cycles returns the cycle count of the last (or current) run.
+func (p *ExtendPipe) Cycles() int64 { return p.cycles }
+
+// window assembles the current 16-base comparison window of one sequence
+// from its two shift registers (the concatenate-and-shift of Figure 7).
+func window(reg2, reg1 uint32, shift uint) uint32 {
+	return uint32((uint64(reg1)<<32 | uint64(reg2)) >> shift)
+}
+
+// Tick advances one clock cycle.
+func (p *ExtendPipe) Tick() {
+	if p.phase == 0 {
+		return
+	}
+	p.cycles++
+	switch p.phase {
+	case 1: // address generation; issue the first word requests
+		p.issueReads()
+		p.phase = 2
+	case 2: // first words arrive next tick; issue the second requests
+		p.tickRAMs()
+		p.captureIntoRegs()
+		p.issueReads()
+		p.phase = 3
+	case 3: // second words arrive: REG_2/REG_1 hold the starting window
+		p.tickRAMs()
+		p.captureIntoRegs()
+		p.issueReads() // prefetch the third words
+		p.phase = 4
+	case 4: // third words land in the staging register
+		p.tickRAMs()
+		p.captureIntoPend()
+		p.phase = 5
+	case 5: // concatenate/shift + comparator input registers (pure latency)
+		p.tickRAMs()
+		p.phase = 6
+	case 6: // compare 16 bases per cycle, one new word per cycle
+		p.tickRAMs()
+		p.captureIntoPend()
+		stop := p.compareBlock()
+		if stop {
+			p.phase = 0
+			p.done = true
+			return
+		}
+		// Consume one word: shift the staged word in and prefetch.
+		p.reg2A, p.reg1A = p.reg1A, p.pendA
+		p.reg2B, p.reg1B = p.reg1B, p.pendB
+		p.issueReads()
+	}
+}
+
+func (p *ExtendPipe) issueReads() {
+	if p.addrA < p.ramA.Depth() {
+		p.ramA.Read(p.addrA)
+		p.addrA++
+	}
+	if p.addrB < p.ramB.Depth() {
+		p.ramB.Read(p.addrB)
+		p.addrB++
+	}
+}
+
+func (p *ExtendPipe) tickRAMs() {
+	p.ramA.Tick()
+	p.ramB.Tick()
+}
+
+func (p *ExtendPipe) captureIntoRegs() {
+	if v, ok := p.ramA.Data(); ok {
+		p.reg2A = p.reg1A
+		p.reg1A = uint32(v)
+	}
+	if v, ok := p.ramB.Data(); ok {
+		p.reg2B = p.reg1B
+		p.reg1B = uint32(v)
+	}
+}
+
+func (p *ExtendPipe) captureIntoPend() {
+	if v, ok := p.ramA.Data(); ok {
+		p.pendA = uint32(v)
+	}
+	if v, ok := p.ramB.Data(); ok {
+		p.pendB = uint32(v)
+	}
+}
+
+// compareBlock compares the current 16-base windows and advances; it
+// reports whether the extension is finished.
+func (p *ExtendPipe) compareBlock() bool {
+	limit := 16
+	if rem := p.lenA - p.i; rem < limit {
+		limit = rem
+	}
+	if rem := p.lenB - p.j; rem < limit {
+		limit = rem
+	}
+	if limit <= 0 {
+		return true
+	}
+	wa := window(p.reg2A, p.reg1A, p.shiftA)
+	wb := window(p.reg2B, p.reg1B, p.shiftB)
+	x := wa ^ wb
+	var mask uint32 = ^uint32(0)
+	if limit < 16 {
+		mask = 1<<(2*limit) - 1
+	}
+	x &= mask
+	if x != 0 {
+		p.matches += bits.TrailingZeros32(x) / 2
+		return true
+	}
+	p.matches += limit
+	p.i += limit
+	p.j += limit
+	return limit < 16 // a short block means a sequence end
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/seqio"
+)
+
+func runPipe(t *testing.T, p *ExtendPipe, offset int32, k int) (int, int64) {
+	t.Helper()
+	p.Start(offset, k)
+	for guard := 0; p.Busy(); guard++ {
+		if guard > 100000 {
+			t.Fatal("ExtendPipe hung")
+		}
+		p.Tick()
+	}
+	matches, done := p.Result()
+	if !done {
+		t.Fatal("pipe finished without done")
+	}
+	return matches, p.Cycles()
+}
+
+func TestExtendPipeMatchesBehavioralModel(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 41))
+	randSeq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = seqio.Alphabet[r.IntN(4)]
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		la, lb := 1+r.IntN(300), 1+r.IntN(300)
+		a := randSeq(la)
+		b := randSeq(lb)
+		if trial%2 == 0 { // plant shared runs for long extensions
+			run := randSeq(1 + r.IntN(100))
+			copy(a[r.IntN(la):], run)
+			copy(b[r.IntN(lb):], run)
+		}
+		sa, err := LoadSeqRAM(0, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := LoadSeqRAM(0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := NewExtendPipe(sa, sb)
+		i, j := r.IntN(la+1), r.IntN(lb+1)
+		k := j - i
+		offset := int32(j)
+		want := ExtendDiag(sa, sb, i, j)
+		got, cycles := runPipe(t, pipe, offset, k)
+		if got != want.Matches {
+			t.Fatalf("trial %d (i=%d,j=%d): pipe=%d behavioral=%d", trial, i, j, got, want.Matches)
+		}
+		// The paper's timing: 16 bases per cycle after five initial cycles.
+		if wantCycles := int64(5 + want.Blocks); cycles != wantCycles {
+			t.Fatalf("trial %d: %d cycles, want %d (5 fill + %d blocks)", trial, cycles, wantCycles, want.Blocks)
+		}
+	}
+}
+
+func TestExtendPipeFullIdenticalSequences(t *testing.T) {
+	g := make([]byte, 1000)
+	for i := range g {
+		g[i] = seqio.Alphabet[i%4]
+	}
+	sa, _ := LoadSeqRAM(0, g)
+	sb, _ := LoadSeqRAM(0, g)
+	pipe := NewExtendPipe(sa, sb)
+	matches, cycles := runPipe(t, pipe, 0, 0)
+	if matches != 1000 {
+		t.Fatalf("matches=%d", matches)
+	}
+	// 1000 bases = 62 full blocks + 1 short block.
+	if cycles != 5+63 {
+		t.Fatalf("cycles=%d want 68", cycles)
+	}
+}
+
+func TestExtendPipeUnalignedStart(t *testing.T) {
+	// Start positions off the 16-base grid exercise the shift network with
+	// different alignments for the two sequences.
+	base := make([]byte, 200)
+	for i := range base {
+		base[i] = seqio.Alphabet[(i*7+3)%4]
+	}
+	sa, _ := LoadSeqRAM(0, base)
+	shifted := append([]byte("ACG"), base...) // b = 3-base prefix + a
+	sb, _ := LoadSeqRAM(0, shifted)
+	pipe := NewExtendPipe(sa, sb)
+	// Align a[5:] against b[8:]: identical tails.
+	matches, _ := runPipe(t, pipe, 8, 3)
+	if want := len(base) - 5; matches != want {
+		t.Fatalf("matches=%d want %d", matches, want)
+	}
+}
+
+func TestExtendPipeImmediateMismatch(t *testing.T) {
+	sa, _ := LoadSeqRAM(0, []byte("AAAA"))
+	sb, _ := LoadSeqRAM(0, []byte("TTTT"))
+	pipe := NewExtendPipe(sa, sb)
+	matches, cycles := runPipe(t, pipe, 0, 0)
+	if matches != 0 || cycles != 6 {
+		t.Fatalf("matches=%d cycles=%d want 0, 6", matches, cycles)
+	}
+	// The pipe is reusable.
+	matches, _ = runPipe(t, pipe, 1, 0)
+	if matches != 0 {
+		t.Fatalf("reuse: matches=%d", matches)
+	}
+}

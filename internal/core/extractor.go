@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mem"
+	"repro/internal/seqio"
+	"repro/internal/sim"
+)
+
+// Extractor is the module of Section 4.2: it monitors the Aligners, and when
+// one becomes idle it streams one pair out of the Input FIFO (16 bytes per
+// clock cycle), decodes the bases to 2 bits, writes them into the idle
+// Aligner's Input_Seq RAMs, and detects unsupported reads (over-length or
+// containing 'N' bases).
+type Extractor struct {
+	cfg      Config
+	inFIFO   *sim.FIFO[[mem.BeatBytes]byte]
+	aligners []*AlignerHW
+
+	// Runtime configuration (from the register file).
+	maxReadLen int
+	numPairs   int
+	btEnabled  bool
+
+	// Progress.
+	pairsDispatched int
+
+	// Current pair streaming state.
+	loading        bool
+	target         *AlignerHW
+	beatIdx        int
+	pairBeats      int
+	id             uint32
+	lenA, lenB     int
+	rawA, rawB     []byte
+	unsupported    bool
+	dispatchWait   int
+	pairStartCycle int64
+
+	// readingByID records the per-pair reading cycles (Table 1's metric:
+	// from the Extractor engaging the pair to the Aligner start).
+	readingByID map[uint32]int64
+
+	// onDispatch, when set, observes each pair handoff (tracing).
+	onDispatch func(id uint32, reading int64, unsupported bool, aligner int)
+}
+
+// NewExtractor wires the extractor to the input FIFO and the Aligners.
+func NewExtractor(cfg Config, inFIFO *sim.FIFO[[mem.BeatBytes]byte], aligners []*AlignerHW) *Extractor {
+	return &Extractor{cfg: cfg, inFIFO: inFIFO, aligners: aligners, readingByID: map[uint32]int64{}}
+}
+
+// Configure latches the job parameters (MAX_READ_LEN etc.) at job start.
+func (e *Extractor) Configure(maxReadLen, numPairs int, btEnabled bool) {
+	e.maxReadLen = maxReadLen
+	e.numPairs = numPairs
+	e.btEnabled = btEnabled
+	e.pairsDispatched = 0
+	e.loading = false
+	e.readingByID = map[uint32]int64{}
+}
+
+// Done reports whether every pair has been dispatched to an Aligner.
+func (e *Extractor) Done() bool { return e.pairsDispatched >= e.numPairs && !e.loading }
+
+// ReadingCycles returns the recorded reading time for an alignment ID.
+func (e *Extractor) ReadingCycles(id uint32) int64 { return e.readingByID[id] }
+
+// Tick advances the extractor one cycle.
+func (e *Extractor) Tick(cycle int64) {
+	if !e.loading {
+		if e.pairsDispatched >= e.numPairs {
+			return
+		}
+		for _, a := range e.aligners {
+			if a.Idle() {
+				e.beginPair(a, cycle)
+				break
+			}
+		}
+		if !e.loading {
+			return
+		}
+	}
+	if e.beatIdx < e.pairBeats {
+		beat, ok := e.inFIFO.Pop()
+		if !ok {
+			return // wait for the DMA
+		}
+		e.consumeBeat(beat)
+		e.beatIdx++
+		if e.beatIdx < e.pairBeats {
+			return
+		}
+		e.dispatchWait = e.cfg.Timing.DispatchOverhead
+		return
+	}
+	if e.dispatchWait > 0 {
+		e.dispatchWait--
+		if e.dispatchWait == 0 {
+			e.dispatch(cycle)
+		}
+	}
+}
+
+func (e *Extractor) beginPair(a *AlignerHW, cycle int64) {
+	e.loading = true
+	e.target = a
+	e.target.BeginLoad()
+	e.beatIdx = 0
+	e.pairBeats = seqio.PairSections(e.maxReadLen)
+	e.rawA = e.rawA[:0]
+	e.rawB = e.rawB[:0]
+	e.unsupported = false
+	e.pairStartCycle = cycle
+}
+
+func (e *Extractor) consumeBeat(beat [mem.BeatBytes]byte) {
+	seqBeats := e.maxReadLen / seqio.SectionBytes
+	switch {
+	case e.beatIdx == 0:
+		e.id = binary.LittleEndian.Uint32(beat[0:4])
+		e.lenA = int(binary.LittleEndian.Uint32(beat[4:8]))
+		e.lenB = int(binary.LittleEndian.Uint32(beat[8:12]))
+		// Over-length reads are unsupported (Section 4.2). This also
+		// neutralizes broken headers: a garbage length can never make the
+		// Extractor read beyond the pair's fixed section count, so the
+		// accelerator cannot hang on malformed data.
+		if e.lenA > e.maxReadLen || e.lenB > e.maxReadLen {
+			e.unsupported = true
+		}
+	case e.beatIdx <= seqBeats:
+		e.rawA = append(e.rawA, beat[:]...)
+	default:
+		e.rawB = append(e.rawB, beat[:]...)
+	}
+}
+
+// dispatch finalizes decode and starts the target Aligner.
+func (e *Extractor) dispatch(cycle int64) {
+	var seqA, seqB *SeqRAM
+	if !e.unsupported {
+		a := e.rawA[:e.lenA]
+		b := e.rawB[:e.lenB]
+		// 'N' (unknown) bases make the read unsupported.
+		if seqio.ValidateSequence(a) != nil || seqio.ValidateSequence(b) != nil {
+			e.unsupported = true
+		} else {
+			var err error
+			seqA, err = LoadSeqRAM(e.id, a)
+			if err == nil {
+				seqB, err = LoadSeqRAM(e.id, b)
+			}
+			if err != nil {
+				e.unsupported = true
+				seqA, seqB = nil, nil
+			}
+		}
+	}
+	e.readingByID[e.id] = cycle - e.pairStartCycle
+	if e.onDispatch != nil {
+		e.onDispatch(e.id, cycle-e.pairStartCycle, e.unsupported, e.target.idx)
+	}
+	e.target.Start(e.id, seqA, seqB, e.unsupported, e.btEnabled, cycle)
+	e.loading = false
+	e.target = nil
+	e.pairsDispatched++
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seqio"
+)
+
+// TestGoldenBTStream pins the exact wire format of the backtrace stream for
+// one fixed tiny alignment. Any change to the origin encoding, block
+// packing, transaction layout, counters or score record breaks this test —
+// the hardware/software contract of Sections 4.3-4.4 must never drift
+// silently.
+func TestGoldenBTStream(t *testing.T) {
+	cfg := ChipConfig()
+	cfg.MaxReadLenCap = 16
+	cfg.KMax = 8
+	cfg.ParallelSections = 8
+
+	// a->b: one mismatch at position 2 (score 4).
+	set := &seqio.InputSet{Pairs: []seqio.Pair{
+		{ID: 5, A: []byte("ACGTACGT"), B: []byte("ACTTACGT")},
+	}, MaxReadLen: 16}
+	m, _ := runJob(t, cfg, set, true)
+	count, _ := m.Regs.Read(RegOutCount)
+	outputAddr := int64((set.ImageBytes() + mem.BeatBytes + 15) &^ 15)
+	raw := m.Memory().Read(outputAddr, int(count)*mem.BeatBytes)
+
+	// Score 4, penalties (4,6,2): scores 1..3 are empty; score 4 computes
+	// one batch of 8 cells (only k=0 valid, origin M~Sub=1 -> packed 0b00100
+	// = 0x04 in the low 5 bits). One block of 5 bytes, padded to one
+	// 10-byte chunk -> 1 payload transaction + 1 score record.
+	if count != 2 {
+		t.Fatalf("transaction count %d want 2", count)
+	}
+	want, _ := hex.DecodeString(
+		// tx0: payload [04 00 00 00 00 | 5B zero pad], counter 0, ID 5.
+		"04000000000000000000" + "000000" + "050000" +
+			// tx1: score record [success=1, k=0 (2B), score=4 (2B), 5B pad],
+			// counter 1, Last|ID5 -> info = 0x800005 little-endian.
+			"01000004000000000000" + "010000" + "050080")
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("golden BT stream drifted:\n got  %x\n want %x", raw, want)
+	}
+}
+
+// TestGoldenNBTRecord pins the NBT wire format for a fixed alignment.
+func TestGoldenNBTRecord(t *testing.T) {
+	cfg := ChipConfig()
+	cfg.MaxReadLenCap = 16
+	cfg.KMax = 8
+	set := &seqio.InputSet{Pairs: []seqio.Pair{
+		{ID: 0x1234, A: []byte("ACGTACGT"), B: []byte("ACTTACGT")},
+	}, MaxReadLen: 16}
+	_, recs := runJob(t, cfg, set, false)
+	rec := recs[0]
+	if !rec.Success || rec.Score != 4 || rec.ID != 0x1234 {
+		t.Fatalf("record %+v", rec)
+	}
+	packed := rec.Pack()
+	// score 4 | success bit 15 -> 0x8004 LE, then ID 0x1234 LE.
+	want := [4]byte{0x04, 0x80, 0x34, 0x12}
+	if packed != want {
+		t.Fatalf("golden NBT record drifted: % x want % x", packed, want)
+	}
+}
+
+// TestMachineDeterministicCycles guards the cycle model against accidental
+// nondeterminism: identical inputs must produce identical cycle counts.
+func TestMachineDeterministicCycles(t *testing.T) {
+	cfg := testConfig()
+	set := &seqio.InputSet{Pairs: []seqio.Pair{
+		{ID: 1, A: bytes.Repeat([]byte("ACGT"), 40), B: bytes.Repeat([]byte("ACGA"), 40)},
+	}}
+	var first []PairTiming
+	for run := 0; run < 3; run++ {
+		m, _ := runJob(t, cfg, set, false)
+		if run == 0 {
+			first = append(first, m.Timings...)
+			continue
+		}
+		for i, tm := range m.Timings {
+			if tm != first[i] {
+				t.Fatalf("run %d: timing %+v != first %+v", run, tm, first[i])
+			}
+		}
+	}
+}

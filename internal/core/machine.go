@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/seqio"
+	"repro/internal/sim"
+)
+
+// PairTiming is the per-pair cycle measurement the evaluation reports
+// (Table 1): how long the pair took to read into the Aligner and how long
+// the alignment itself ran.
+type PairTiming struct {
+	ID            uint32
+	Success       bool
+	Score         int
+	ReadingCycles int64
+	AlignCycles   int64
+}
+
+// Machine is the WFAsic accelerator attached to the memory system — the full
+// datapath of Figure 5. The CPU side talks to it only through the register
+// file and main memory, as on the real SoC.
+type Machine struct {
+	cfg    Config
+	Regs   *RegFile
+	memory *mem.Memory
+
+	ctl    *mem.Controller
+	rdPort *mem.Port
+	wrPort *mem.Port
+
+	inFIFO  *sim.FIFO[[mem.BeatBytes]byte]
+	outFIFO *sim.FIFO[[mem.BeatBytes]byte]
+
+	extractor *Extractor
+	collector *Collector
+	aligners  []*AlignerHW
+
+	cycle    int64
+	jobStart int64
+	running  bool
+
+	// DMA read engine state.
+	readAddr      int64
+	readBeatsLeft int
+	outstanding   int
+
+	// DMA write engine state.
+	writeAddr int64
+	writeBuf  [][mem.BeatBytes]byte
+
+	// Results.
+	Timings []PairTiming
+
+	tracer Tracer
+}
+
+// NewMachine builds the accelerator over an existing memory and controller
+// (shared with the CPU model on the SoC).
+func NewMachine(cfg Config, memory *mem.Memory, ctl *mem.Controller) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		Regs:    NewRegFile(),
+		memory:  memory,
+		ctl:     ctl,
+		rdPort:  ctl.NewPort("wfasic-dma-rd"),
+		wrPort:  ctl.NewPort("wfasic-dma-wr"),
+		inFIFO:  sim.NewFIFO[[mem.BeatBytes]byte](cfg.InputFIFODepth),
+		outFIFO: sim.NewFIFO[[mem.BeatBytes]byte](cfg.OutputFIFODepth),
+	}
+	for i := 0; i < cfg.NumAligners; i++ {
+		m.aligners = append(m.aligners, NewAlignerHW(cfg, i))
+	}
+	m.extractor = NewExtractor(cfg, m.inFIFO, m.aligners)
+	m.collector = NewCollector(cfg, m.outFIFO, m.aligners)
+	return m, nil
+}
+
+// NewStandaloneMachine builds a machine with its own memory of the given
+// size (convenience for tests and single-accelerator benchmarks).
+func NewStandaloneMachine(cfg Config, memBytes int) (*Machine, *mem.Memory, error) {
+	memory := mem.NewMemory(memBytes)
+	ctl := mem.NewController(memory, cfg.Timing.Mem)
+	m, err := NewMachine(cfg, memory, ctl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, memory, nil
+}
+
+// Config returns the hardware configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Memory returns the attached main memory.
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Aligners exposes the aligner modules (for statistics).
+func (m *Machine) Aligners() []*AlignerHW { return m.aligners }
+
+// Cycle returns the current cycle count.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// startJob latches the register configuration and arms the datapath. A bad
+// configuration sets the Error status bit and leaves the machine idle, so
+// broken register writes can never hang the SoC.
+func (m *Machine) startJob() {
+	r := m.Regs
+	r.errored = false
+	r.OutCount = 0
+	maxReadLen := int(r.MaxReadLen)
+	numPairs := int(r.NumPairs)
+	ok := maxReadLen >= 16 && maxReadLen%16 == 0 && maxReadLen <= m.cfg.MaxReadLenCap &&
+		numPairs > 0 && numPairs <= 1<<24
+	inputBytes := int64(numPairs) * int64(seqio.PairSections(maxReadLen)) * mem.BeatBytes
+	if ok {
+		if r.InputAddr%mem.BeatBytes != 0 || r.OutputAddr%mem.BeatBytes != 0 {
+			ok = false
+		}
+		if int64(r.InputAddr)+inputBytes > int64(m.memory.Size()) {
+			ok = false
+		}
+	}
+	if !ok {
+		m.trace("machine", "job-error", "rejected: maxReadLen=%d pairs=%d in=%#x out=%#x",
+			maxReadLen, numPairs, r.InputAddr, r.OutputAddr)
+		r.errored = true
+		r.idle = true
+		if r.irqEnable {
+			r.irq = true
+		}
+		return
+	}
+	m.trace("machine", "job-start", "pairs=%d maxReadLen=%d bt=%v in=%#x out=%#x",
+		numPairs, maxReadLen, r.BTEnable, r.InputAddr, r.OutputAddr)
+
+	m.running = true
+	r.idle = false
+	r.JobCycles = 0
+	m.jobStart = m.cycle
+	m.readAddr = int64(r.InputAddr)
+	m.readBeatsLeft = int(inputBytes / mem.BeatBytes)
+	m.outstanding = 0
+	m.writeAddr = int64(r.OutputAddr)
+	m.writeBuf = m.writeBuf[:0]
+	m.inFIFO.Reset()
+	m.outFIFO.Reset()
+	m.Timings = m.Timings[:0]
+
+	m.extractor.Configure(maxReadLen, numPairs, r.BTEnable)
+	m.extractor.onDispatch = func(id uint32, reading int64, unsupported bool, aligner int) {
+		m.trace("extractor", "pair-start", "id=%d reading=%d unsupported=%v -> aligner%d",
+			id, reading, unsupported, aligner)
+	}
+	m.collector.Configure(numPairs, r.BTEnable, m.recordResult)
+}
+
+func (m *Machine) recordResult(id uint32, rec ScoreRecord, a *AlignerHW) {
+	m.trace("collector", "pair-done", "id=%d success=%v score=%d align=%d cycles",
+		id, rec.Success, rec.Score, a.finishCycle-a.startCycle)
+	m.Timings = append(m.Timings, PairTiming{
+		ID:            id,
+		Success:       rec.Success,
+		Score:         int(rec.Score),
+		ReadingCycles: m.extractor.ReadingCycles(id),
+		AlignCycles:   a.finishCycle - a.startCycle,
+	})
+}
+
+// Tick advances the whole accelerator (and the memory controller) one cycle.
+func (m *Machine) Tick() {
+	if m.Regs.startRequested {
+		m.Regs.startRequested = false
+		m.startJob()
+	}
+	m.cycle++
+	if !m.running {
+		return
+	}
+
+	m.ctl.Tick()
+	m.dmaRead()
+	m.extractor.Tick(m.cycle)
+	for _, a := range m.aligners {
+		a.Tick(m.cycle)
+	}
+	m.collector.Tick()
+	m.dmaWrite()
+	m.inFIFO.Tick()
+	m.outFIFO.Tick()
+	m.Regs.OutCount = uint32(m.collector.Transactions)
+	m.Regs.JobCycles = uint64(m.cycle - m.jobStart)
+
+	if m.jobDone() {
+		m.trace("machine", "job-done", "cycles=%d transactions=%d",
+			m.cycle-m.jobStart, m.collector.Transactions)
+		m.running = false
+		m.Regs.idle = true
+		if m.Regs.irqEnable {
+			m.Regs.irq = true
+		}
+	}
+}
+
+// dmaRead keeps the input FIFO fed: deliver arrived beats, then issue new
+// burst requests while both input data and FIFO room remain.
+func (m *Machine) dmaRead() {
+	for {
+		beat, ok := m.rdPort.NextBeat()
+		if !ok {
+			break
+		}
+		if !m.inFIFO.Push(beat.Data) {
+			panic("core: DMA read overran the input FIFO")
+		}
+		m.outstanding--
+	}
+	room := m.inFIFO.Depth() - m.inFIFO.Occupancy() - m.outstanding
+	burst := m.cfg.Timing.Mem.BurstBeats
+	for m.readBeatsLeft > 0 && room >= burst {
+		n := burst
+		if n > m.readBeatsLeft {
+			n = m.readBeatsLeft
+		}
+		m.rdPort.RequestRead(m.readAddr, n)
+		m.readAddr += int64(n) * mem.BeatBytes
+		m.readBeatsLeft -= n
+		m.outstanding += n
+		room -= n
+	}
+}
+
+// dmaWrite drains the output FIFO into main memory, one beat per cycle into
+// the staging buffer, issuing a burst when a full window accumulates (or at
+// the end of the job).
+func (m *Machine) dmaWrite() {
+	if beat, ok := m.outFIFO.Pop(); ok {
+		m.writeBuf = append(m.writeBuf, beat)
+	}
+	burst := m.cfg.Timing.Mem.BurstBeats
+	flush := m.extractor.Done() && m.allAlignersIdle() && m.collector.Done() && m.outFIFO.Empty()
+	if len(m.writeBuf) >= burst || (flush && len(m.writeBuf) > 0) {
+		n := len(m.writeBuf)
+		if n > burst {
+			n = burst
+		}
+		for _, b := range m.writeBuf[:n] {
+			m.wrPort.PushWriteBeat(mem.Beat{Data: b})
+		}
+		m.wrPort.RequestWrite(m.writeAddr, n)
+		m.writeAddr += int64(n) * mem.BeatBytes
+		m.writeBuf = m.writeBuf[n:]
+	}
+}
+
+func (m *Machine) allAlignersIdle() bool {
+	for _, a := range m.aligners {
+		if !a.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) jobDone() bool {
+	return m.extractor.Done() &&
+		m.allAlignersIdle() &&
+		m.collector.Done() &&
+		m.outFIFO.Empty() &&
+		len(m.writeBuf) == 0 &&
+		m.rdPort.Idle() && m.wrPort.Idle() &&
+		m.ctl.Idle()
+}
+
+// Run ticks the machine until the job completes, returning the cycles spent.
+// It returns an error if the machine does not finish within maxCycles (the
+// paper's "no CPU freeze" robustness criterion: a hang is a bug, not a
+// wait).
+func (m *Machine) Run(maxCycles int64) (int64, error) {
+	start := m.cycle
+	for m.Regs.startRequested || !m.Regs.Idle() {
+		m.Tick()
+		if m.cycle-start > maxCycles {
+			return m.cycle - start, fmt.Errorf("core: machine did not finish within %d cycles", maxCycles)
+		}
+	}
+	return m.cycle - start, nil
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/mem"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/wfa"
+)
+
+// testConfig returns a small-k configuration that keeps test runtimes low
+// while exercising every datapath feature.
+func testConfig() Config {
+	cfg := ChipConfig()
+	cfg.MaxReadLenCap = 2048
+	cfg.KMax = 512
+	return cfg
+}
+
+// runJob drives a machine through one complete job via the register file,
+// exactly as the driver does, and returns the NBT records in completion
+// order.
+func runJob(t *testing.T, cfg Config, set *seqio.InputSet, bt bool) (*Machine, []NBTRecord) {
+	t.Helper()
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxReadLen := set.EffectiveMaxReadLen()
+	memBytes := 1 << 22
+	if need := len(img) * 8; need > memBytes {
+		memBytes = need * 2
+	}
+	m, memory, err := NewStandaloneMachine(cfg, memBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputAddr := int64(0)
+	outputAddr := int64(len(img) + mem.BeatBytes)
+	outputAddr = (outputAddr + 15) &^ 15
+	memory.Write(inputAddr, img)
+
+	r := m.Regs
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r.Write(RegMaxReadLen, uint32(maxReadLen)))
+	btVal := uint32(0)
+	if bt {
+		btVal = 1
+	}
+	must(r.Write(RegBTEnable, btVal))
+	must(r.Write(RegInputAddrLo, uint32(inputAddr)))
+	must(r.Write(RegInputAddrHi, 0))
+	must(r.Write(RegNumPairs, uint32(len(set.Pairs))))
+	must(r.Write(RegOutputAddrLo, uint32(outputAddr)))
+	must(r.Write(RegOutputAddrHi, 0))
+	must(r.Write(RegCtrl, CtrlStart))
+
+	if _, err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if r.Errored() {
+		t.Fatal("machine reported configuration error")
+	}
+
+	if bt {
+		return m, nil
+	}
+	// Parse NBT results: OutCount transactions of four records each; the
+	// first len(pairs) records are real, the rest is padding.
+	count, err := r.Read(RegOutCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := memory.Read(outputAddr, int(count)*mem.BeatBytes)
+	var recs []NBTRecord
+	for i := 0; i < len(set.Pairs); i++ {
+		rec, err := UnpackNBTRecord(raw[i*NBTRecordBytes:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	return m, recs
+}
+
+func TestMachineMatchesSoftwareWFA(t *testing.T) {
+	cfg := testConfig()
+	g := seqgen.New(77, 78)
+	set := &seqio.InputSet{}
+	for i := 0; i < 12; i++ {
+		length := 30 + i*40
+		rate := 0.03 + 0.01*float64(i%8)
+		set.Pairs = append(set.Pairs, g.Pair(uint32(i+1), length, rate))
+	}
+	_, recs := runJob(t, cfg, set, false)
+	if len(recs) != len(set.Pairs) {
+		t.Fatalf("got %d records, want %d", len(recs), len(set.Pairs))
+	}
+	byID := map[uint16]NBTRecord{}
+	for _, rec := range recs {
+		byID[rec.ID] = rec
+	}
+	for _, p := range set.Pairs {
+		rec, ok := byID[uint16(p.ID)]
+		if !ok {
+			t.Fatalf("no record for pair %d", p.ID)
+		}
+		ref, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
+		if rec.Success != ref.Success {
+			t.Fatalf("pair %d: hw success=%v sw=%v", p.ID, rec.Success, ref.Success)
+		}
+		if rec.Success && int(rec.Score) != ref.Score {
+			t.Fatalf("pair %d: hw score=%d sw=%d", p.ID, rec.Score, ref.Score)
+		}
+	}
+}
+
+func TestMachinePairTimings(t *testing.T) {
+	cfg := testConfig()
+	g := seqgen.New(5, 9)
+	set := &seqio.InputSet{Pairs: []seqio.Pair{g.Pair(1, 100, 0.05)}, MaxReadLen: 112}
+	m, _ := runJob(t, cfg, set, false)
+	if len(m.Timings) != 1 {
+		t.Fatalf("timings: %d", len(m.Timings))
+	}
+	tm := m.Timings[0]
+	// Calibration target: Table 1 reports 75 reading cycles for 100bp
+	// inputs. Allow a modest tolerance around it.
+	if tm.ReadingCycles < 55 || tm.ReadingCycles > 95 {
+		t.Errorf("reading cycles %d outside [55,95] (paper: 75)", tm.ReadingCycles)
+	}
+	if tm.AlignCycles <= 0 {
+		t.Errorf("align cycles %d", tm.AlignCycles)
+	}
+	if !tm.Success {
+		t.Error("alignment failed")
+	}
+}
+
+func TestMachineUnsupportedReads(t *testing.T) {
+	cfg := testConfig()
+	g := seqgen.New(2, 2)
+	good := g.Pair(1, 64, 0.05)
+	withN := g.Pair(2, 64, 0.05)
+	withN.A[10] = 'N'
+	overLong := seqio.Pair{ID: 3, A: g.RandomSequence(200), B: g.RandomSequence(64)}
+	set := &seqio.InputSet{Pairs: []seqio.Pair{good, withN, overLong}, MaxReadLen: 112}
+	_, recs := runJob(t, cfg, set, false)
+	got := map[uint16]bool{}
+	for _, rec := range recs {
+		got[rec.ID] = rec.Success
+	}
+	if !got[1] {
+		t.Error("good pair failed")
+	}
+	if got[2] {
+		t.Error("pair with N base succeeded; Extractor must reject it")
+	}
+	if got[3] {
+		t.Error("over-length pair succeeded; Extractor must reject it")
+	}
+}
+
+func TestMachineScoreOverflow(t *testing.T) {
+	// Tiny KMax: Score_max = 2*16+4 = 36. A pair with 10 mismatches (score
+	// 40) must fail; 8 mismatches (32) must succeed.
+	cfg := testConfig()
+	cfg.KMax = 16
+	mk := func(id uint32, nmis int) seqio.Pair {
+		a := make([]byte, 64)
+		b := make([]byte, 64)
+		for i := range a {
+			a[i], b[i] = 'A', 'A'
+		}
+		for i := 0; i < nmis; i++ {
+			b[i*6] = 'T'
+		}
+		return seqio.Pair{ID: id, A: a, B: b}
+	}
+	set := &seqio.InputSet{Pairs: []seqio.Pair{mk(1, 8), mk(2, 10)}, MaxReadLen: 64}
+	_, recs := runJob(t, cfg, set, false)
+	byID := map[uint16]NBTRecord{}
+	for _, rec := range recs {
+		byID[rec.ID] = rec
+	}
+	if !byID[1].Success || byID[1].Score != 32 {
+		t.Errorf("8-mismatch pair: %+v", byID[1])
+	}
+	if byID[2].Success {
+		t.Errorf("10-mismatch pair succeeded past Score_max: %+v", byID[2])
+	}
+}
+
+func TestMachineBrokenDataDoesNotHang(t *testing.T) {
+	// The paper's robustness test: "we intentionally send data in different
+	// unexpected formats to the WFAsic. In these tests, we did not observe
+	// any CPU freeze."
+	cfg := testConfig()
+	m, memory, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage: pseudo-random bytes as "input image" for 3 pairs.
+	garbage := make([]byte, 3*seqio.PairSections(112)*mem.BeatBytes)
+	state := uint32(0x12345678)
+	for i := range garbage {
+		state = state*1664525 + 1013904223
+		garbage[i] = byte(state >> 24)
+	}
+	memory.Write(0, garbage)
+	r := m.Regs
+	r.Write(RegMaxReadLen, 112)
+	r.Write(RegBTEnable, 0)
+	r.Write(RegInputAddrLo, 0)
+	r.Write(RegNumPairs, 3)
+	r.Write(RegOutputAddrLo, 1<<19)
+	r.Write(RegCtrl, CtrlStart)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("machine hung on broken data: %v", err)
+	}
+}
+
+func TestMachineBadConfigSetsError(t *testing.T) {
+	cfg := testConfig()
+	m, _, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Regs
+	r.Write(RegMaxReadLen, 100) // not divisible by 16
+	r.Write(RegNumPairs, 1)
+	r.Write(RegCtrl, CtrlStart)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Errored() {
+		t.Fatal("bad MAX_READ_LEN accepted")
+	}
+	// Input region beyond memory.
+	r2 := m.Regs
+	r2.Write(RegMaxReadLen, 112)
+	r2.Write(RegNumPairs, 100000)
+	r2.Write(RegCtrl, CtrlStart)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Errored() {
+		t.Fatal("oversized input region accepted")
+	}
+}
+
+func TestMachineMultiAligner(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumAligners = 3
+	g := seqgen.New(31, 32)
+	set := &seqio.InputSet{}
+	for i := 0; i < 9; i++ {
+		set.Pairs = append(set.Pairs, g.Pair(uint32(i+1), 120, 0.08))
+	}
+	_, recs := runJob(t, cfg, set, false)
+	if len(recs) != 9 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	seen := map[uint16]bool{}
+	for _, rec := range recs {
+		if !rec.Success {
+			t.Errorf("pair %d failed", rec.ID)
+		}
+		seen[rec.ID] = true
+	}
+	for i := 1; i <= 9; i++ {
+		if !seen[uint16(i)] {
+			t.Errorf("pair %d missing from results", i)
+		}
+	}
+}
+
+func TestMultiAlignerUtilization(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumAligners = 2
+	g := seqgen.New(41, 42)
+	set := &seqio.InputSet{}
+	for i := 0; i < 8; i++ {
+		set.Pairs = append(set.Pairs, g.Pair(uint32(i+1), 400, 0.10))
+	}
+	m, _ := runJob(t, cfg, set, false)
+	for i, a := range m.Aligners() {
+		if a.Stats.Pairs == 0 {
+			t.Errorf("aligner %d processed no pairs", i)
+		}
+	}
+}
+
+func TestMachineBTStreamStructure(t *testing.T) {
+	cfg := testConfig()
+	g := seqgen.New(51, 52)
+	set := &seqio.InputSet{Pairs: []seqio.Pair{g.Pair(7, 150, 0.06)}, MaxReadLen: 160}
+	m, _ := runJob(t, cfg, set, true)
+	count, _ := m.Regs.Read(RegOutCount)
+	if count == 0 {
+		t.Fatal("no BT transactions written")
+	}
+	raw := m.Memory().Read(int64((set.ImageBytes()+mem.BeatBytes+15)&^15), int(count)*mem.BeatBytes)
+	var lastSeen bool
+	var prevCounter int64 = -1
+	for i := 0; i < int(count); i++ {
+		tr, err := UnpackBTTransaction(raw[i*mem.BeatBytes:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ID != 7 {
+			t.Fatalf("transaction %d: ID=%d", i, tr.ID)
+		}
+		if int64(tr.Counter) != prevCounter+1 {
+			t.Fatalf("transaction %d: counter %d after %d", i, tr.Counter, prevCounter)
+		}
+		prevCounter = int64(tr.Counter)
+		if tr.Last {
+			if i != int(count)-1 {
+				t.Fatalf("Last flag on transaction %d of %d", i, count)
+			}
+			lastSeen = true
+			rec := UnpackScoreRecord(tr.Payload)
+			if !rec.Success {
+				t.Fatal("score record reports failure")
+			}
+			ref, _ := wfa.Align(set.Pairs[0].A, set.Pairs[0].B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
+			if int(rec.Score) != ref.Score {
+				t.Fatalf("score record %d != software %d", rec.Score, ref.Score)
+			}
+			if int(rec.K) != len(set.Pairs[0].B)-len(set.Pairs[0].A) {
+				t.Fatalf("score record k=%d", rec.K)
+			}
+		}
+	}
+	if !lastSeen {
+		t.Fatal("no Last transaction in BT stream")
+	}
+}
+
+func TestEmptyAndDegeneratePairs(t *testing.T) {
+	cfg := testConfig()
+	set := &seqio.InputSet{Pairs: []seqio.Pair{
+		{ID: 1, A: []byte("ACGT"), B: []byte("ACGT")},
+		{ID: 2, A: []byte("A"), B: []byte("T")},
+		{ID: 3, A: []byte(""), B: []byte("ACGTACGT")},
+		{ID: 4, A: []byte("ACGTACGT"), B: []byte("")},
+	}, MaxReadLen: 16}
+	_, recs := runJob(t, cfg, set, false)
+	want := map[uint16]uint16{1: 0, 2: 4, 3: 6 + 8*2, 4: 6 + 8*2}
+	for _, rec := range recs {
+		if !rec.Success {
+			t.Errorf("pair %d failed", rec.ID)
+			continue
+		}
+		if rec.Score != want[rec.ID] {
+			t.Errorf("pair %d: score %d want %d", rec.ID, rec.Score, want[rec.ID])
+		}
+	}
+}
+
+func TestIdleBeforeStart(t *testing.T) {
+	cfg := testConfig()
+	m, _, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Regs.Idle() {
+		t.Fatal("machine not idle after reset")
+	}
+	status, _ := m.Regs.Read(RegStatus)
+	if status&StatusIdle == 0 {
+		t.Fatal("status register does not report idle")
+	}
+	_ = align.DefaultPenalties
+}

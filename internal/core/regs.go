@@ -1,0 +1,150 @@
+package core
+
+import "fmt"
+
+// AXI-Lite memory-mapped register offsets (Section 3: "The WFAsic
+// accelerator includes a set of memory-mapped registers, and the CPU writes
+// into these registers the configuration of the accelerator").
+const (
+	RegCtrl         = 0x00 // W: bit0 = Start, bit1 = IRQ enable
+	RegStatus       = 0x04 // R: bit0 = Idle, bit1 = IRQ pending, bit2 = Error
+	RegMaxReadLen   = 0x08 // W: MAX_READ_LEN for the input set
+	RegBTEnable     = 0x0C // W: bit0 = backtrace enabled
+	RegInputAddrLo  = 0x10 // W: input set base address (low 32 bits)
+	RegInputAddrHi  = 0x14 // W: input set base address (high 32 bits)
+	RegNumPairs     = 0x18 // W: number of pairs in the input set
+	RegOutputAddrLo = 0x1C // W: result base address (low 32 bits)
+	RegOutputAddrHi = 0x20 // W: result base address (high 32 bits)
+	RegOutCount     = 0x24 // R: 16-byte transactions written so far
+	RegCycleLo      = 0x28 // R: job cycle counter, low 32 bits
+	RegCycleHi      = 0x2C // R: job cycle counter, high 32 bits
+)
+
+// Control/status bits.
+const (
+	CtrlStart     uint32 = 1 << 0
+	CtrlIRQEnable uint32 = 1 << 1
+
+	StatusIdle  uint32 = 1 << 0
+	StatusIRQ   uint32 = 1 << 1
+	StatusError uint32 = 1 << 2
+)
+
+// RegFile is the accelerator's AXI-Lite register file. The Machine reads the
+// configuration from it at Start and reflects completion into Status.
+type RegFile struct {
+	irqEnable bool
+	idle      bool
+	irq       bool
+	errored   bool
+
+	MaxReadLen uint32
+	BTEnable   bool
+	InputAddr  uint64
+	NumPairs   uint32
+	OutputAddr uint64
+	OutCount   uint32
+	// JobCycles counts cycles from Start to Idle — the performance counter
+	// the evaluation reads ("The performance of the WFAsic on the FPGA
+	// prototype is measured in clock cycles", Section 5.3).
+	JobCycles uint64
+
+	// startRequested is consumed by the Machine.
+	startRequested bool
+}
+
+// NewRegFile returns a register file in the idle reset state.
+func NewRegFile() *RegFile {
+	return &RegFile{idle: true}
+}
+
+// Write performs an AXI-Lite register write.
+func (r *RegFile) Write(offset, value uint32) error {
+	switch offset {
+	case RegCtrl:
+		r.irqEnable = value&CtrlIRQEnable != 0
+		if value&CtrlStart != 0 {
+			r.startRequested = true
+		}
+	case RegStatus:
+		// Writing 1 to the IRQ bit clears it.
+		if value&StatusIRQ != 0 {
+			r.irq = false
+		}
+	case RegMaxReadLen:
+		r.MaxReadLen = value
+	case RegBTEnable:
+		r.BTEnable = value&1 != 0
+	case RegInputAddrLo:
+		r.InputAddr = r.InputAddr&^uint64(0xFFFFFFFF) | uint64(value)
+	case RegInputAddrHi:
+		r.InputAddr = r.InputAddr&0xFFFFFFFF | uint64(value)<<32
+	case RegNumPairs:
+		r.NumPairs = value
+	case RegOutputAddrLo:
+		r.OutputAddr = r.OutputAddr&^uint64(0xFFFFFFFF) | uint64(value)
+	case RegOutputAddrHi:
+		r.OutputAddr = r.OutputAddr&0xFFFFFFFF | uint64(value)<<32
+	default:
+		return fmt.Errorf("core: write to unknown register offset %#x", offset)
+	}
+	return nil
+}
+
+// Read performs an AXI-Lite register read.
+func (r *RegFile) Read(offset uint32) (uint32, error) {
+	switch offset {
+	case RegCtrl:
+		var v uint32
+		if r.irqEnable {
+			v |= CtrlIRQEnable
+		}
+		return v, nil
+	case RegStatus:
+		var v uint32
+		if r.idle {
+			v |= StatusIdle
+		}
+		if r.irq {
+			v |= StatusIRQ
+		}
+		if r.errored {
+			v |= StatusError
+		}
+		return v, nil
+	case RegMaxReadLen:
+		return r.MaxReadLen, nil
+	case RegBTEnable:
+		if r.BTEnable {
+			return 1, nil
+		}
+		return 0, nil
+	case RegInputAddrLo:
+		return uint32(r.InputAddr), nil
+	case RegInputAddrHi:
+		return uint32(r.InputAddr >> 32), nil
+	case RegNumPairs:
+		return r.NumPairs, nil
+	case RegOutputAddrLo:
+		return uint32(r.OutputAddr), nil
+	case RegOutputAddrHi:
+		return uint32(r.OutputAddr >> 32), nil
+	case RegOutCount:
+		return r.OutCount, nil
+	case RegCycleLo:
+		return uint32(r.JobCycles), nil
+	case RegCycleHi:
+		return uint32(r.JobCycles >> 32), nil
+	default:
+		return 0, fmt.Errorf("core: read of unknown register offset %#x", offset)
+	}
+}
+
+// Idle reports the Idle status bit (the CPU polls this, Section 3).
+func (r *RegFile) Idle() bool { return r.idle }
+
+// IRQPending reports the interrupt line state.
+func (r *RegFile) IRQPending() bool { return r.irq && r.irqEnable }
+
+// Errored reports the Error status bit.
+func (r *RegFile) Errored() bool { return r.errored }

@@ -1,0 +1,41 @@
+package core
+
+import "fmt"
+
+// TraceEvent is one observable milestone of the accelerator datapath — the
+// software counterpart of watching waveforms in the gate-level simulations
+// of Section 5.1.
+type TraceEvent struct {
+	Cycle     int64
+	Component string // "machine", "extractor", "aligner0", "collector", ...
+	Event     string // "job-start", "pair-start", "pair-done", ...
+	Detail    string
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%10d] %-10s %-12s %s", e.Cycle, e.Component, e.Event, e.Detail)
+}
+
+// Tracer receives machine events as they happen.
+type Tracer func(TraceEvent)
+
+// SetTracer installs (or, with nil, removes) the event tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(component, event, format string, args ...any) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer(TraceEvent{
+		Cycle:     m.cycle,
+		Component: component,
+		Event:     event,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// CollectTrace is a convenience Tracer that appends into a slice.
+func CollectTrace(into *[]TraceEvent) Tracer {
+	return func(e TraceEvent) { *into = append(*into, e) }
+}

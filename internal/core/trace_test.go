@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+func TestTraceEventSequence(t *testing.T) {
+	cfg := testConfig()
+	g := seqgen.New(2, 7)
+	set := &seqio.InputSet{Pairs: []seqio.Pair{
+		g.Pair(1, 80, 0.05),
+		g.Pair(2, 80, 0.05),
+	}}
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, memory, err := NewStandaloneMachine(cfg, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	m.SetTracer(CollectTrace(&events))
+	memory.Write(0, img)
+	r := m.Regs
+	r.Write(RegMaxReadLen, uint32(set.EffectiveMaxReadLen()))
+	r.Write(RegInputAddrLo, 0)
+	r.Write(RegNumPairs, 2)
+	r.Write(RegOutputAddrLo, 1<<20)
+	r.Write(RegCtrl, CtrlStart)
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Event)
+	}
+	want := []string{"job-start", "pair-start", "pair-done", "pair-start", "pair-done", "job-done"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event sequence %v, want %v", kinds, want)
+	}
+	// Cycles are monotone and the pretty form renders.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("trace cycles not monotone: %v then %v", events[i-1], events[i])
+		}
+	}
+	if !strings.Contains(events[0].String(), "job-start") {
+		t.Fatalf("String(): %s", events[0])
+	}
+}
+
+func TestTraceJobError(t *testing.T) {
+	cfg := testConfig()
+	m, _, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	m.SetTracer(CollectTrace(&events))
+	m.Regs.Write(RegMaxReadLen, 100) // invalid
+	m.Regs.Write(RegNumPairs, 1)
+	m.Regs.Write(RegCtrl, CtrlStart)
+	m.Run(100)
+	if len(events) != 1 || events[0].Event != "job-error" {
+		t.Fatalf("events: %v", events)
+	}
+}

@@ -1,0 +1,123 @@
+// Package cpumodel prices algorithmic work in Sargantana RISC-V CPU cycles.
+//
+// The paper's Figure 9/11 baselines run on the SoC's in-order RV64G core
+// (Section 3) and are measured in clock cycles on the same FPGA prototype as
+// the accelerator, so speedups are pure cycle ratios — no frequency
+// correction is involved. Rather than emulating the ISA, this model counts
+// the real algorithmic work performed by the actual Go implementations (the
+// instrumented internal/wfa, internal/swg and internal/bt packages) and maps
+// it to cycles with a small cost table.
+//
+// Calibration (documented in EXPERIMENTS.md): the scalar-WFA constants are
+// fitted once so the 10K-10% backtrace-disabled speedup lands near the
+// paper's 1076x anchor; every other number in Figures 9-11 then follows from
+// the structure. The constants are plausible for a 7-stage in-order core:
+// one M~/I~/D~ cell update is a few dozen RISC instructions (loads from
+// three wavefronts, compares, stores, branches) at CPI somewhat above 1.
+package cpumodel
+
+// Costs is the cycle cost table of the Sargantana CPU model.
+type Costs struct {
+	// Scalar WFA (the C implementation of [14] compiled for RV64G).
+	CellCycles         float64 // per M~ frame-column cell (covers the I~/D~ updates too)
+	BaseCmpCycles      float64 // per byte-wise base comparison in extend()
+	StepCycles         float64 // per score iteration (loop control, wavefront alloc)
+	MemCyclesPerWFByte float64 // cache-miss surcharge per wavefront byte touched
+
+	// Vector WFA (RVV 0.7.1 SIMD unit): extend() compares 16 bases per
+	// vector op; compute() min/max-reduces several lanes per op but pays
+	// gather/scatter overhead on the wavefront layout.
+	VecCellCycles  float64
+	VecBlockCycles float64 // per 16-base comparator block
+	VecStepCycles  float64
+
+	// SWG full-DP baseline.
+	SWGCellCycles float64
+
+	// CPU backtrace of the accelerator stream (Section 4.5).
+	SepCyclesPerTransaction  float64 // data separation: read, classify, copy one 16B transaction
+	ScanCyclesPerTransaction float64 // boundary jump: read one score record
+	RangeStepCycles          float64 // one lo/hi range-recurrence step of the stream index
+	WalkStepCycles           float64 // one origin lookup + branch of the backward walk
+	MatchInsertCycles        float64 // per re-inserted match of the forward pass
+}
+
+// DefaultCosts returns the calibrated cost table.
+func DefaultCosts() Costs {
+	return Costs{
+		CellCycles:         55,
+		BaseCmpCycles:      5,
+		StepCycles:         60,
+		MemCyclesPerWFByte: 0.4,
+
+		VecCellCycles:  22,
+		VecBlockCycles: 12,
+		VecStepCycles:  90,
+
+		SWGCellCycles: 30,
+
+		SepCyclesPerTransaction:  160,
+		ScanCyclesPerTransaction: 20,
+		RangeStepCycles:          12,
+		WalkStepCycles:           40,
+		MatchInsertCycles:        3,
+	}
+}
+
+// WFAStats is the subset of instrumented counters the WFA cost functions
+// consume (a structural mirror of wfa.Stats, kept local so cpumodel does not
+// depend on the algorithm package).
+type WFAStats struct {
+	ScoreSteps     int64
+	CellsComputed  int64
+	BasesCompared  int64
+	Blocks16       int64
+	WavefrontBytes int64
+}
+
+// ScalarWFACycles prices one scalar-WFA alignment.
+func (c Costs) ScalarWFACycles(st WFAStats) int64 {
+	cycles := float64(st.CellsComputed)*c.CellCycles +
+		float64(st.BasesCompared)*c.BaseCmpCycles +
+		float64(st.ScoreSteps)*c.StepCycles +
+		float64(st.WavefrontBytes)*c.MemCyclesPerWFByte
+	return int64(cycles)
+}
+
+// VectorWFACycles prices one vector-WFA alignment.
+func (c Costs) VectorWFACycles(st WFAStats) int64 {
+	cycles := float64(st.CellsComputed)*c.VecCellCycles +
+		float64(st.Blocks16)*c.VecBlockCycles +
+		float64(st.ScoreSteps)*c.VecStepCycles +
+		float64(st.WavefrontBytes)*c.MemCyclesPerWFByte
+	return int64(cycles)
+}
+
+// SWGCycles prices one full-DP SWG alignment.
+func (c Costs) SWGCycles(cellsComputed int64) int64 {
+	return int64(float64(cellsComputed) * c.SWGCellCycles)
+}
+
+// BTStats mirrors bt.Stats for pricing the CPU backtrace step.
+type BTStats struct {
+	TransactionsScanned int64
+	SeparatedBytes      int64
+	RangeSteps          int64
+	WalkSteps           int64
+	MatchesInserted     int64
+}
+
+// BacktraceCycles prices the CPU-side backtrace of an accelerator BT region.
+// separate selects the multi-Aligner data-separation method; without it only
+// the boundary scan and the walk are paid (Section 4.5).
+func (c Costs) BacktraceCycles(st BTStats, separate bool) int64 {
+	cycles := float64(st.WalkSteps)*c.WalkStepCycles +
+		float64(st.MatchesInserted)*c.MatchInsertCycles +
+		float64(st.RangeSteps)*c.RangeStepCycles
+	if separate {
+		cycles += float64(st.TransactionsScanned) * c.SepCyclesPerTransaction
+	} else {
+		cycles += float64(st.TransactionsScanned) * c.ScanCyclesPerTransaction
+	}
+	return int64(cycles)
+}

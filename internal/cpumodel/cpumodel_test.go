@@ -1,0 +1,63 @@
+package cpumodel
+
+import "testing"
+
+func TestZeroStatsZeroCycles(t *testing.T) {
+	c := DefaultCosts()
+	if got := c.ScalarWFACycles(WFAStats{}); got != 0 {
+		t.Errorf("scalar zero stats -> %d cycles", got)
+	}
+	if got := c.VectorWFACycles(WFAStats{}); got != 0 {
+		t.Errorf("vector zero stats -> %d cycles", got)
+	}
+	if got := c.SWGCycles(0); got != 0 {
+		t.Errorf("SWG zero cells -> %d cycles", got)
+	}
+	if got := c.BacktraceCycles(BTStats{}, true); got != 0 {
+		t.Errorf("backtrace zero stats -> %d cycles", got)
+	}
+}
+
+func TestVectorBeatsScalarOnExtendHeavyWork(t *testing.T) {
+	c := DefaultCosts()
+	st := WFAStats{
+		ScoreSteps:    1000,
+		CellsComputed: 100000,
+		BasesCompared: 400000,
+		Blocks16:      int64(400000/16) + 100000,
+	}
+	scalar := c.ScalarWFACycles(st)
+	vector := c.VectorWFACycles(st)
+	if vector >= scalar {
+		t.Fatalf("vector %d not faster than scalar %d", vector, scalar)
+	}
+}
+
+func TestSeparationDominatesForLargeStreams(t *testing.T) {
+	c := DefaultCosts()
+	st := BTStats{
+		TransactionsScanned: 1_000_000, // separation scans every transaction
+		WalkSteps:           1000,
+		MatchesInserted:     9000,
+		RangeSteps:          6700,
+	}
+	sep := c.BacktraceCycles(st, true)
+	// The no-separation method touches only the score records.
+	st.TransactionsScanned = 10
+	noSep := c.BacktraceCycles(st, false)
+	if sep < 50*noSep {
+		t.Fatalf("separation %d not dominating no-separation %d for a 1M-transaction stream", sep, noSep)
+	}
+}
+
+func TestCostsAreMonotoneInWork(t *testing.T) {
+	c := DefaultCosts()
+	small := WFAStats{ScoreSteps: 10, CellsComputed: 100, BasesCompared: 200, Blocks16: 50, WavefrontBytes: 1500}
+	big := WFAStats{ScoreSteps: 20, CellsComputed: 200, BasesCompared: 400, Blocks16: 100, WavefrontBytes: 3000}
+	if c.ScalarWFACycles(big) <= c.ScalarWFACycles(small) {
+		t.Fatal("scalar cost not monotone")
+	}
+	if c.VectorWFACycles(big) <= c.VectorWFACycles(small) {
+		t.Fatal("vector cost not monotone")
+	}
+}

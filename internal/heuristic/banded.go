@@ -1,0 +1,222 @@
+// Package heuristic implements the approximate aligners the paper's related
+// work section contrasts WFAsic against: an adaptively banded
+// Smith-Waterman-Gotoh in the style of ABSW [13], and a Darwin/GACT-style
+// tiled aligner [20]. Both can return suboptimal alignments — "Unlike
+// WFAsic, many of these methods incorporate heuristics that can compromise
+// the accuracy of the results" (Section 6) — and the heuristic-accuracy
+// ablation quantifies exactly that against the exact WFA.
+package heuristic
+
+import (
+	"math"
+
+	"repro/internal/align"
+)
+
+const inf = math.MaxInt32 / 4
+
+// Stats counts heuristic work for cost comparisons.
+type Stats struct {
+	CellsComputed int64
+}
+
+// BandedAlign runs gap-affine SWG restricted to an adaptive band of
+// half-width w: row i evaluates columns [center-w, center+w], where the
+// center follows the best column of the previous row. Memory and time are
+// O(n*w). The result is exact whenever the optimal path stays inside the
+// band and may be suboptimal (or fail) otherwise.
+func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if w < 1 {
+		w = 1
+	}
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return degenerate(a, b, p)
+	}
+	width := 2*w + 1
+	x, o, e := int32(p.Mismatch), int32(p.GapOpen), int32(p.GapExtend)
+
+	// Banded storage: row i holds columns lo[i] .. lo[i]+width-1.
+	lo := make([]int, n+1)
+	M := make([][]int32, n+1)
+	I := make([][]int32, n+1)
+	D := make([][]int32, n+1)
+	tb := make([][]uint8, n+1) // packed: M origin (2b) | I ext (1b) | D ext (1b)
+	const (
+		mDiag  = 0
+		mFromI = 1
+		mFromD = 2
+	)
+
+	alloc := func(i int) {
+		M[i] = make([]int32, width)
+		I[i] = make([]int32, width)
+		D[i] = make([]int32, width)
+		tb[i] = make([]uint8, width)
+		for j := range M[i] {
+			M[i][j], I[i][j], D[i][j] = inf, inf, inf
+		}
+	}
+	get := func(mat [][]int32, i, j int) int32 {
+		if i < 0 || j < lo[i] || j >= lo[i]+width {
+			return inf
+		}
+		return mat[i][j-lo[i]]
+	}
+
+	var st Stats
+	// Row 0: pure insertions.
+	lo[0] = 0
+	alloc(0)
+	for j := 0; j < width && j <= m; j++ {
+		if j == 0 {
+			M[0][0] = 0
+		} else {
+			I[0][j] = o + int32(j)*e
+			M[0][j] = I[0][j]
+			tb[0][j] = mFromI | 4 // I chain
+		}
+	}
+
+	bestCol := 0
+	for i := 1; i <= n; i++ {
+		center := bestCol + 1
+		l := center - w
+		if l < 0 {
+			l = 0
+		}
+		if l > m-width+1 {
+			l = m - width + 1
+		}
+		if l < 0 {
+			l = 0
+		}
+		lo[i] = l
+		alloc(i)
+		ai := a[i-1]
+		best := int32(inf)
+		for j := l; j < l+width && j <= m; j++ {
+			st.CellsComputed++
+			idx := j - l
+			if j == 0 {
+				D[i][idx] = o + int32(i)*e
+				M[i][idx] = D[i][idx]
+				tb[i][idx] = mFromD | 8
+				if M[i][idx] < best {
+					best = M[i][idx]
+					bestCol = j
+				}
+				continue
+			}
+			openI := get(M, i, j-1) + o + e
+			extI := get(I, i, j-1) + e
+			var iExt uint8
+			if extI < openI {
+				I[i][idx] = extI
+				iExt = 4
+			} else {
+				I[i][idx] = openI
+			}
+			openD := get(M, i-1, j) + o + e
+			extD := get(D, i-1, j) + e
+			var dExt uint8
+			if extD < openD {
+				D[i][idx] = extD
+				dExt = 8
+			} else {
+				D[i][idx] = openD
+			}
+			sub := get(M, i-1, j-1)
+			if sub < inf {
+				if ai != b[j-1] {
+					sub += x
+				}
+			}
+			v, from := sub, uint8(mDiag)
+			if I[i][idx] < v {
+				v, from = I[i][idx], mFromI
+			}
+			if D[i][idx] < v {
+				v, from = D[i][idx], mFromD
+			}
+			M[i][idx] = v
+			tb[i][idx] = from | iExt | dExt
+			if v < best {
+				best = v
+				bestCol = j
+			}
+		}
+	}
+
+	final := get(M, n, m)
+	if final >= inf {
+		// The band drifted away from the corner: heuristic failure.
+		return align.Result{Success: false}, st
+	}
+
+	// Traceback inside the band.
+	var rev []align.Op
+	i, j := n, m
+	mat := byte('M')
+	for i > 0 || j > 0 {
+		if j < lo[i] || j >= lo[i]+width {
+			return align.Result{Success: false}, st
+		}
+		cell := tb[i][j-lo[i]]
+		switch mat {
+		case 'M':
+			switch cell & 3 {
+			case mDiag:
+				if i == 0 || j == 0 {
+					// Row-0/col-0 cells tagged diag are the origin.
+					return align.Result{Success: false}, st
+				}
+				if a[i-1] == b[j-1] {
+					rev = append(rev, align.OpMatch)
+				} else {
+					rev = append(rev, align.OpMismatch)
+				}
+				i--
+				j--
+			case mFromI:
+				mat = 'I'
+			case mFromD:
+				mat = 'D'
+			}
+		case 'I':
+			ext := cell&4 != 0
+			rev = append(rev, align.OpInsert)
+			j--
+			if !ext {
+				mat = 'M'
+			}
+		case 'D':
+			ext := cell&8 != 0
+			rev = append(rev, align.OpDelete)
+			i--
+			if !ext {
+				mat = 'M'
+			}
+		}
+	}
+	cigar := make(align.CIGAR, len(rev))
+	for k, op := range rev {
+		cigar[len(rev)-1-k] = op
+	}
+	return align.Result{Score: int(final), CIGAR: cigar, Success: true}, st
+}
+
+// degenerate handles empty-sequence alignments exactly.
+func degenerate(a, b []byte, p align.Penalties) (align.Result, Stats) {
+	var cigar align.CIGAR
+	for range a {
+		cigar = append(cigar, align.OpDelete)
+	}
+	for range b {
+		cigar = append(cigar, align.OpInsert)
+	}
+	return align.Result{Score: cigar.Score(p), CIGAR: cigar, Success: true}, Stats{}
+}

@@ -1,0 +1,239 @@
+package heuristic
+
+import (
+	"repro/internal/align"
+)
+
+// GACTConfig parameterizes the Darwin-style tiled aligner: tiles of
+// TileSize x TileSize DP cells are solved exactly, the traceback is
+// committed except for the last Overlap columns, and the next tile starts
+// where the committed path ended (Darwin [20] uses 320x320 tiles).
+type GACTConfig struct {
+	TileSize int
+	Overlap  int
+	// Match/Mismatch/GapOpen/GapExtend are the similarity scores used
+	// *inside* tiles to pick the farthest-reaching boundary cell (Darwin
+	// maximizes a match-bonus score; the final transcript is then rescored
+	// under the error metric).
+	Match, Mismatch, GapOpen, GapExtend int
+}
+
+// DefaultGACT mirrors Darwin's shape at a laptop-friendly tile size.
+func DefaultGACT() GACTConfig {
+	return GACTConfig{TileSize: 128, Overlap: 24, Match: 2, Mismatch: -4, GapOpen: -6, GapExtend: -2}
+}
+
+// GACTAlign runs the tiled heuristic and rescores the stitched transcript
+// under the error-metric penalties p. The result can be suboptimal: the
+// greedy per-tile boundary choice may commit to a locally best path that a
+// global alignment would avoid.
+func GACTAlign(a, b []byte, p align.Penalties, cfg GACTConfig) (align.Result, Stats) {
+	if cfg.TileSize < 8 {
+		cfg.TileSize = 8
+	}
+	if cfg.Overlap < 0 || cfg.Overlap >= cfg.TileSize {
+		cfg.Overlap = cfg.TileSize / 4
+	}
+	var st Stats
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return degenerate(a, b, p)
+	}
+	var cigar align.CIGAR
+	i, j := 0, 0
+	for i < n || j < m {
+		ta := a[i:minInt(i+cfg.TileSize, n)]
+		tb := b[j:minInt(j+cfg.TileSize, m)]
+		lastTile := i+len(ta) >= n && j+len(tb) >= m
+		ops, di, dj, cells := tileAlign(ta, tb, cfg, lastTile)
+		st.CellsComputed += cells
+		if di == 0 && dj == 0 {
+			// No progress is a heuristic failure (cannot happen while both
+			// sequences have bases, but guard against degenerate tiles).
+			return align.Result{Success: false}, st
+		}
+		if !lastTile {
+			// Keep the path away from the tile boundary: drop the trailing
+			// Overlap columns and re-derive the consumed lengths.
+			keep := len(ops) - cfg.Overlap
+			if keep < 1 {
+				keep = 1
+			}
+			ops = ops[:keep]
+			di, dj = consumed(ops)
+			if di == 0 && dj == 0 {
+				return align.Result{Success: false}, st
+			}
+		}
+		cigar = append(cigar, ops...)
+		i += di
+		j += dj
+	}
+	if err := cigar.Validate(a, b); err != nil {
+		return align.Result{Success: false}, st
+	}
+	return align.Result{Score: cigar.Score(p), CIGAR: cigar, Success: true}, st
+}
+
+func consumed(ops align.CIGAR) (di, dj int) {
+	for _, op := range ops {
+		switch op {
+		case align.OpMatch, align.OpMismatch:
+			di++
+			dj++
+		case align.OpInsert:
+			dj++
+		case align.OpDelete:
+			di++
+		}
+	}
+	return di, dj
+}
+
+// tileAlign solves one tile with a match-bonus gap-affine DP anchored at the
+// tile's top-left corner and picks the best-scoring cell on the bottom or
+// right boundary (the farthest-reaching extension), returning its traceback.
+// The final tile must end at the corner so the global alignment terminates
+// at (n, m).
+func tileAlign(a, b []byte, cfg GACTConfig, forceCorner bool) (align.CIGAR, int, int, int64) {
+	n, m := len(a), len(b)
+	w := m + 1
+	neg := int32(-(1 << 28))
+	M := make([]int32, (n+1)*w)
+	I := make([]int32, (n+1)*w)
+	D := make([]int32, (n+1)*w)
+	tbk := make([]uint8, (n+1)*w)
+	const (
+		mDiag  = 0
+		mFromI = 1
+		mFromD = 2
+	)
+	ma, mi := int32(cfg.Match), int32(cfg.Mismatch)
+	og, eg := int32(cfg.GapOpen), int32(cfg.GapExtend)
+
+	M[0] = 0
+	I[0], D[0] = neg, neg
+	for j := 1; j <= m; j++ {
+		I[j] = og + int32(j)*eg
+		M[j] = I[j]
+		tbk[j] = mFromI | 4
+		D[j] = neg
+	}
+	var cells int64
+	for i := 1; i <= n; i++ {
+		row, prow := i*w, (i-1)*w
+		D[row] = og + int32(i)*eg
+		M[row] = D[row]
+		tbk[row] = mFromD | 8
+		I[row] = neg
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			cells++
+			openI := M[row+j-1] + og + eg
+			extI := I[row+j-1] + eg
+			var iExt uint8
+			if extI > openI {
+				I[row+j] = extI
+				iExt = 4
+			} else {
+				I[row+j] = openI
+			}
+			openD := M[prow+j] + og + eg
+			extD := D[prow+j] + eg
+			var dExt uint8
+			if extD > openD {
+				D[row+j] = extD
+				dExt = 8
+			} else {
+				D[row+j] = openD
+			}
+			sub := M[prow+j-1]
+			if ai == b[j-1] {
+				sub += ma
+			} else {
+				sub += mi
+			}
+			v, from := sub, uint8(mDiag)
+			if I[row+j] > v {
+				v, from = I[row+j], mFromI
+			}
+			if D[row+j] > v {
+				v, from = D[row+j], mFromD
+			}
+			M[row+j] = v
+			tbk[row+j] = from | iExt | dExt
+		}
+	}
+
+	// Best boundary cell: bottom row or right column (ties prefer the
+	// farthest diagonal progress i+j). The final tile is pinned to the
+	// corner so the global alignment terminates at (n, m).
+	bi, bj := n, m
+	if !forceCorner {
+		best := neg
+		bi, bj = 0, 0
+		consider := func(i, j int) {
+			v := M[i*w+j]
+			if v > best || (v == best && i+j > bi+bj) {
+				best, bi, bj = v, i, j
+			}
+		}
+		for j := 0; j <= m; j++ {
+			consider(n, j)
+		}
+		for i := 0; i <= n; i++ {
+			consider(i, m)
+		}
+	}
+
+	// Traceback from (bi, bj) to (0,0).
+	var rev []align.Op
+	i, j := bi, bj
+	mat := byte('M')
+	for i > 0 || j > 0 {
+		cell := tbk[i*w+j]
+		switch mat {
+		case 'M':
+			switch cell & 3 {
+			case mDiag:
+				if a[i-1] == b[j-1] {
+					rev = append(rev, align.OpMatch)
+				} else {
+					rev = append(rev, align.OpMismatch)
+				}
+				i--
+				j--
+			case mFromI:
+				mat = 'I'
+			case mFromD:
+				mat = 'D'
+			}
+		case 'I':
+			ext := cell&4 != 0
+			rev = append(rev, align.OpInsert)
+			j--
+			if !ext {
+				mat = 'M'
+			}
+		case 'D':
+			ext := cell&8 != 0
+			rev = append(rev, align.OpDelete)
+			i--
+			if !ext {
+				mat = 'M'
+			}
+		}
+	}
+	out := make(align.CIGAR, len(rev))
+	for k, op := range rev {
+		out[len(rev)-1-k] = op
+	}
+	return out, bi, bj, cells
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package heuristic
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seqgen"
+	"repro/internal/swg"
+)
+
+func TestBandedExactWhenBandCoversMatrix(t *testing.T) {
+	g := seqgen.New(7, 8)
+	for trial := 0; trial < 25; trial++ {
+		pair := g.Pair(0, 40+trial*13, 0.08)
+		ref, _ := swg.Align(pair.A, pair.B, align.DefaultPenalties)
+		// A band wider than the matrix is a full DP: must be exact.
+		res, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, len(pair.B)+len(pair.A))
+		if !res.Success || res.Score != ref.Score {
+			t.Fatalf("trial %d: full-band score %d (success=%v) != exact %d", trial, res.Score, res.Success, ref.Score)
+		}
+		if err := res.CIGAR.Validate(pair.A, pair.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBandedCIGARConsistency(t *testing.T) {
+	g := seqgen.New(9, 10)
+	for trial := 0; trial < 25; trial++ {
+		pair := g.Pair(0, 200, 0.10)
+		res, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
+		if !res.Success {
+			continue // band drift is a legal heuristic outcome
+		}
+		if err := res.CIGAR.Validate(pair.A, pair.B); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := res.CIGAR.Score(align.DefaultPenalties); got != res.Score {
+			t.Fatalf("trial %d: rescore %d != %d", trial, got, res.Score)
+		}
+		ref, _ := swg.Score(pair.A, pair.B, align.DefaultPenalties)
+		if res.Score < ref {
+			t.Fatalf("trial %d: heuristic score %d better than exact %d", trial, res.Score, ref)
+		}
+	}
+}
+
+func TestBandedNarrowBandIsLossyOnGappyInput(t *testing.T) {
+	// A pair with one long gap: a tiny band cannot follow the diagonal
+	// shift, so it must either fail or return a worse score.
+	g := seqgen.New(11, 12)
+	base := g.RandomSequence(300)
+	a := base
+	b := append(append([]byte{}, base[:150]...), g.RandomSequence(60)...) // 60-base insertion
+	b = append(b, base[150:]...)
+	ref, _ := swg.Score(a, b, align.DefaultPenalties)
+	res, _ := BandedAlign(a, b, align.DefaultPenalties, 8)
+	if res.Success && res.Score <= ref {
+		t.Fatalf("narrow band matched the exact score %d across a 60-base gap", ref)
+	}
+}
+
+func TestBandedCellBudget(t *testing.T) {
+	g := seqgen.New(13, 14)
+	pair := g.Pair(0, 500, 0.05)
+	_, st := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
+	maxCells := int64(len(pair.A)+1) * int64(2*16+1)
+	if st.CellsComputed > maxCells {
+		t.Fatalf("banded computed %d cells, budget %d", st.CellsComputed, maxCells)
+	}
+}
+
+func TestBandedDegenerate(t *testing.T) {
+	res, _ := BandedAlign(nil, []byte("ACGT"), align.DefaultPenalties, 4)
+	if !res.Success || res.Score != 6+4*2 {
+		t.Fatalf("empty query: %+v", res)
+	}
+	res, _ = BandedAlign([]byte("ACGT"), nil, align.DefaultPenalties, 4)
+	if !res.Success || res.Score != 6+4*2 {
+		t.Fatalf("empty text: %+v", res)
+	}
+}
+
+func TestGACTValidAndNeverBetterThanExact(t *testing.T) {
+	g := seqgen.New(15, 16)
+	cfg := DefaultGACT()
+	for trial := 0; trial < 15; trial++ {
+		pair := g.Pair(0, 300+trial*60, 0.08)
+		res, st := GACTAlign(pair.A, pair.B, align.DefaultPenalties, cfg)
+		if !res.Success {
+			t.Fatalf("trial %d: GACT failed", trial)
+		}
+		if err := res.CIGAR.Validate(pair.A, pair.B); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref, _ := swg.Score(pair.A, pair.B, align.DefaultPenalties)
+		if res.Score < ref {
+			t.Fatalf("trial %d: GACT %d beats exact %d", trial, res.Score, ref)
+		}
+		if st.CellsComputed == 0 {
+			t.Fatal("no cells counted")
+		}
+	}
+}
+
+func TestGACTExactWhenTileCoversEverything(t *testing.T) {
+	g := seqgen.New(17, 18)
+	pair := g.Pair(0, 100, 0.06)
+	cfg := DefaultGACT()
+	cfg.TileSize = 1024
+	res, _ := GACTAlign(pair.A, pair.B, align.DefaultPenalties, cfg)
+	ref, _ := swg.Score(pair.A, pair.B, align.DefaultPenalties)
+	if !res.Success || res.Score != ref {
+		t.Fatalf("single-tile GACT %d (success=%v) != exact %d", res.Score, res.Success, ref)
+	}
+}
+
+func TestGACTDegenerate(t *testing.T) {
+	res, _ := GACTAlign(nil, []byte("AC"), align.DefaultPenalties, DefaultGACT())
+	if !res.Success || res.Score != 6+2*2 {
+		t.Fatalf("empty query: %+v", res)
+	}
+}
+
+func TestGACTHandlesAsymmetricLengths(t *testing.T) {
+	g := seqgen.New(19, 20)
+	a := g.RandomSequence(400)
+	b := append(append([]byte{}, a[:200]...), a[250:]...) // 50-base deletion
+	res, _ := GACTAlign(a, b, align.DefaultPenalties, DefaultGACT())
+	if !res.Success {
+		t.Fatal("GACT failed on deletion-shifted pair")
+	}
+	if err := res.CIGAR.Validate(a, b); err != nil {
+		t.Fatal(err)
+	}
+}

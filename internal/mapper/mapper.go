@@ -1,0 +1,209 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+	"repro/internal/wfa"
+)
+
+// Options configures the mapper.
+type Options struct {
+	K             int     // seed length (default 15)
+	Stride        int     // seed sampling stride (default K)
+	MaxCandidates int     // candidate locations to extend per read (default 4)
+	MaxErrorRate  float64 // per-read score budget as a fraction of length (default 0.2)
+	Margin        int     // extra reference bases appended to each window (default read/10+8)
+	Penalties     align.Penalties
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 15
+	}
+	if o.Stride == 0 {
+		o.Stride = o.K
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 4
+	}
+	if o.MaxErrorRate == 0 {
+		o.MaxErrorRate = 0.2
+	}
+	if o.Penalties == (align.Penalties{}) {
+		o.Penalties = align.DefaultPenalties
+	}
+	return o
+}
+
+// Mapping is one read's mapping result.
+type Mapping struct {
+	ReadID     uint32
+	Mapped     bool
+	RefStart   int
+	Score      int
+	CIGAR      align.CIGAR
+	Candidates int // candidate locations considered
+}
+
+// Mapper maps reads against an indexed reference.
+type Mapper struct {
+	ix   *Index
+	opts Options
+}
+
+// New builds a mapper over the index.
+func New(ix *Index, opts Options) *Mapper {
+	return &Mapper{ix: ix, opts: opts.withDefaults()}
+}
+
+// window extracts the candidate reference window for a read.
+func (m *Mapper) window(readLen, refStart int) (start, end int) {
+	margin := m.opts.Margin
+	if margin == 0 {
+		margin = readLen/10 + 8
+	}
+	start = refStart
+	if start > len(m.ix.Ref) {
+		start = len(m.ix.Ref)
+	}
+	end = start + readLen + margin
+	if end > len(m.ix.Ref) {
+		end = len(m.ix.Ref)
+	}
+	return start, end
+}
+
+// trimTrailingInsertions removes the run of window-overhang insertions at
+// the end of a read-vs-window transcript and returns the adjusted score —
+// the poor-man's ends-free correction for the right edge of the window.
+func trimTrailingInsertions(cigar align.CIGAR, score int, p align.Penalties) (align.CIGAR, int) {
+	n := len(cigar)
+	for n > 0 && cigar[n-1] == align.OpInsert {
+		n--
+	}
+	run := len(cigar) - n
+	if run == 0 {
+		return cigar, score
+	}
+	return cigar[:n], score - p.GapCost(run)
+}
+
+// MapRead seeds and extends one read in software.
+func (m *Mapper) MapRead(id uint32, read []byte) Mapping {
+	out := Mapping{ReadID: id}
+	if len(read) < m.opts.K {
+		return out
+	}
+	cands := m.ix.Candidates(read, m.opts.Stride, m.opts.MaxCandidates, m.opts.K)
+	out.Candidates = len(cands)
+	budget := int(float64(len(read))*m.opts.MaxErrorRate*float64(m.opts.Penalties.GapOpen+m.opts.Penalties.GapExtend)) + 1
+	best := budget + 1
+	for _, c := range cands {
+		start, end := m.window(len(read), c.RefStart)
+		win := m.ix.Ref[start:end]
+		res, _ := wfa.Align(read, win, m.opts.Penalties, wfa.Options{
+			WithCIGAR: true,
+			MaxScore:  best, // early abandon against the current best
+		})
+		if !res.Success {
+			continue
+		}
+		cigar, score := trimTrailingInsertions(res.CIGAR, res.Score, m.opts.Penalties)
+		if score < best {
+			best = score
+			out.Mapped = true
+			out.RefStart = start
+			out.Score = score
+			out.CIGAR = cigar
+		}
+	}
+	return out
+}
+
+// MapReads maps a batch of reads in software.
+func (m *Mapper) MapReads(reads []seqio.Pair) []Mapping {
+	out := make([]Mapping, len(reads))
+	for i, r := range reads {
+		out[i] = m.MapRead(r.ID, r.A)
+	}
+	return out
+}
+
+// --- accelerator-backed extension (the Figure 4 co-design inside a real
+// application) ---
+
+// extensionJob ties one accelerator pair ID back to its read and window.
+type extensionJob struct {
+	readIdx  int
+	refStart int
+}
+
+// ExtensionSet builds the accelerator input set for a batch of reads: one
+// pair per (read, candidate window). The returned map resolves accelerator
+// alignment IDs back to reads.
+func (m *Mapper) ExtensionSet(reads []seqio.Pair) (*seqio.InputSet, map[uint32]extensionJob) {
+	set := &seqio.InputSet{}
+	jobs := map[uint32]extensionJob{}
+	var nextID uint32 = 1
+	for idx, r := range reads {
+		if len(r.A) < m.opts.K {
+			continue
+		}
+		for _, c := range m.ix.Candidates(r.A, m.opts.Stride, m.opts.MaxCandidates, m.opts.K) {
+			start, end := m.window(len(r.A), c.RefStart)
+			set.Pairs = append(set.Pairs, seqio.Pair{ID: nextID, A: r.A, B: m.ix.Ref[start:end]})
+			jobs[nextID] = extensionJob{readIdx: idx, refStart: start}
+			nextID++
+		}
+	}
+	return set, jobs
+}
+
+// MapReadsAccelerated maps a batch of reads with the seed-extension step on
+// the simulated WFAsic (backtrace enabled, so the CPU-side decode produces
+// full CIGARs). It returns the mappings plus the accelerator report for
+// cycle accounting.
+func (m *Mapper) MapReadsAccelerated(system *soc.SoC, reads []seqio.Pair) ([]Mapping, *soc.Report, error) {
+	set, jobs := m.ExtensionSet(reads)
+	out := make([]Mapping, len(reads))
+	for i, r := range reads {
+		out[i] = Mapping{ReadID: r.ID}
+		_ = i
+	}
+	if len(set.Pairs) == 0 {
+		return out, &soc.Report{}, nil
+	}
+	rep, err := system.RunAccelerated(set, soc.RunOptions{Backtrace: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapper: accelerated extension: %w", err)
+	}
+	counted := map[int]int{}
+	for _, o := range rep.Outcomes {
+		job, ok := jobs[o.ID]
+		if !ok {
+			return nil, nil, fmt.Errorf("mapper: unknown extension ID %d", o.ID)
+		}
+		counted[job.readIdx]++
+		if !o.Result.Success {
+			continue
+		}
+		read := reads[job.readIdx]
+		budget := int(float64(len(read.A))*m.opts.MaxErrorRate*float64(m.opts.Penalties.GapOpen+m.opts.Penalties.GapExtend)) + 1
+		cigar, score := trimTrailingInsertions(o.Result.CIGAR, o.Result.Score, m.opts.Penalties)
+		mp := &out[job.readIdx]
+		if score <= budget && (!mp.Mapped || score < mp.Score) {
+			mp.Mapped = true
+			mp.RefStart = job.refStart
+			mp.Score = score
+			mp.CIGAR = cigar
+		}
+	}
+	for idx, n := range counted {
+		out[idx].Candidates = n
+	}
+	return out, rep, nil
+}

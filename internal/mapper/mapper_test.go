@@ -1,0 +1,183 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/soc"
+)
+
+// sampleReads draws reads of the given length from known reference
+// positions, mutated at the error rate.
+func sampleReads(g *seqgen.Generator, ref []byte, n, length int, rate float64) ([]seqio.Pair, []int) {
+	reads := make([]seqio.Pair, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		pos := int(g.RandomSequence(1)[0]) // cheap extra entropy, unused
+		_ = pos
+		start := i * (len(ref) - length) / n
+		chunk := append([]byte(nil), ref[start:start+length]...)
+		numEdits := int(float64(length)*rate + 0.5)
+		mutated, _ := g.Mutate(chunk, numEdits)
+		reads[i] = seqio.Pair{ID: uint32(i + 1), A: mutated}
+		truth[i] = start
+	}
+	return reads, truth
+}
+
+func TestBuildIndexAndLookup(t *testing.T) {
+	g := seqgen.New(1, 2)
+	ref := g.RandomSequence(5000)
+	ix, err := BuildIndex(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every indexed position's k-mer must be findable.
+	for _, pos := range []int{0, 1, 100, 2500, len(ref) - 15} {
+		hits := ix.Lookup(ref[pos : pos+15])
+		found := false
+		for _, h := range hits {
+			if int(h) == pos {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("k-mer at %d not found (hits: %v)", pos, hits)
+		}
+	}
+	if ix.Lookup([]byte("ACGT")) != nil {
+		t.Fatal("wrong-length k-mer lookup returned hits")
+	}
+	if ix.Lookup([]byte("ACGTNACGTNACGTN")) != nil {
+		t.Fatal("k-mer with N returned hits")
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	if _, err := BuildIndex([]byte("ACGT"), 15); err == nil {
+		t.Error("short reference accepted")
+	}
+	if _, err := BuildIndex(make([]byte, 100), 3); err == nil {
+		t.Error("k=3 accepted")
+	}
+	if _, err := BuildIndex([]byte("ACGTNACGTNACGTNACGTN"), 8); err == nil {
+		t.Error("reference with N accepted")
+	}
+}
+
+func TestCandidatesFindPlantedLocation(t *testing.T) {
+	g := seqgen.New(3, 4)
+	ref := g.RandomSequence(20000)
+	ix, err := BuildIndex(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := append([]byte(nil), ref[7777:7777+200]...)
+	cands := ix.Candidates(read, 15, 4, 15)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for an exact substring")
+	}
+	if got := cands[0].RefStart; got < 7777-15 || got > 7777+15 {
+		t.Fatalf("top candidate at %d, want ~7777", got)
+	}
+}
+
+func TestMapReadsSoftwareAccuracy(t *testing.T) {
+	g := seqgen.New(5, 6)
+	ref := g.RandomSequence(30000)
+	ix, err := BuildIndex(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(ix, Options{})
+	reads, truth := sampleReads(g, ref, 20, 250, 0.05)
+	mappings := m.MapReads(reads)
+	correct := 0
+	for i, mp := range mappings {
+		if !mp.Mapped {
+			continue
+		}
+		if err := mp.CIGAR.Validate(reads[i].A, ref[mp.RefStart:mp.RefStart+consumedRef(mp.CIGAR)]); err != nil {
+			t.Fatalf("read %d: CIGAR invalid: %v", i, err)
+		}
+		if diff := mp.RefStart - truth[i]; diff >= -20 && diff <= 20 {
+			correct++
+		}
+	}
+	if correct < 18 {
+		t.Fatalf("only %d/20 reads mapped to the true location", correct)
+	}
+}
+
+func consumedRef(c align.CIGAR) int {
+	n := 0
+	for _, op := range c {
+		if op != align.OpDelete {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMapReadUnmappableRead(t *testing.T) {
+	g := seqgen.New(7, 8)
+	ref := g.RandomSequence(10000)
+	ix, _ := BuildIndex(ref, 15)
+	m := New(ix, Options{})
+	// A read from a different random universe: no seeds should map it.
+	foreign := seqgen.New(999, 999).RandomSequence(200)
+	mp := m.MapRead(1, foreign)
+	if mp.Mapped {
+		t.Fatalf("foreign read mapped at %d with score %d", mp.RefStart, mp.Score)
+	}
+	// A read shorter than k cannot be seeded.
+	if mp := m.MapRead(2, []byte("ACGT")); mp.Mapped {
+		t.Fatal("sub-k read mapped")
+	}
+}
+
+func TestMapReadsAcceleratedMatchesSoftware(t *testing.T) {
+	g := seqgen.New(9, 10)
+	ref := g.RandomSequence(20000)
+	ix, err := BuildIndex(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(ix, Options{})
+	reads, truth := sampleReads(g, ref, 10, 300, 0.06)
+
+	sw := m.MapReads(reads)
+
+	cfg := core.ChipConfig()
+	cfg.MaxReadLenCap = 512
+	cfg.KMax = 256
+	system, err := soc.New(cfg, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, rep, err := m.MapReadsAccelerated(system, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AccelCycles <= 0 {
+		t.Fatal("no accelerator cycles recorded")
+	}
+	for i := range reads {
+		if sw[i].Mapped != hw[i].Mapped {
+			t.Fatalf("read %d: sw mapped=%v hw mapped=%v", i, sw[i].Mapped, hw[i].Mapped)
+		}
+		if !sw[i].Mapped {
+			continue
+		}
+		if sw[i].Score != hw[i].Score || sw[i].RefStart != hw[i].RefStart {
+			t.Fatalf("read %d: sw (start=%d score=%d) hw (start=%d score=%d)",
+				i, sw[i].RefStart, sw[i].Score, hw[i].RefStart, hw[i].Score)
+		}
+		if diff := hw[i].RefStart - truth[i]; diff < -20 || diff > 20 {
+			t.Fatalf("read %d mapped at %d, truth %d", i, hw[i].RefStart, truth[i])
+		}
+	}
+}

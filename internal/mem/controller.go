@@ -1,0 +1,244 @@
+package mem
+
+import "fmt"
+
+// Timing parameterizes the memory controller's AXI-Full service rate.
+//
+// Calibration: Table 1 of the paper reports the cycles the FPGA prototype
+// needs to read one pair of sequences (75 / 376 / 3420 cycles for 100bp /
+// 1Kbp / 10Kbp inputs). With the Section 4.2 image layout those pair sizes
+// are 15 / 127 / 1253 sixteen-byte sections, and a linear fit gives an
+// effective read throughput of ~2.69 cycles per beat plus a fixed per-pair
+// overhead (modeled in the Extractor). 2.6875 = (BurstOverhead +
+// BurstBeats*BeatCycles) / BurstBeats with the defaults below — i.e. a
+// 16-beat burst window costs 43 cycles: 11 cycles of controller/DRAM setup
+// and 2 cycles per beat.
+type Timing struct {
+	BeatCycles    int // cycles per 16-byte beat once a burst is open
+	BurstBeats    int // beats per burst window
+	BurstOverhead int // extra cycles to open each burst window
+}
+
+// DefaultTiming is the calibrated controller timing (see Timing).
+var DefaultTiming = Timing{BeatCycles: 2, BurstBeats: 16, BurstOverhead: 11}
+
+// Validate checks the timing parameters.
+func (t Timing) Validate() error {
+	if t.BeatCycles < 1 || t.BurstBeats < 1 || t.BurstOverhead < 0 {
+		return fmt.Errorf("mem: invalid timing %+v", t)
+	}
+	return nil
+}
+
+// CyclesForBeats returns the controller service time for a back-to-back
+// stream of n beats (used by analytic models; the ticking controller
+// produces the same count).
+func (t Timing) CyclesForBeats(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bursts := (n + t.BurstBeats - 1) / t.BurstBeats
+	return int64(bursts)*int64(t.BurstOverhead) + int64(n)*int64(t.BeatCycles)
+}
+
+// Beat is one 16-byte bus transfer delivered to or taken from a port.
+type Beat struct {
+	Addr int64
+	Data [BeatBytes]byte
+}
+
+// request is one in-flight DMA transaction.
+type request struct {
+	addr  int64
+	beats int
+	write bool
+	// For writes the port supplies data beats through its writeQueue.
+}
+
+// Port is one AXI-Full master connection to the controller (the WFAsic DMA
+// read engine, the DMA write engine, and the CPU each own one).
+type Port struct {
+	name string
+	ctl  *Controller
+
+	pending    []request
+	delivered  []Beat // completed read beats awaiting the client
+	writeQueue []Beat // beats the client queued for an in-flight write
+
+	BeatsRead    int64
+	BeatsWritten int64
+	WaitCycles   int64 // cycles spent with work pending but no grant
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// RequestRead enqueues a read of `beats` 16-byte beats starting at addr.
+func (p *Port) RequestRead(addr int64, beats int) {
+	if beats <= 0 {
+		return
+	}
+	p.pending = append(p.pending, request{addr: addr, beats: beats})
+}
+
+// RequestWrite enqueues a write transaction; the data beats must be supplied
+// (in order) with PushWriteBeat before they come due.
+func (p *Port) RequestWrite(addr int64, beats int) {
+	if beats <= 0 {
+		return
+	}
+	p.pending = append(p.pending, request{addr: addr, beats: beats, write: true})
+}
+
+// PushWriteBeat supplies the next data beat for the port's write stream.
+func (p *Port) PushWriteBeat(b Beat) {
+	p.writeQueue = append(p.writeQueue, b)
+}
+
+// NextBeat pops one completed read beat, if any.
+func (p *Port) NextBeat() (Beat, bool) {
+	if len(p.delivered) == 0 {
+		return Beat{}, false
+	}
+	b := p.delivered[0]
+	p.delivered = p.delivered[1:]
+	return b, true
+}
+
+// Idle reports whether the port has no pending transactions and no undelivered
+// beats.
+func (p *Port) Idle() bool {
+	return len(p.pending) == 0 && len(p.delivered) == 0
+}
+
+// PendingBeats reports how many beats remain across queued transactions.
+func (p *Port) PendingBeats() int {
+	n := 0
+	for _, r := range p.pending {
+		n += r.beats
+	}
+	return n
+}
+
+// Controller arbitrates the ports round-robin, running one transaction at a
+// time to completion with the configured burst timing.
+type Controller struct {
+	mem    *Memory
+	timing Timing
+	ports  []*Port
+
+	cycle int64
+
+	// Active transaction state.
+	active    *Port
+	cur       request
+	beatsDone int
+	cooldown  int // cycles until the next beat completes
+	rrNext    int
+
+	BusyCycles int64
+}
+
+// NewController builds a controller over the memory with the given timing.
+func NewController(m *Memory, t Timing) *Controller {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{mem: m, timing: t}
+}
+
+// NewPort registers a new master port.
+func (c *Controller) NewPort(name string) *Port {
+	p := &Port{name: name, ctl: c}
+	c.ports = append(c.ports, p)
+	return p
+}
+
+// Cycle returns the number of ticks elapsed.
+func (c *Controller) Cycle() int64 { return c.cycle }
+
+// Idle reports whether no transaction is active and no port has work queued.
+func (c *Controller) Idle() bool {
+	if c.active != nil {
+		return false
+	}
+	for _, p := range c.ports {
+		if len(p.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the controller one cycle.
+func (c *Controller) Tick() {
+	c.cycle++
+	if c.active == nil {
+		c.arbitrate()
+		if c.active == nil {
+			return
+		}
+	}
+	c.BusyCycles++
+	for _, p := range c.ports {
+		if p != c.active && len(p.pending) > 0 {
+			p.WaitCycles++
+		}
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return
+	}
+	// A beat completes this cycle.
+	c.completeBeat()
+}
+
+func (c *Controller) arbitrate() {
+	n := len(c.ports)
+	for i := 0; i < n; i++ {
+		p := c.ports[(c.rrNext+i)%n]
+		if len(p.pending) > 0 {
+			c.active = p
+			c.cur = p.pending[0]
+			p.pending = p.pending[1:]
+			c.beatsDone = 0
+			c.rrNext = (c.rrNext + i + 1) % n
+			// First beat: burst-open overhead plus the beat itself.
+			c.cooldown = c.timing.BurstOverhead + c.timing.BeatCycles - 1
+			return
+		}
+	}
+}
+
+func (c *Controller) completeBeat() {
+	p := c.active
+	addr := c.cur.addr + int64(c.beatsDone)*BeatBytes
+	if c.cur.write {
+		if len(p.writeQueue) == 0 {
+			// Data not ready: stall until the client supplies it.
+			c.cooldown = 0
+			return
+		}
+		b := p.writeQueue[0]
+		p.writeQueue = p.writeQueue[1:]
+		b.Addr = addr
+		c.mem.WriteBeat(addr, &b.Data)
+		p.BeatsWritten++
+	} else {
+		var b Beat
+		b.Addr = addr
+		c.mem.ReadBeat(addr, &b.Data)
+		p.delivered = append(p.delivered, b)
+		p.BeatsRead++
+	}
+	c.beatsDone++
+	if c.beatsDone >= c.cur.beats {
+		c.active = nil
+		return
+	}
+	// Next beat cost; re-open a burst window at each BurstBeats boundary.
+	c.cooldown = c.timing.BeatCycles - 1
+	if c.beatsDone%c.timing.BurstBeats == 0 {
+		c.cooldown += c.timing.BurstOverhead
+	}
+}

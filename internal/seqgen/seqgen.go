@@ -1,0 +1,199 @@
+// Package seqgen generates the synthetic input sets the paper evaluates on.
+//
+// Section 5.3: "We generate synthetic input sets with random mismatches,
+// insertions and deletions, using the same methodology as in [13, 15]. For
+// the synthetic inputs, the sequence errors follow a uniform and random
+// distribution."
+//
+// The methodology of the WFA paper [15] is: draw a random base sequence of
+// the nominal length (this is sequence b, the "text"), then derive sequence a
+// (the "query") by applying round(errorRate * length) edits at uniformly
+// random positions, each edit being a mismatch, an insertion or a deletion
+// with equal probability. Generation is fully deterministic given the seed.
+package seqgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/seqio"
+)
+
+// Profile describes one synthetic input set.
+type Profile struct {
+	Name      string  // e.g. "10K-10%"
+	Length    int     // nominal read length in bases
+	ErrorRate float64 // nominal fraction of edited positions (0.05 = 5%)
+	NumPairs  int     // how many pairs to generate
+}
+
+// PaperSets returns the six input-set profiles of Table 1 / Figures 9-11:
+// {100, 1K, 10K} bases x {5%, 10%} error rate. numPairs sets the number of
+// pairs per set (the paper does not publish its set sizes; cycle counts in
+// Table 1 are per pair, so any size >= 1 reproduces them).
+func PaperSets(numPairs int) []Profile {
+	mk := func(name string, length int, rate float64) Profile {
+		return Profile{Name: name, Length: length, ErrorRate: rate, NumPairs: numPairs}
+	}
+	return []Profile{
+		mk("100-5%", 100, 0.05),
+		mk("100-10%", 100, 0.10),
+		mk("1K-5%", 1000, 0.05),
+		mk("1K-10%", 1000, 0.10),
+		mk("10K-5%", 10000, 0.05),
+		mk("10K-10%", 10000, 0.10),
+	}
+}
+
+// Generator produces deterministic synthetic pairs.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator seeded with the two 64-bit seed words.
+func New(seed1, seed2 uint64) *Generator {
+	return &Generator{rng: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// RandomSequence draws a uniform random sequence of n bases.
+func (g *Generator) RandomSequence(n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = seqio.Alphabet[g.rng.IntN(4)]
+	}
+	return s
+}
+
+// otherBase returns a uniformly random base different from b.
+func (g *Generator) otherBase(b byte) byte {
+	for {
+		c := seqio.Alphabet[g.rng.IntN(4)]
+		if c != b {
+			return c
+		}
+	}
+}
+
+// EditKind is the type of one synthetic error.
+type EditKind int
+
+// The three error types applied by Mutate.
+const (
+	EditMismatch EditKind = iota
+	EditInsertion
+	EditDeletion
+)
+
+// Mutate derives a query from text by applying numEdits edits at uniformly
+// random positions, each edit type chosen uniformly. It returns the mutated
+// sequence and the count of each edit type actually applied.
+func (g *Generator) Mutate(text []byte, numEdits int) (query []byte, counts [3]int) {
+	query = append([]byte(nil), text...)
+	for e := 0; e < numEdits; e++ {
+		kind := EditKind(g.rng.IntN(3))
+		if len(query) == 0 && kind != EditInsertion {
+			kind = EditInsertion
+		}
+		switch kind {
+		case EditMismatch:
+			pos := g.rng.IntN(len(query))
+			query[pos] = g.otherBase(query[pos])
+		case EditInsertion:
+			pos := g.rng.IntN(len(query) + 1)
+			query = append(query, 0)
+			copy(query[pos+1:], query[pos:])
+			query[pos] = seqio.Alphabet[g.rng.IntN(4)]
+		case EditDeletion:
+			pos := g.rng.IntN(len(query))
+			query = append(query[:pos], query[pos+1:]...)
+		}
+		counts[kind]++
+	}
+	return query, counts
+}
+
+// Pair generates one synthetic pair with the given nominal length and error
+// rate.
+func (g *Generator) Pair(id uint32, length int, errorRate float64) seqio.Pair {
+	text := g.RandomSequence(length)
+	numEdits := int(float64(length)*errorRate + 0.5)
+	query, _ := g.Mutate(text, numEdits)
+	return seqio.Pair{ID: id, A: query, B: text}
+}
+
+// MutateClustered applies numEdits edits like Mutate, but concentrates them:
+// edits arrive in bursts of burstLen consecutive positions (the last burst
+// may be shorter). Section 5.3 argues WFAsic's performance depends on the
+// nominal error rate, "not to the error distribution across the sequences";
+// this generator produces the maximally non-uniform counterpart of Mutate so
+// the claim can be tested.
+func (g *Generator) MutateClustered(text []byte, numEdits, burstLen int) (query []byte, counts [3]int) {
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	query = append([]byte(nil), text...)
+	remaining := numEdits
+	for remaining > 0 {
+		burst := burstLen
+		if burst > remaining {
+			burst = remaining
+		}
+		if len(query) == 0 {
+			// Degenerated to empty: insert the rest.
+			for i := 0; i < remaining; i++ {
+				query = append(query, seqio.Alphabet[g.rng.IntN(4)])
+				counts[EditInsertion]++
+			}
+			return query, counts
+		}
+		start := g.rng.IntN(len(query))
+		for e := 0; e < burst; e++ {
+			kind := EditKind(g.rng.IntN(3))
+			pos := start + e
+			if pos >= len(query) {
+				kind = EditInsertion
+				pos = len(query)
+			}
+			switch kind {
+			case EditMismatch:
+				query[pos] = g.otherBase(query[pos])
+			case EditInsertion:
+				query = append(query, 0)
+				copy(query[pos+1:], query[pos:])
+				query[pos] = seqio.Alphabet[g.rng.IntN(4)]
+			case EditDeletion:
+				query = append(query[:pos], query[pos+1:]...)
+			}
+			counts[kind]++
+		}
+		remaining -= burst
+	}
+	return query, counts
+}
+
+// ClusteredPair is Pair with burst-distributed errors.
+func (g *Generator) ClusteredPair(id uint32, length int, errorRate float64, burstLen int) seqio.Pair {
+	text := g.RandomSequence(length)
+	numEdits := int(float64(length)*errorRate + 0.5)
+	query, _ := g.MutateClustered(text, numEdits, burstLen)
+	return seqio.Pair{ID: id, A: query, B: text}
+}
+
+// Set generates a whole input set for the profile.
+func (g *Generator) Set(p Profile) *seqio.InputSet {
+	if p.NumPairs <= 0 {
+		panic(fmt.Sprintf("seqgen: profile %q has NumPairs=%d", p.Name, p.NumPairs))
+	}
+	set := &seqio.InputSet{Pairs: make([]seqio.Pair, 0, p.NumPairs)}
+	for i := 0; i < p.NumPairs; i++ {
+		set.Pairs = append(set.Pairs, g.Pair(uint32(i), p.Length, p.ErrorRate))
+	}
+	return set
+}
+
+// SetFor is a convenience wrapper generating a profile's set with a seed
+// derived from the profile, so every caller sees identical data.
+func SetFor(p Profile) *seqio.InputSet {
+	seed := uint64(p.Length)*1_000_003 + uint64(p.ErrorRate*1000)
+	return New(seed, 0x5EED).Set(p)
+}

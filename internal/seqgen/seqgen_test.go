@@ -1,0 +1,159 @@
+package seqgen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seqio"
+	"repro/internal/swg"
+)
+
+func TestDeterminism(t *testing.T) {
+	p := Profile{Name: "t", Length: 500, ErrorRate: 0.08, NumPairs: 5}
+	s1 := New(11, 22).Set(p)
+	s2 := New(11, 22).Set(p)
+	for i := range s1.Pairs {
+		if !bytes.Equal(s1.Pairs[i].A, s2.Pairs[i].A) || !bytes.Equal(s1.Pairs[i].B, s2.Pairs[i].B) {
+			t.Fatalf("pair %d differs between identically seeded generators", i)
+		}
+	}
+	s3 := New(11, 23).Set(p)
+	same := true
+	for i := range s1.Pairs {
+		if !bytes.Equal(s1.Pairs[i].A, s3.Pairs[i].A) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+func TestSetForIsStable(t *testing.T) {
+	p := PaperSets(3)[0]
+	a := SetFor(p)
+	b := SetFor(p)
+	if !bytes.Equal(a.Pairs[0].A, b.Pairs[0].A) {
+		t.Fatal("SetFor not stable")
+	}
+}
+
+func TestPaperSets(t *testing.T) {
+	sets := PaperSets(10)
+	if len(sets) != 6 {
+		t.Fatalf("want 6 sets, got %d", len(sets))
+	}
+	wantNames := []string{"100-5%", "100-10%", "1K-5%", "1K-10%", "10K-5%", "10K-10%"}
+	for i, s := range sets {
+		if s.Name != wantNames[i] {
+			t.Errorf("set %d name %q want %q", i, s.Name, wantNames[i])
+		}
+		if s.NumPairs != 10 {
+			t.Errorf("set %d NumPairs %d", i, s.NumPairs)
+		}
+	}
+}
+
+func TestAlphabetOnly(t *testing.T) {
+	g := New(1, 1)
+	pair := g.Pair(0, 2000, 0.10)
+	if err := seqio.ValidateSequence(pair.A); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqio.ValidateSequence(pair.B); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorRateIsRealized(t *testing.T) {
+	// The alignment score of a generated pair should correspond to roughly
+	// numEdits errors: between numEdits*minPenalty/2 and numEdits*maxPenalty.
+	g := New(5, 5)
+	length := 1000
+	rate := 0.05
+	numEdits := int(float64(length)*rate + 0.5)
+	pair := g.Pair(0, length, rate)
+	score, _ := swg.Score(pair.A, pair.B, align.DefaultPenalties)
+	minScore := numEdits * align.DefaultPenalties.GapExtend / 2
+	maxScore := numEdits * (align.DefaultPenalties.GapOpen + align.DefaultPenalties.GapExtend)
+	if score < minScore || score > maxScore {
+		t.Fatalf("score %d outside plausible band [%d,%d] for %d edits", score, minScore, maxScore, numEdits)
+	}
+}
+
+func TestMutateCountsAndLengths(t *testing.T) {
+	g := New(2, 3)
+	text := g.RandomSequence(300)
+	query, counts := g.Mutate(text, 30)
+	if counts[0]+counts[1]+counts[2] != 30 {
+		t.Fatalf("edit counts %v don't sum to 30", counts)
+	}
+	wantLen := len(text) + counts[EditInsertion] - counts[EditDeletion]
+	if len(query) != wantLen {
+		t.Fatalf("query length %d want %d", len(query), wantLen)
+	}
+}
+
+func TestMutateEmptySequence(t *testing.T) {
+	g := New(4, 4)
+	query, counts := g.Mutate(nil, 5)
+	// All edits must degrade to insertions on an empty sequence start.
+	if counts[EditInsertion] == 0 || len(query) == 0 {
+		t.Fatalf("empty-sequence mutation broken: counts=%v len=%d", counts, len(query))
+	}
+}
+
+func TestMutateClustered(t *testing.T) {
+	g := New(21, 22)
+	text := g.RandomSequence(500)
+	query, counts := g.MutateClustered(text, 40, 8)
+	if counts[0]+counts[1]+counts[2] != 40 {
+		t.Fatalf("edit counts %v don't sum to 40", counts)
+	}
+	wantLen := len(text) + counts[EditInsertion] - counts[EditDeletion]
+	if len(query) != wantLen {
+		t.Fatalf("query length %d want %d", len(query), wantLen)
+	}
+	if err := seqio.ValidateSequence(query); err != nil {
+		t.Fatal(err)
+	}
+	// Burst length <= 0 degrades to 1.
+	_, counts = g.MutateClustered(text, 5, 0)
+	if counts[0]+counts[1]+counts[2] != 5 {
+		t.Fatalf("burstLen=0: counts %v", counts)
+	}
+}
+
+func TestClusteredPairScoresComparableToUniform(t *testing.T) {
+	// Same edit budget: the clustered pair's alignment score should be in
+	// the same ballpark as the uniform one's (bursts merge gaps, so it can
+	// be somewhat lower, but not degenerate).
+	gU := New(31, 32)
+	gC := New(31, 32)
+	u := gU.Pair(0, 1000, 0.05)
+	c := gC.ClusteredPair(0, 1000, 0.05, 10)
+	su, _ := swg.Score(u.A, u.B, align.DefaultPenalties)
+	sc, _ := swg.Score(c.A, c.B, align.DefaultPenalties)
+	if sc <= 0 || su <= 0 {
+		t.Fatalf("degenerate scores: uniform=%d clustered=%d", su, sc)
+	}
+	if float64(sc) < 0.2*float64(su) || float64(sc) > 2.0*float64(su) {
+		t.Fatalf("clustered score %d too far from uniform %d", sc, su)
+	}
+}
+
+func TestRandomSequenceComposition(t *testing.T) {
+	g := New(6, 7)
+	s := g.RandomSequence(40000)
+	var hist [256]int
+	for _, b := range s {
+		hist[b]++
+	}
+	for _, b := range seqio.Alphabet {
+		frac := float64(hist[b]) / float64(len(s))
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("base %c frequency %.3f outside [0.22,0.28]", b, frac)
+		}
+	}
+}

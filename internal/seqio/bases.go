@@ -1,0 +1,138 @@
+// Package seqio implements the data representations that cross the
+// CPU/accelerator boundary in the WFAsic SoC:
+//
+//   - the DNA base alphabet and its 2-bit encoding used inside the
+//     accelerator's Input_Seq RAMs (Section 4.2 of the paper: "the Extractor
+//     module maps each base of one byte to two bits, so the blocks of 16
+//     bases fit in four bytes"),
+//   - the main-memory input-set image made of 16-byte sections (one header
+//     section per pair carrying the alignment ID and both lengths, then the
+//     padded base bytes of each sequence),
+//   - a plain-text pair format used by the command-line tools.
+package seqio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SectionBytes is the width of the AXI-Full data bus and therefore of every
+// memory section, FIFO word and DMA beat in the design.
+const SectionBytes = 16
+
+// BasesPerWord is the number of 2-bit packed bases in one 4-byte Input_Seq
+// RAM word.
+const BasesPerWord = 16
+
+// The supported alphabet. 'N' (unknown) bases are representable in byte form
+// but are rejected by the accelerator's Extractor (Section 4.2).
+const (
+	BaseA byte = 'A'
+	BaseC byte = 'C'
+	BaseG byte = 'G'
+	BaseT byte = 'T'
+	BaseN byte = 'N'
+)
+
+// Alphabet is the set of bases the accelerator accepts, in code order.
+var Alphabet = [4]byte{BaseA, BaseC, BaseG, BaseT}
+
+// ErrUnsupportedBase reports a byte outside the accelerator's alphabet.
+var ErrUnsupportedBase = errors.New("seqio: unsupported base")
+
+// Code2Bit returns the 2-bit code of a base byte: A=0, C=1, G=2, T=3.
+// Lowercase input is accepted. Any other byte (including 'N') is an error.
+func Code2Bit(b byte) (uint8, error) {
+	switch b {
+	case 'A', 'a':
+		return 0, nil
+	case 'C', 'c':
+		return 1, nil
+	case 'G', 'g':
+		return 2, nil
+	case 'T', 't':
+		return 3, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnsupportedBase, b)
+}
+
+// Base2Bit returns the base byte for a 2-bit code (only the low two bits are
+// used).
+func Base2Bit(code uint8) byte {
+	return Alphabet[code&3]
+}
+
+// ValidateSequence checks every byte of s against the accelerator alphabet
+// and returns the index of the first offending byte.
+func ValidateSequence(s []byte) error {
+	for i, b := range s {
+		if _, err := Code2Bit(b); err != nil {
+			return fmt.Errorf("seqio: position %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PackWord packs up to 16 base bytes into one little-endian 4-byte Input_Seq
+// RAM word: base i occupies bits [2i, 2i+2). Missing trailing bases pack as
+// code 0.
+func PackWord(bases []byte) (uint32, error) {
+	if len(bases) > BasesPerWord {
+		return 0, fmt.Errorf("seqio: PackWord got %d bases, max %d", len(bases), BasesPerWord)
+	}
+	var w uint32
+	for i, b := range bases {
+		code, err := Code2Bit(b)
+		if err != nil {
+			return 0, err
+		}
+		w |= uint32(code) << (2 * i)
+	}
+	return w, nil
+}
+
+// UnpackWord expands a packed word back into n base bytes (n <= 16).
+func UnpackWord(w uint32, n int) []byte {
+	if n > BasesPerWord {
+		n = BasesPerWord
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = Base2Bit(uint8(w >> (2 * i)))
+	}
+	return out
+}
+
+// PackSequence packs a whole sequence into Input_Seq RAM words, 16 bases per
+// word, with the final word zero-padded.
+func PackSequence(s []byte) ([]uint32, error) {
+	words := make([]uint32, 0, (len(s)+BasesPerWord-1)/BasesPerWord)
+	for i := 0; i < len(s); i += BasesPerWord {
+		end := i + BasesPerWord
+		if end > len(s) {
+			end = len(s)
+		}
+		w, err := PackWord(s[i:end])
+		if err != nil {
+			return nil, fmt.Errorf("seqio: word %d: %w", len(words), err)
+		}
+		words = append(words, w)
+	}
+	return words, nil
+}
+
+// UnpackSequence reverses PackSequence for a sequence of length n.
+func UnpackSequence(words []uint32, n int) []byte {
+	out := make([]byte, 0, n)
+	for _, w := range words {
+		take := n - len(out)
+		if take <= 0 {
+			break
+		}
+		if take > BasesPerWord {
+			take = BasesPerWord
+		}
+		out = append(out, UnpackWord(w, take)...)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FASTARecord is one named sequence from a FASTA file.
+type FASTARecord struct {
+	Name string // header up to the first whitespace, without '>'
+	Seq  []byte
+}
+
+// ReadFASTA parses a FASTA stream. Sequence lines are concatenated and
+// upper-cased; empty lines are skipped. It performs no alphabet validation —
+// unsupported bases ('N' etc.) are detected downstream by the Extractor,
+// exactly as on the real SoC.
+func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []FASTARecord
+	var cur *FASTARecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			name := strings.Fields(line[1:])
+			if len(name) == 0 {
+				return nil, fmt.Errorf("seqio: line %d: empty FASTA header", lineNo)
+			}
+			recs = append(recs, FASTARecord{Name: name[0]})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqio: line %d: sequence data before any FASTA header", lineNo)
+		}
+		cur.Seq = append(cur.Seq, bytes.ToUpper([]byte(line))...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("seqio: no FASTA records found")
+	}
+	return recs, nil
+}
+
+// PairFASTA zips two FASTA record lists into an input set: record i of the
+// query file aligns against record i of the text file.
+func PairFASTA(queries, texts []FASTARecord) (*InputSet, error) {
+	if len(queries) != len(texts) {
+		return nil, fmt.Errorf("seqio: %d query records vs %d text records", len(queries), len(texts))
+	}
+	set := &InputSet{}
+	for i := range queries {
+		set.Pairs = append(set.Pairs, Pair{
+			ID: uint32(i + 1),
+			A:  queries[i].Seq,
+			B:  texts[i].Seq,
+		})
+	}
+	return set, nil
+}
+
+// WriteFASTA writes records in 70-column FASTA format.
+func WriteFASTA(w io.Writer, recs []FASTARecord) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		for i := 0; i < len(rec.Seq); i += 70 {
+			end := i + 70
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.Write(rec.Seq[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

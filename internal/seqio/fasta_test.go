@@ -1,0 +1,77 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := strings.NewReader(`>read1 some description
+ACGTACGT
+acgt
+
+>read2
+TTTT
+`)
+	recs, err := ReadFASTA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Name != "read1" || string(recs[0].Seq) != "ACGTACGTACGT" {
+		t.Fatalf("record 0: %+v", recs[0])
+	}
+	if recs[1].Name != "read2" || string(recs[1].Seq) != "TTTT" {
+		t.Fatalf("record 1: %+v", recs[1])
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("data before header accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">\nACGT\n")); err == nil {
+		t.Error("empty header accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	recs := []FASTARecord{
+		{Name: "a", Seq: bytes.Repeat([]byte("ACGT"), 40)},
+		{Name: "b", Seq: []byte("T")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i].Name != recs[i].Name || !bytes.Equal(back[i].Seq, recs[i].Seq) {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestPairFASTA(t *testing.T) {
+	q := []FASTARecord{{Name: "q1", Seq: []byte("AC")}, {Name: "q2", Seq: []byte("GT")}}
+	x := []FASTARecord{{Name: "t1", Seq: []byte("ACC")}, {Name: "t2", Seq: []byte("GTT")}}
+	set, err := PairFASTA(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Pairs) != 2 || set.Pairs[0].ID != 1 || string(set.Pairs[1].B) != "GTT" {
+		t.Fatalf("set: %+v", set.Pairs)
+	}
+	if _, err := PairFASTA(q, x[:1]); err == nil {
+		t.Error("mismatched record counts accepted")
+	}
+}

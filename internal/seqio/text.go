@@ -1,0 +1,54 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePairs writes the set in a simple line-oriented text format consumed by
+// the command-line tools: one pair per line, "id<TAB>seqA<TAB>seqB".
+// Lines starting with '#' are comments.
+func WritePairs(w io.Writer, set *InputSet) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range set.Pairs {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", p.ID, p.A, p.B); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPairs parses the format written by WritePairs.
+func ReadPairs(r io.Reader) (*InputSet, error) {
+	set := &InputSet{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("seqio: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: line %d: bad id: %w", lineNo, err)
+		}
+		set.Pairs = append(set.Pairs, Pair{
+			ID: uint32(id),
+			A:  []byte(strings.ToUpper(fields[1])),
+			B:  []byte(strings.ToUpper(fields[2])),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

@@ -1,0 +1,146 @@
+package sim
+
+import "fmt"
+
+// DualPortRAM models the FPGA-prototype memories of Section 4.6: one write
+// port and one independent synchronous read port. A read issued in cycle t
+// returns its data after Tick (cycle t+1), like a registered-output BRAM.
+type DualPortRAM struct {
+	words []uint64
+
+	readPending bool
+	readAddr    int
+	readData    uint64
+	readValid   bool
+
+	writePending bool
+	writeAddr    int
+	writeData    uint64
+
+	Reads, Writes int64
+}
+
+// NewDualPortRAM allocates a RAM of depth words.
+func NewDualPortRAM(depth int) *DualPortRAM {
+	return &DualPortRAM{words: make([]uint64, depth)}
+}
+
+// Depth returns the number of words.
+func (r *DualPortRAM) Depth() int { return len(r.words) }
+
+// Read issues a synchronous read of addr; the data appears at Data after the
+// next Tick.
+func (r *DualPortRAM) Read(addr int) {
+	if addr < 0 || addr >= len(r.words) {
+		panic(fmt.Sprintf("sim: RAM read address %d out of range [0,%d)", addr, len(r.words)))
+	}
+	r.readPending = true
+	r.readAddr = addr
+	r.Reads++
+}
+
+// Write issues a synchronous write; it lands at Tick.
+func (r *DualPortRAM) Write(addr int, data uint64) {
+	if addr < 0 || addr >= len(r.words) {
+		panic(fmt.Sprintf("sim: RAM write address %d out of range [0,%d)", addr, len(r.words)))
+	}
+	r.writePending = true
+	r.writeAddr = addr
+	r.writeData = data
+	r.Writes++
+}
+
+// Data returns the result of the most recent completed read.
+func (r *DualPortRAM) Data() (uint64, bool) { return r.readData, r.readValid }
+
+// Peek returns the stored word immediately (test/debug backdoor, not a port).
+func (r *DualPortRAM) Peek(addr int) uint64 { return r.words[addr] }
+
+// Poke stores a word immediately (test/debug backdoor, not a port).
+func (r *DualPortRAM) Poke(addr int, data uint64) { r.words[addr] = data }
+
+// Tick commits the pending write and completes the pending read.
+// Write-before-read semantics: a read of the address written in the same
+// cycle returns the new data.
+func (r *DualPortRAM) Tick() {
+	if r.writePending {
+		r.words[r.writeAddr] = r.writeData
+		r.writePending = false
+	}
+	if r.readPending {
+		r.readData = r.words[r.readAddr]
+		r.readValid = true
+		r.readPending = false
+	} else {
+		r.readValid = false
+	}
+}
+
+// SinglePortRAM models the high-performance single-port ASIC memory macros
+// chosen for frequency (Section 4.6). Only one access — read or write — may
+// be issued per cycle; issuing both panics, mirroring the design rule "we
+// ensure that read and write requests to a RAM are not triggered
+// simultaneously in the ASIC design".
+type SinglePortRAM struct {
+	words     []uint64
+	busy      bool
+	isRead    bool
+	addr      int
+	wdata     uint64
+	readData  uint64
+	readValid bool
+
+	Reads, Writes, Conflicts int64
+}
+
+// NewSinglePortRAM allocates a single-port RAM of depth words.
+func NewSinglePortRAM(depth int) *SinglePortRAM {
+	return &SinglePortRAM{words: make([]uint64, depth)}
+}
+
+// Depth returns the number of words.
+func (r *SinglePortRAM) Depth() int { return len(r.words) }
+
+// Read issues the cycle's single access as a read.
+func (r *SinglePortRAM) Read(addr int) {
+	r.claim()
+	r.isRead = true
+	r.addr = addr
+	r.Reads++
+}
+
+// Write issues the cycle's single access as a write.
+func (r *SinglePortRAM) Write(addr int, data uint64) {
+	r.claim()
+	r.isRead = false
+	r.addr = addr
+	r.wdata = data
+	r.Writes++
+}
+
+func (r *SinglePortRAM) claim() {
+	if r.busy {
+		r.Conflicts++
+		panic("sim: single-port RAM accessed twice in one cycle")
+	}
+	r.busy = true
+}
+
+// Data returns the result of the most recent completed read.
+func (r *SinglePortRAM) Data() (uint64, bool) { return r.readData, r.readValid }
+
+// Tick completes the cycle's access.
+func (r *SinglePortRAM) Tick() {
+	if r.busy {
+		if r.isRead {
+			r.readData = r.words[r.addr]
+			r.readValid = true
+		} else {
+			r.words[r.addr] = r.wdata
+			r.readValid = false
+		}
+		r.busy = false
+	} else {
+		r.readValid = false
+	}
+}

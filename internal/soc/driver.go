@@ -1,0 +1,131 @@
+// Package soc assembles the system-on-chip of Figure 3: the Sargantana CPU
+// (as a cost model), the WFAsic accelerator, the memory controller and main
+// memory — plus the Linux-driver-style API and the co-designed execution
+// flow of Figure 4 (CPU parses inputs, accelerator aligns, CPU backtraces).
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// JobConfig is what the driver writes into the accelerator's memory-mapped
+// registers (Section 3).
+type JobConfig struct {
+	InputAddr  uint64
+	OutputAddr uint64
+	NumPairs   int
+	MaxReadLen int
+	Backtrace  bool
+	EnableIRQ  bool
+}
+
+// Driver is the thin, register-level API ("The WFAsic accelerator is
+// configured using a standard Linux driver and API").
+type Driver struct {
+	m *core.Machine
+}
+
+// NewDriver wraps a machine.
+func NewDriver(m *core.Machine) *Driver { return &Driver{m: m} }
+
+// Configure writes the job registers over AXI-Lite.
+func (d *Driver) Configure(job JobConfig) error {
+	r := d.m.Regs
+	writes := []struct {
+		off uint32
+		val uint32
+	}{
+		{core.RegMaxReadLen, uint32(job.MaxReadLen)},
+		{core.RegNumPairs, uint32(job.NumPairs)},
+		{core.RegInputAddrLo, uint32(job.InputAddr)},
+		{core.RegInputAddrHi, uint32(job.InputAddr >> 32)},
+		{core.RegOutputAddrLo, uint32(job.OutputAddr)},
+		{core.RegOutputAddrHi, uint32(job.OutputAddr >> 32)},
+	}
+	for _, w := range writes {
+		if err := r.Write(w.off, w.val); err != nil {
+			return err
+		}
+	}
+	btVal := uint32(0)
+	if job.Backtrace {
+		btVal = 1
+	}
+	if err := r.Write(core.RegBTEnable, btVal); err != nil {
+		return err
+	}
+	if job.EnableIRQ {
+		return r.Write(core.RegCtrl, core.CtrlIRQEnable)
+	}
+	return nil
+}
+
+// Start triggers the accelerator by writing the Start register.
+func (d *Driver) Start() error {
+	ctrl, err := d.m.Regs.Read(core.RegCtrl)
+	if err != nil {
+		return err
+	}
+	return d.m.Regs.Write(core.RegCtrl, ctrl|core.CtrlStart)
+}
+
+// PollIdle runs the accelerator until the Idle status bit sets, polling as
+// the CPU would (Section 3: "it checks the completion of the computation in
+// the accelerator by polling the Idle register"). It returns the cycles the
+// job took.
+func (d *Driver) PollIdle(maxCycles int64) (int64, error) {
+	cycles, err := d.m.Run(maxCycles)
+	if err != nil {
+		return cycles, err
+	}
+	status, err := d.m.Regs.Read(core.RegStatus)
+	if err != nil {
+		return cycles, err
+	}
+	if status&core.StatusError != 0 {
+		return cycles, fmt.Errorf("soc: accelerator rejected the job configuration")
+	}
+	return cycles, nil
+}
+
+// WaitIRQ behaves like PollIdle but completes through the interrupt path
+// ("A dedicated interrupt could also be enabled to signal the job
+// completion"), clearing the IRQ before returning.
+func (d *Driver) WaitIRQ(maxCycles int64) (int64, error) {
+	cycles, err := d.PollIdle(maxCycles)
+	if err != nil {
+		return cycles, err
+	}
+	if !d.m.Regs.IRQPending() {
+		return cycles, fmt.Errorf("soc: job finished but no interrupt is pending (IRQ not enabled?)")
+	}
+	if err := d.m.Regs.Write(core.RegStatus, core.StatusIRQ); err != nil {
+		return cycles, err
+	}
+	if d.m.Regs.IRQPending() {
+		return cycles, fmt.Errorf("soc: interrupt did not clear")
+	}
+	return cycles, nil
+}
+
+// OutCount reads back how many 16-byte transactions the job wrote.
+func (d *Driver) OutCount() (int, error) {
+	v, err := d.m.Regs.Read(core.RegOutCount)
+	return int(v), err
+}
+
+// JobCycles reads the hardware cycle counter: the cycles the last job took
+// from Start to Idle (the quantity the paper's evaluation measures).
+func (d *Driver) JobCycles() (int64, error) {
+	lo, err := d.m.Regs.Read(core.RegCycleLo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := d.m.Regs.Read(core.RegCycleHi)
+	if err != nil {
+		return 0, err
+	}
+	return int64(uint64(hi)<<32 | uint64(lo)), nil
+}

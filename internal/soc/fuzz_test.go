@@ -1,0 +1,73 @@
+package soc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/wfa"
+)
+
+// TestCrossEngineFuzz is a bounded in-tree version of cmd/wfasic-verify's
+// campaign: random penalties, lengths, error rates, backtrace modes and
+// aligner counts, with the full SoC result checked against the software WFA.
+func TestCrossEngineFuzz(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewPCG(1234, 5678))
+	gen := seqgen.New(91, 92)
+	for trial := 0; trial < trials; trial++ {
+		pen := align.Penalties{
+			Mismatch:  1 + rng.IntN(5),
+			GapOpen:   rng.IntN(7),
+			GapExtend: 1 + rng.IntN(3),
+		}
+		cfg := core.ChipConfig()
+		cfg.Penalties = pen
+		cfg.MaxReadLenCap = 512
+		cfg.KMax = 300
+		if trial%4 == 0 {
+			cfg.NumAligners = 2
+		}
+		if trial%3 == 0 {
+			cfg.ParallelSections = 16
+		}
+		bt := trial%2 == 0
+
+		length := 1 + rng.IntN(280)
+		rate := rng.Float64() * 0.15
+		pair := gen.Pair(uint32(trial+1), length, rate)
+		if len(pair.A) > cfg.MaxReadLenCap {
+			pair.A = pair.A[:cfg.MaxReadLenCap]
+		}
+
+		s, err := New(cfg, 1<<24)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		set := &seqio.InputSet{Pairs: []seqio.Pair{pair}}
+		rep, err := s.RunAccelerated(set, RunOptions{Backtrace: bt})
+		if err != nil {
+			t.Fatalf("trial %d (%v bt=%v): %v", trial, pen, bt, err)
+		}
+		hw := rep.Outcomes[0].Result
+		sw, _ := wfa.Align(pair.A, pair.B, pen, wfa.Options{WithCIGAR: bt, MaxK: cfg.KMax})
+		if hw.Success != sw.Success {
+			t.Fatalf("trial %d (%v): success hw=%v sw=%v", trial, pen, hw.Success, sw.Success)
+		}
+		if !hw.Success {
+			continue
+		}
+		if hw.Score != sw.Score {
+			t.Fatalf("trial %d (%v): score hw=%d sw=%d", trial, pen, hw.Score, sw.Score)
+		}
+		if bt && hw.CIGAR.String() != sw.CIGAR.String() {
+			t.Fatalf("trial %d (%v): CIGAR mismatch\n hw=%s\n sw=%s", trial, pen, hw.CIGAR, sw.CIGAR)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/bt"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/mem"
+	"repro/internal/seqio"
+)
+
+// SoC is the full system: main memory, memory controller, the WFAsic
+// accelerator and the Sargantana CPU cost model.
+type SoC struct {
+	Cfg     core.Config
+	Memory  *mem.Memory
+	Machine *core.Machine
+	Driver  *Driver
+	Costs   cpumodel.Costs
+}
+
+// inputBase leaves the bottom of memory for the "OS" (flavor only).
+const inputBase = 0x1000
+
+// New builds a SoC with memBytes of main memory.
+func New(cfg core.Config, memBytes int) (*SoC, error) {
+	m, memory, err := core.NewStandaloneMachine(cfg, memBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &SoC{
+		Cfg:     cfg,
+		Memory:  memory,
+		Machine: m,
+		Driver:  NewDriver(m),
+		Costs:   cpumodel.DefaultCosts(),
+	}, nil
+}
+
+// PairOutcome is one alignment's final, CPU-visible result.
+type PairOutcome struct {
+	ID     uint32
+	Result align.Result
+}
+
+// Report is the outcome of one co-designed run (Figure 4), with the cycle
+// accounting the evaluation uses.
+type Report struct {
+	Outcomes []PairOutcome
+	// AccelCycles is the wall time of the accelerator job (start to idle).
+	AccelCycles int64
+	// PairTimings are the per-pair reading/alignment cycles (Table 1).
+	PairTimings []core.PairTiming
+	// CPUBacktraceCycles is the modeled CPU time for the backtrace step
+	// (zero when backtrace is disabled).
+	CPUBacktraceCycles int64
+	// TotalCycles = AccelCycles + CPUBacktraceCycles: the full co-designed
+	// pipeline of Figure 4.
+	TotalCycles int64
+	// OutTransactions is the number of 16-byte result transactions.
+	OutTransactions int
+	// BTStats is the decoder's work counting (backtrace runs only).
+	BTStats bt.Stats
+}
+
+// RunOptions selects the accelerated execution mode.
+type RunOptions struct {
+	// Backtrace enables the backtrace stream and the CPU decode step.
+	Backtrace bool
+	// SeparateData forces the multi-Aligner data-separation method even on
+	// single-Aligner hardware (the Figure 11 "[Sep]" configurations). With
+	// more than one Aligner separation is always used.
+	SeparateData bool
+	// MaxCycles bounds the simulation (hang protection); 0 means a large
+	// default.
+	MaxCycles int64
+}
+
+// RunAccelerated executes the co-designed flow of Figure 4 on the input set:
+// the CPU parses the input into main memory, the accelerator aligns, and —
+// with backtrace enabled — the CPU reconstructs the CIGARs from the
+// backtrace stream.
+func (s *SoC) RunAccelerated(set *seqio.InputSet, opts RunOptions) (*Report, error) {
+	img, err := set.BuildImage()
+	if err != nil {
+		return nil, err
+	}
+	maxReadLen := set.EffectiveMaxReadLen()
+	if maxReadLen > s.Cfg.MaxReadLenCap {
+		return nil, fmt.Errorf("soc: input MAX_READ_LEN %d exceeds the hardware cap %d", maxReadLen, s.Cfg.MaxReadLenCap)
+	}
+	outputAddr := (inputBase + uint64(len(img)) + 15) &^ 15
+	if int(outputAddr) >= s.Memory.Size() {
+		return nil, fmt.Errorf("soc: %dB of memory cannot hold a %dB input image", s.Memory.Size(), len(img))
+	}
+	s.Memory.Write(inputBase, img)
+
+	job := JobConfig{
+		InputAddr:  inputBase,
+		OutputAddr: outputAddr,
+		NumPairs:   len(set.Pairs),
+		MaxReadLen: maxReadLen,
+		Backtrace:  opts.Backtrace,
+	}
+	if err := s.Driver.Configure(job); err != nil {
+		return nil, err
+	}
+	if err := s.Driver.Start(); err != nil {
+		return nil, err
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 100_000_000_000
+	}
+	var cycles int64
+	if err := s.protectOOM(func() error {
+		var runErr error
+		cycles, runErr = s.Driver.PollIdle(maxCycles)
+		return runErr
+	}); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{AccelCycles: cycles}
+	rep.PairTimings = append(rep.PairTimings, s.Machine.Timings...)
+	count, err := s.Driver.OutCount()
+	if err != nil {
+		return nil, err
+	}
+	rep.OutTransactions = count
+	raw := s.Memory.Read(int64(outputAddr), count*mem.BeatBytes)
+
+	if !opts.Backtrace {
+		// NBT records: the first NumPairs records are real; the final
+		// transaction may carry zero padding.
+		for i := 0; i < len(set.Pairs); i++ {
+			rec, err := core.UnpackNBTRecord(raw[i*core.NBTRecordBytes:])
+			if err != nil {
+				return nil, err
+			}
+			rep.Outcomes = append(rep.Outcomes, PairOutcome{
+				ID: uint32(rec.ID),
+				Result: align.Result{
+					Score:   int(rec.Score),
+					Success: rec.Success,
+				},
+			})
+		}
+		rep.TotalCycles = rep.AccelCycles
+		return rep, nil
+	}
+
+	// CPU backtrace step (Section 4.5).
+	separate := opts.SeparateData || s.Cfg.NumAligners > 1
+	pairs := map[uint32]seqio.Pair{}
+	for _, p := range set.Pairs {
+		pairs[p.ID&core.BTIDMask] = p
+	}
+	dec := bt.NewDecoder(s.Cfg)
+	alignments, btStats, err := dec.DecodeRegion(raw, count, pairs, separate)
+	if err != nil {
+		return nil, err
+	}
+	for _, al := range alignments {
+		rep.Outcomes = append(rep.Outcomes, PairOutcome{ID: al.ID, Result: al.Result})
+	}
+	rep.BTStats = btStats
+	rep.CPUBacktraceCycles = s.Costs.BacktraceCycles(cpumodel.BTStats{
+		TransactionsScanned: btStats.TransactionsScanned,
+		SeparatedBytes:      btStats.SeparatedBytes,
+		RangeSteps:          btStats.RangeSteps,
+		WalkSteps:           btStats.WalkSteps,
+		MatchesInserted:     btStats.MatchesInserted,
+	}, separate)
+	rep.TotalCycles = rep.AccelCycles + rep.CPUBacktraceCycles
+	return rep, nil
+}
+
+// protectOOM converts the memory model's out-of-bounds panic (an output
+// region overflowing the allotted memory) into an error.
+func (s *SoC) protectOOM(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("soc: accelerator run aborted: %v (is main memory large enough for the backtrace output?)", r)
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,116 @@
+package swg
+
+import "repro/internal/align"
+
+// LinearPenalties is the gap-linear scoring function of Equation 1: each
+// mismatch costs Mismatch and each gap base costs Gap, with no opening
+// surcharge.
+type LinearPenalties struct {
+	Mismatch int // x > 0
+	Gap      int // g > 0
+}
+
+// LinearAlign computes the optimal global gap-linear alignment (Equation 1)
+// with full traceback. It is the "plain Smith-Waterman" reference the paper
+// contrasts with the biologist-preferred gap-affine model.
+func LinearAlign(a, b []byte, p LinearPenalties) (align.Result, Stats) {
+	n, m := len(a), len(b)
+	w := m + 1
+	H := make([]int32, (n+1)*w)
+	tb := make([]uint8, (n+1)*w)
+	const (
+		fromDiag = 1
+		fromLeft = 2 // insertion (consumes b)
+		fromUp   = 3 // deletion (consumes a)
+	)
+	x, g := int32(p.Mismatch), int32(p.Gap)
+	for j := 1; j <= m; j++ {
+		H[j] = int32(j) * g
+		tb[j] = fromLeft
+	}
+	for i := 1; i <= n; i++ {
+		H[i*w] = int32(i) * g
+		tb[i*w] = fromUp
+	}
+	var st Stats
+	for i := 1; i <= n; i++ {
+		row, prow := i*w, (i-1)*w
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			st.CellsComputed++
+			diag := H[prow+j-1]
+			if ai != b[j-1] {
+				diag += x
+			}
+			left := H[row+j-1] + g
+			up := H[prow+j] + g
+			best, from := diag, uint8(fromDiag)
+			if left < best {
+				best, from = left, fromLeft
+			}
+			if up < best {
+				best, from = up, fromUp
+			}
+			H[row+j] = best
+			tb[row+j] = from
+		}
+	}
+	var rev []align.Op
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch tb[i*w+j] {
+		case fromDiag:
+			if a[i-1] == b[j-1] {
+				rev = append(rev, align.OpMatch)
+			} else {
+				rev = append(rev, align.OpMismatch)
+			}
+			i--
+			j--
+		case fromLeft:
+			rev = append(rev, align.OpInsert)
+			j--
+		case fromUp:
+			rev = append(rev, align.OpDelete)
+			i--
+		}
+	}
+	cigar := make(align.CIGAR, len(rev))
+	for k, op := range rev {
+		cigar[len(rev)-1-k] = op
+	}
+	return align.Result{Score: int(H[n*w+m]), CIGAR: cigar, Success: true}, st
+}
+
+// LinearScore computes only the gap-linear score with O(m) memory.
+func LinearScore(a, b []byte, p LinearPenalties) (int, Stats) {
+	n, m := len(a), len(b)
+	x, g := int32(p.Mismatch), int32(p.Gap)
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = int32(j) * g
+	}
+	var st Stats
+	for i := 1; i <= n; i++ {
+		cur[0] = int32(i) * g
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			st.CellsComputed++
+			diag := prev[j-1]
+			if ai != b[j-1] {
+				diag += x
+			}
+			best := diag
+			if v := cur[j-1] + g; v < best {
+				best = v
+			}
+			if v := prev[j] + g; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return int(prev[m]), st
+}

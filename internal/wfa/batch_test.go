@@ -1,0 +1,60 @@
+package wfa
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+func batchPairs(n int) []seqio.Pair {
+	g := seqgen.New(33, 44)
+	pairs := make([]seqio.Pair, n)
+	for i := range pairs {
+		pairs[i] = g.Pair(uint32(i+1), 60+i*17, 0.02+0.005*float64(i%10))
+	}
+	return pairs
+}
+
+func TestAlignBatchMatchesSerial(t *testing.T) {
+	pairs := batchPairs(24)
+	for _, workers := range []int{1, 2, 4, 0} {
+		got := AlignBatch(pairs, align.DefaultPenalties, Options{WithCIGAR: true}, workers)
+		if len(got) != len(pairs) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, p := range pairs {
+			want, _ := Align(p.A, p.B, align.DefaultPenalties, Options{WithCIGAR: true})
+			r := got[i]
+			if r.ID != p.ID {
+				t.Fatalf("workers=%d: result %d has ID %d want %d (order lost)", workers, i, r.ID, p.ID)
+			}
+			if r.Result.Score != want.Score || r.Result.Success != want.Success {
+				t.Fatalf("workers=%d pair %d: got %+v want %+v", workers, p.ID, r.Result, want)
+			}
+			if r.Result.CIGAR.String() != want.CIGAR.String() {
+				t.Fatalf("workers=%d pair %d: CIGAR differs under concurrency", workers, p.ID)
+			}
+		}
+	}
+}
+
+func TestAlignBatchEmpty(t *testing.T) {
+	if got := AlignBatch(nil, align.DefaultPenalties, Options{}, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestAlignBatchStatsPerPair(t *testing.T) {
+	pairs := batchPairs(6)
+	got := AlignBatch(pairs, align.DefaultPenalties, Options{}, 3)
+	for i, r := range got {
+		if r.Result.Success && r.Stats.Score != r.Result.Score {
+			t.Fatalf("pair %d: stats score %d != result %d", i, r.Stats.Score, r.Result.Score)
+		}
+		if r.Result.Success && r.Stats.CellsExtended == 0 {
+			t.Fatalf("pair %d: no stats recorded", i)
+		}
+	}
+}

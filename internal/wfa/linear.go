@@ -1,0 +1,249 @@
+package wfa
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/swg"
+)
+
+// LinearAlign runs the gap-linear WFA — the wavefront formulation of
+// Equation 1's scoring model (Section 2.2), where a gap of length L costs
+// L*g with no opening surcharge. It needs a single wavefront component:
+//
+//	M~(s,k) = max( M~(s-x, k) + 1,   substitution
+//	               M~(s-g, k-1) + 1, insertion
+//	               M~(s-g, k+1) )    deletion
+//
+// followed by the usual extend(). The chip implements only the
+// biologist-preferred gap-affine model; this variant exists as the
+// software substrate for the gap-linear baseline of Section 2.2 and is
+// verified against swg.LinearAlign.
+func LinearAlign(a, b []byte, p swg.LinearPenalties, opts Options) (align.Result, Stats) {
+	if p.Mismatch <= 0 || p.Gap <= 0 {
+		panic(fmt.Sprintf("wfa: invalid gap-linear penalties %+v", p))
+	}
+	n, m := len(a), len(b)
+	alignK := m - n
+	var st Stats
+
+	maxScore := opts.MaxScore
+	if maxScore <= 0 {
+		short, diff := n, m-n
+		if m < n {
+			short, diff = m, n-m
+		}
+		maxScore = p.Mismatch*short + p.Gap*diff + p.Gap + 1
+	}
+
+	// Linear tags: 2 bits per cell.
+	const (
+		lNone uint8 = 0
+		lSub  uint8 = 1
+		lIns  uint8 = 2
+		lDel  uint8 = 3
+	)
+
+	window := p.Mismatch
+	if p.Gap > window {
+		window = p.Gap
+	}
+	var store wfStore
+	if opts.WithCIGAR {
+		store = newFullStore(maxScore)
+	} else {
+		store = newRingStore(window + 1)
+	}
+
+	clamp := func(lo, hi int) (int, int) {
+		if lo < -n {
+			lo = -n
+		}
+		if hi > m {
+			hi = m
+		}
+		if opts.MaxK > 0 {
+			if lo < -opts.MaxK {
+				lo = -opts.MaxK
+			}
+			if hi > opts.MaxK {
+				hi = opts.MaxK
+			}
+		}
+		return lo, hi
+	}
+	trim := func(off int32, k int) int32 {
+		if !ValidOffset(off) || off > int32(m) || off-int32(k) > int32(n) {
+			return Invalid
+		}
+		return off
+	}
+	extend := func(wf *Wavefront) {
+		for k := wf.Lo; k <= wf.Hi; k++ {
+			v := wf.Off[k-wf.Lo]
+			if !ValidOffset(v) {
+				continue
+			}
+			st.CellsExtended++
+			i, j := v-int32(k), v
+			start := j
+			for i < int32(n) && j < int32(m) && a[i] == b[j] {
+				i++
+				j++
+			}
+			matched := j - start
+			compared := matched
+			if i < int32(n) && j < int32(m) {
+				compared++
+			}
+			st.BasesCompared += int64(compared)
+			st.Blocks16 += int64(compared/16) + 1
+			wf.Off[k-wf.Lo] = j
+		}
+	}
+	done := func(wf *Wavefront) bool {
+		return wf.Valid(alignK) && wf.At(alignK) >= int32(m)
+	}
+
+	m0 := NewWavefront(0, 0)
+	m0.Set(0, 0, lNone)
+	extend(m0)
+	store.put(CompM, 0, m0)
+	if done(m0) {
+		st.Score = 0
+		res := align.Result{Score: 0, Success: true}
+		if opts.WithCIGAR {
+			res.CIGAR = linearBacktrace(a, b, store, 0, alignK, p)
+		}
+		return res, st
+	}
+
+	emptyRun := 0
+	for s := 1; s <= maxScore; s++ {
+		st.ScoreSteps++
+		var srcX, srcG *Wavefront
+		if s-p.Mismatch >= 0 {
+			srcX = store.get(CompM, s-p.Mismatch)
+		}
+		if s-p.Gap >= 0 {
+			srcG = store.get(CompM, s-p.Gap)
+		}
+		if srcX.Len() == 0 && srcG.Len() == 0 {
+			store.put(CompM, s, nil)
+			emptyRun++
+			if emptyRun > window {
+				break
+			}
+			continue
+		}
+		emptyRun = 0
+		lo, hi := rangeUnion(srcX, srcG)
+		if srcG.Len() > 0 {
+			if srcG.Lo-1 < lo {
+				lo = srcG.Lo - 1
+			}
+			if srcG.Hi+1 > hi {
+				hi = srcG.Hi + 1
+			}
+		}
+		lo, hi = clamp(lo, hi)
+		if lo > hi {
+			store.put(CompM, s, nil)
+			continue
+		}
+		wf := NewWavefront(lo, hi)
+		for k := lo; k <= hi; k++ {
+			st.CellsComputed++
+			var sub, ins, del int32 = Invalid, Invalid, Invalid
+			if v := srcX.At(k); ValidOffset(v) {
+				sub = v + 1
+			}
+			if v := srcG.At(k - 1); ValidOffset(v) {
+				ins = v + 1
+			}
+			del = srcG.At(k + 1)
+			v, tag := sub, lSub
+			if ins > v {
+				v, tag = ins, lIns
+			}
+			if del > v {
+				v, tag = del, lDel
+			}
+			v = trim(v, k)
+			if ValidOffset(v) {
+				wf.Set(k, v, tag)
+			}
+		}
+		st.NonEmptySteps++
+		extend(wf)
+		store.put(CompM, s, wf)
+		if w := wf.Len(); w > st.MaxWavefront {
+			st.MaxWavefront = w
+		}
+		st.SumWavefront += int64(wf.Len())
+		if done(wf) {
+			st.Score = s
+			res := align.Result{Score: s, Success: true}
+			if opts.WithCIGAR {
+				res.CIGAR = linearBacktrace(a, b, store, s, alignK, p)
+			}
+			return res, st
+		}
+	}
+	return align.Result{Success: false}, st
+}
+
+// linearBacktrace walks the retained gap-linear wavefronts.
+func linearBacktrace(a, b []byte, store wfStore, finalScore, alignK int, p swg.LinearPenalties) align.CIGAR {
+	const (
+		lSub uint8 = 1
+		lIns uint8 = 2
+		lDel uint8 = 3
+	)
+	var rev []align.Op
+	s := finalScore
+	k := alignK
+	cur := int32(len(b))
+	for {
+		wf := store.get(CompM, s)
+		if wf == nil || !wf.Valid(k) {
+			panic(fmt.Sprintf("wfa: linear backtrace lost cell (s=%d,k=%d)", s, k))
+		}
+		tag := wf.TagAt(k)
+		var pre int32
+		switch tag {
+		case lSub:
+			pre = store.get(CompM, s-p.Mismatch).At(k) + 1
+		case lIns:
+			pre = store.get(CompM, s-p.Gap).At(k-1) + 1
+		case lDel:
+			pre = store.get(CompM, s-p.Gap).At(k + 1)
+		default: // the initial cell
+			pre = 0
+		}
+		for cur > pre {
+			rev = append(rev, align.OpMatch)
+			cur--
+		}
+		switch tag {
+		case lSub:
+			rev = append(rev, align.OpMismatch)
+			cur--
+			s -= p.Mismatch
+		case lIns:
+			rev = append(rev, align.OpInsert)
+			cur--
+			k--
+			s -= p.Gap
+		case lDel:
+			rev = append(rev, align.OpDelete)
+			k++
+			s -= p.Gap
+		default:
+			if s != 0 || k != 0 || cur != 0 {
+				panic(fmt.Sprintf("wfa: linear backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur))
+			}
+			return reverseOps(rev)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package wfa
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/seqgen"
+	"repro/internal/swg"
+)
+
+func TestLinearWFAMatchesLinearSWG(t *testing.T) {
+	pens := []swg.LinearPenalties{
+		{Mismatch: 4, Gap: 2},
+		{Mismatch: 1, Gap: 1}, // edit distance
+		{Mismatch: 3, Gap: 5},
+		{Mismatch: 2, Gap: 3},
+	}
+	g := seqgen.New(14, 15)
+	for _, p := range pens {
+		for trial := 0; trial < 25; trial++ {
+			pair := g.Pair(0, 20+trial*9, 0.02+0.01*float64(trial%10))
+			res, _ := LinearAlign(pair.A, pair.B, p, Options{WithCIGAR: true})
+			if !res.Success {
+				t.Fatalf("%+v trial %d: linear WFA failed", p, trial)
+			}
+			ref, _ := swg.LinearScore(pair.A, pair.B, p)
+			if res.Score != ref {
+				t.Fatalf("%+v trial %d: WFA=%d SWG=%d", p, trial, res.Score, ref)
+			}
+			if err := res.CIGAR.Validate(pair.A, pair.B); err != nil {
+				t.Fatalf("%+v trial %d: %v", p, trial, err)
+			}
+			// Rescore under gap-linear rules: x per mismatch, g per gap base.
+			_, x, ins, del := res.CIGAR.Counts()
+			if got := x*p.Mismatch + (ins+del)*p.Gap; got != res.Score {
+				t.Fatalf("%+v trial %d: CIGAR rescore %d != %d", p, trial, got, res.Score)
+			}
+		}
+	}
+}
+
+func TestLinearWFATinyBruteCases(t *testing.T) {
+	p := swg.LinearPenalties{Mismatch: 4, Gap: 2}
+	cases := []struct {
+		a, b  string
+		score int
+	}{
+		{"", "", 0},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "ACTT", 4},
+		{"ACGT", "AGT", 2},
+		{"AAAA", "", 8},
+		{"", "CC", 4},
+		{"AC", "CA", 4},
+	}
+	for _, tc := range cases {
+		res, _ := LinearAlign([]byte(tc.a), []byte(tc.b), p, Options{WithCIGAR: true})
+		if !res.Success || res.Score != tc.score {
+			t.Errorf("(%q,%q): got %+v want score %d", tc.a, tc.b, res, tc.score)
+		}
+	}
+}
+
+func TestLinearWFAScoreOnlyModeMatches(t *testing.T) {
+	g := seqgen.New(21, 22)
+	p := swg.LinearPenalties{Mismatch: 4, Gap: 2}
+	for trial := 0; trial < 15; trial++ {
+		pair := g.Pair(0, 100+trial*40, 0.07)
+		full, _ := LinearAlign(pair.A, pair.B, p, Options{WithCIGAR: true})
+		lean, _ := LinearAlign(pair.A, pair.B, p, Options{})
+		if full.Score != lean.Score {
+			t.Fatalf("trial %d: full=%d lean=%d", trial, full.Score, lean.Score)
+		}
+	}
+}
+
+func TestLinearWFAMaxScoreAbort(t *testing.T) {
+	p := swg.LinearPenalties{Mismatch: 4, Gap: 2}
+	a := []byte("AAAAAAAA")
+	b := []byte("TTTTTTTT")
+	res, _ := LinearAlign(a, b, p, Options{MaxScore: 16})
+	if res.Success {
+		t.Fatal("expected abort below the true score 32")
+	}
+	res, _ = LinearAlign(a, b, p, Options{MaxScore: 32})
+	if !res.Success || res.Score != 32 {
+		t.Fatalf("got %+v want 32", res)
+	}
+}
+
+func TestLinearWFARandomPenaltyFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 25))
+	alpha := []byte("ACG")
+	seq := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = alpha[rng.IntN(3)]
+		}
+		return s
+	}
+	for trial := 0; trial < 120; trial++ {
+		p := swg.LinearPenalties{Mismatch: 1 + rng.IntN(5), Gap: 1 + rng.IntN(4)}
+		a, b := seq(rng.IntN(18)), seq(rng.IntN(18))
+		res, _ := LinearAlign(a, b, p, Options{WithCIGAR: true})
+		ref, _ := swg.LinearScore(a, b, p)
+		if !res.Success || res.Score != ref {
+			t.Fatalf("trial %d %+v: WFA=%+v SWG=%d (a=%q b=%q)", trial, p, res, ref, a, b)
+		}
+	}
+}

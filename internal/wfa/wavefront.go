@@ -1,0 +1,136 @@
+// Package wfa implements the WaveFront Alignment algorithm of the paper's
+// Section 2.3 (Equation 3): exact gap-affine pairwise alignment in O(n*s)
+// time, identical results to Smith-Waterman-Gotoh.
+//
+// The implementation mirrors the hardware faithfully:
+//
+//   - offsets follow Equation 4 (offset = j, i = offset - k, k = j - i);
+//   - ties in the max-reductions are broken in a fixed order (substitution,
+//     then insertion, then deletion; gap-open beats gap-extend) so the
+//     software CIGAR matches the accelerator's backtrace bit-for-bit;
+//   - each computed cell records a 5-bit origin exactly as the Compute
+//     sub-module emits it (3 bits for M~, 1 for I~, 1 for D~, Section 4.3.3);
+//   - out-of-matrix cells (offset beyond |b|, or i beyond |a|) are trimmed to
+//     the invalid sentinel immediately after compute, as the hardware's
+//     column initialization/validity tracking does.
+package wfa
+
+import "math"
+
+// Invalid is the sentinel offset of a never-computed or trimmed cell. It is
+// negative enough that adding small penalties can never make it win a max.
+// The hardware initializes wavefront RAM columns to negative values for the
+// same purpose (Section 4.3.1).
+const Invalid int32 = math.MinInt32 / 2
+
+// Component selects one of the three wavefront matrices of Equation 3.
+type Component uint8
+
+// The three wavefront components.
+const (
+	CompM Component = iota
+	CompI
+	CompD
+	numComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompM:
+		return "M"
+	case CompI:
+		return "I"
+	case CompD:
+		return "D"
+	}
+	return "?"
+}
+
+// Origin tags. MTag* values occupy 3 bits and enumerate the five origins of
+// an M~ cell (Section 4.3.3: "the origin of a cell in the I~, D~, and M~
+// wavefront matrices can come from 2, 2 and 5 positions, respectively").
+// GTag* values are the 1-bit origins of I~ and D~ cells.
+const (
+	MTagNone  uint8 = 0 // cell invalid or the initial cell M~(0,0)
+	MTagSub   uint8 = 1 // from M~(s-x, k) + 1
+	MTagIOpen uint8 = 2 // from I~(s,k) which opened from M~(s-o-e, k-1)
+	MTagIExt  uint8 = 3 // from I~(s,k) which extended I~(s-e, k-1)
+	MTagDOpen uint8 = 4 // from D~(s,k) which opened from M~(s-o-e, k+1)
+	MTagDExt  uint8 = 5 // from D~(s,k) which extended D~(s-e, k+1)
+
+	GTagOpen uint8 = 0 // gap opened from M~
+	GTagExt  uint8 = 1 // gap extended the same-component chain
+)
+
+// PackOrigin packs the per-cell origin record the Compute sub-module emits:
+// bits [4:2] the 3-bit M origin, bit 1 the I origin, bit 0 the D origin.
+func PackOrigin(mTag, iTag, dTag uint8) uint8 {
+	return mTag<<2 | (iTag&1)<<1 | dTag&1
+}
+
+// UnpackOrigin reverses PackOrigin.
+func UnpackOrigin(o uint8) (mTag, iTag, dTag uint8) {
+	return o >> 2, o >> 1 & 1, o & 1
+}
+
+// Wavefront is one vector of Equation 3 for a single score and component:
+// offsets for the diagonals Lo..Hi inclusive, plus per-cell origin tags.
+type Wavefront struct {
+	Lo, Hi int     // valid diagonal range, inclusive; Lo > Hi means empty
+	Off    []int32 // offset of diagonal k at index k-Lo
+	Tag    []uint8 // origin tag of diagonal k at index k-Lo
+}
+
+// NewWavefront allocates an all-invalid wavefront spanning [lo, hi].
+func NewWavefront(lo, hi int) *Wavefront {
+	n := hi - lo + 1
+	if n < 0 {
+		n = 0
+	}
+	w := &Wavefront{Lo: lo, Hi: hi, Off: make([]int32, n), Tag: make([]uint8, n)}
+	for i := range w.Off {
+		w.Off[i] = Invalid
+	}
+	return w
+}
+
+// Len returns the number of diagonals the wavefront spans (0 when empty).
+func (w *Wavefront) Len() int {
+	if w == nil || w.Hi < w.Lo {
+		return 0
+	}
+	return w.Hi - w.Lo + 1
+}
+
+// At returns the offset at diagonal k, or Invalid when k is out of range or
+// the wavefront is nil.
+func (w *Wavefront) At(k int) int32 {
+	if w == nil || k < w.Lo || k > w.Hi {
+		return Invalid
+	}
+	return w.Off[k-w.Lo]
+}
+
+// TagAt returns the origin tag at diagonal k (zero out of range).
+func (w *Wavefront) TagAt(k int) uint8 {
+	if w == nil || k < w.Lo || k > w.Hi {
+		return 0
+	}
+	return w.Tag[k-w.Lo]
+}
+
+// Set stores offset and tag at diagonal k; k must be within [Lo, Hi].
+func (w *Wavefront) Set(k int, off int32, tag uint8) {
+	w.Off[k-w.Lo] = off
+	w.Tag[k-w.Lo] = tag
+}
+
+// Valid reports whether diagonal k holds a real (non-sentinel) offset.
+func (w *Wavefront) Valid(k int) bool {
+	return w.At(k) > Invalid/2
+}
+
+// ValidOffset reports whether a raw offset value is a real offset.
+func ValidOffset(off int32) bool {
+	return off > Invalid/2
+}
