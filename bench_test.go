@@ -134,7 +134,7 @@ func BenchmarkWFAScore(b *testing.B) {
 			p := microPair(s.length, s.rate)
 			b.SetBytes(int64(len(p.A) + len(p.B)))
 			for i := 0; i < b.N; i++ {
-				res, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+				res, _, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
 				if !res.Success {
 					b.Fatal("alignment failed")
 				}
@@ -152,7 +152,7 @@ func BenchmarkWFABacktrace(b *testing.B) {
 		b.Run(s.name, func(b *testing.B) {
 			p := microPair(s.length, s.rate)
 			for i := 0; i < b.N; i++ {
-				res, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
+				res, _, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
 				if len(res.CIGAR) == 0 {
 					b.Fatal("no CIGAR")
 				}

@@ -76,7 +76,11 @@ func main() {
 		}
 		hw := rep.Outcomes[0].Result
 
-		sw, _ := wfa.Align(pair.A, pair.B, runCfg.Penalties, wfa.Options{WithCIGAR: bt, MaxK: runCfg.KMax})
+		sw, _, err := wfa.Align(pair.A, pair.B, runCfg.Penalties, wfa.Options{WithCIGAR: bt, MaxK: runCfg.KMax})
+		if err != nil {
+			report(trial, "software WFA: %v", err)
+			continue
+		}
 		if hw.Success != sw.Success {
 			report(trial, "success mismatch hw=%v sw=%v", hw.Success, sw.Success)
 			continue

@@ -1,0 +1,142 @@
+// Command wfasic-vet runs the repo's project-specific static analyzers over
+// the module: determinism (cycle-stepped code must be reproducible),
+// panicpolicy (assert via internal/invariant, not raw panic), magicoffset
+// (named register/beat constants, not literals) and errpath (exported
+// error-returning functions must not swallow callee errors).
+//
+// Usage:
+//
+//	go run ./cmd/wfasic-vet ./...
+//	go run ./cmd/wfasic-vet -only determinism,errpath ./internal/...
+//	go run ./cmd/wfasic-vet -list
+//
+// It is built purely on the standard library so it needs no module downloads;
+// scripts/check.sh and CI run it on every change. A finding can be
+// suppressed with a `//vet:allow <analyzer> [reason]` comment on the same
+// line or the line above. Exits 1 when any finding remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (use -list)", strings.TrimSpace(name))
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	total := 0
+	for _, p := range pkgs {
+		if !matchAny(patterns, cwd, p.Dir) {
+			continue
+		}
+		for _, d := range lint.Check(p, analyzers) {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "wfasic-vet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wfasic-vet: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// matchAny implements the useful subset of go-style package patterns:
+// "./..." (everything under cwd), "./dir/..." (a subtree) and "./dir"
+// (one directory), all resolved relative to the working directory.
+func matchAny(patterns []string, cwd, dir string) bool {
+	rel, err := filepath.Rel(cwd, dir)
+	if err != nil {
+		return true
+	}
+	rel = filepath.ToSlash(rel)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		if pat == "..." {
+			if rel == "." || !strings.HasPrefix(rel, "..") {
+				return true
+			}
+			continue
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

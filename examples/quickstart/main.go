@@ -22,7 +22,10 @@ func main() {
 	b := []byte("GATTACAGATCACAGATTACAAGATTAC")
 
 	// 1. The pure-software WFA (the paper's Equation 3) with backtrace.
-	swRes, swStats := wfa.Align(a, b, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
+	swRes, swStats, err := wfa.Align(a, b, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("software WFA:  score=%d cigar=%s (computed %d wavefront cells)\n",
 		swRes.Score, swRes.CIGAR, swStats.CellsComputed)
 

@@ -32,7 +32,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := mapper.New(ix, mapper.Options{})
+	m, err := mapper.New(ix, mapper.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Sample reads from known positions and mutate them.
 	reads := make([]seqio.Pair, numReads)

@@ -84,7 +84,10 @@ type KMaxAblationRow struct {
 
 // KMaxAblation sweeps k_max against a high-error input set.
 func KMaxAblation(params Params) ([]KMaxAblationRow, error) {
-	profile, _ := profileByName("1K-10%")
+	profile, err := profileByName("1K-10%")
+	if err != nil {
+		return nil, err
+	}
 	profile.NumPairs = params.pairsFor(profile) * 2
 	base := core.ChipConfig()
 	set := InputSetFor(profile, base.MaxReadLenCap)
@@ -128,7 +131,10 @@ type BandwidthAblationRow struct {
 
 // BandwidthAblation sweeps the burst overhead on the 100-5% input.
 func BandwidthAblation(params Params) ([]BandwidthAblationRow, error) {
-	profile, _ := profileByName("100-5%")
+	profile, err := profileByName("100-5%")
+	if err != nil {
+		return nil, err
+	}
 	profile.NumPairs = 1
 	base := core.ChipConfig()
 	set := InputSetFor(profile, base.MaxReadLenCap)
@@ -254,7 +260,10 @@ func AlgorithmComparison() ([]AlgoComparisonRow, error) {
 		}
 		set := InputSetFor(profile, 0)
 		p := set.Pairs[0]
-		res, wst := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+		res, wst, err := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+		if err != nil {
+			return nil, err
+		}
 		ref, sst := swg.Score(p.A, p.B, align.DefaultPenalties)
 		rows = append(rows, AlgoComparisonRow{
 			Input:         profile.Name,

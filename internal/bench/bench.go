@@ -77,8 +77,11 @@ func InputSetFor(profile seqgen.Profile, cap int) *seqio.InputSet {
 	if cap > 0 {
 		set.MaxReadLen = seqio.RoundReadLen(minInt(cap, maxPairLen(set)))
 	}
-	setCache.Store(key, set)
-	return set
+	// LoadOrStore so concurrent cold-start callers all observe one winner:
+	// experiments that share a set may mutate nothing, but pointer identity
+	// keeps memory flat and makes the cache safe to race on.
+	actual, _ := setCache.LoadOrStore(key, set)
+	return actual.(*seqio.InputSet)
 }
 
 func maxPairLen(set *seqio.InputSet) int {

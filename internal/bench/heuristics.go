@@ -48,13 +48,19 @@ func HeuristicAccuracy(params Params) ([]HeuristicAccuracyRow, error) {
 		var bandedExact, gactExact int
 		var bandedExcess, gactExcess int
 		for _, p := range set.Pairs {
-			exact, wst := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+			exact, wst, err := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{})
+			if err != nil {
+				return nil, err
+			}
 			if !exact.Success {
 				return nil, fmt.Errorf("bench: exact WFA failed on %s", profile.Name)
 			}
 			row.WFACells += wst.CellsComputed
 
-			bres, bst := heuristic.BandedAlign(p.A, p.B, align.DefaultPenalties, 64)
+			bres, bst, err := heuristic.BandedAlign(p.A, p.B, align.DefaultPenalties, 64)
+			if err != nil {
+				return nil, err
+			}
 			row.BandedCells += bst.CellsComputed
 			switch {
 			case bres.Success && bres.Score == exact.Score:

@@ -40,7 +40,10 @@ func HostThroughput(params Params) ([]HostThroughputRow, error) {
 	maxWorkers := runtime.GOMAXPROCS(0)
 	for workers := 1; workers <= maxWorkers; workers *= 2 {
 		start := time.Now()
-		res := wfa.AlignBatch(set.Pairs, align.DefaultPenalties, wfa.Options{}, workers)
+		res, err := wfa.AlignBatch(set.Pairs, align.DefaultPenalties, wfa.Options{}, workers)
+		if err != nil {
+			return nil, err
+		}
 		elapsed := time.Since(start).Seconds()
 		for _, r := range res {
 			if !r.Result.Success {

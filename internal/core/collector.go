@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -155,7 +156,7 @@ func (c *Collector) flushNBT() {
 
 func (c *Collector) push(beat [mem.BeatBytes]byte) {
 	if !c.outFIFO.Push(beat) {
-		panic("core: collector pushed into a full FIFO") // guarded by Tick
+		invariant.Failf("core", "collector pushed into a full FIFO") // guarded by Tick
 	}
 	c.Transactions++
 }

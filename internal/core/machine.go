@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/seqio"
 	"repro/internal/sim"
@@ -78,6 +79,11 @@ func NewMachine(cfg Config, memory *mem.Memory, ctl *mem.Controller) (*Machine, 
 	}
 	m.extractor = NewExtractor(cfg, m.inFIFO, m.aligners)
 	m.collector = NewCollector(cfg, m.outFIFO, m.aligners)
+	// In -tags invariantdebug builds, core invariant Violations carry the
+	// machine's cycle counter (no-op and free in release builds).
+	invariant.RegisterContext("core", func() string {
+		return fmt.Sprintf("cycle=%d", m.cycle)
+	})
 	return m, nil
 }
 
@@ -215,7 +221,7 @@ func (m *Machine) dmaRead() {
 			break
 		}
 		if !m.inFIFO.Push(beat.Data) {
-			panic("core: DMA read overran the input FIFO")
+			invariant.Failf("core", "DMA read overran the input FIFO")
 		}
 		m.outstanding--
 	}

@@ -31,7 +31,7 @@ func TestMachineNonDefaultPenalties(t *testing.T) {
 			byID[rec.ID] = rec
 		}
 		for _, p := range set.Pairs {
-			ref, _ := wfa.Align(p.A, p.B, pen, wfa.Options{MaxK: cfg.KMax})
+			ref, _, _ := wfa.Align(p.A, p.B, pen, wfa.Options{MaxK: cfg.KMax})
 			rec := byID[uint16(p.ID)]
 			if rec.Success != ref.Success || (rec.Success && int(rec.Score) != ref.Score) {
 				t.Fatalf("penalties %v pair %d: hw=%+v sw score %d (success=%v)",
@@ -77,7 +77,7 @@ func TestMachineConsecutiveJobs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ref, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
+			ref, _, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
 			if !rec.Success || int(rec.Score) != ref.Score {
 				t.Fatalf("job %d pair %d: %+v want %d", job, p.ID, rec, ref.Score)
 			}

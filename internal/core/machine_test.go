@@ -111,7 +111,7 @@ func TestMachineMatchesSoftwareWFA(t *testing.T) {
 		if !ok {
 			t.Fatalf("no record for pair %d", p.ID)
 		}
-		ref, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
+		ref, _, _ := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
 		if rec.Success != ref.Success {
 			t.Fatalf("pair %d: hw success=%v sw=%v", p.ID, rec.Success, ref.Success)
 		}
@@ -330,7 +330,7 @@ func TestMachineBTStreamStructure(t *testing.T) {
 			if !rec.Success {
 				t.Fatal("score record reports failure")
 			}
-			ref, _ := wfa.Align(set.Pairs[0].A, set.Pairs[0].B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
+			ref, _, _ := wfa.Align(set.Pairs[0].A, set.Pairs[0].B, cfg.Penalties, wfa.Options{MaxK: cfg.KMax})
 			if int(rec.Score) != ref.Score {
 				t.Fatalf("score record %d != software %d", rec.Score, ref.Score)
 			}

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/align"
+import (
+	"repro/internal/align"
+	"repro/internal/invariant"
+)
 
 // Range is an inclusive diagonal interval [Lo, Hi] of one wavefront vector.
 type Range struct {
@@ -108,7 +111,7 @@ func at(rs []Range, s int) Range {
 // ranges.
 func (t *RangeTracker) Extend(s int) (iR, dR, mR Range) {
 	if s != len(t.mR) {
-		panic("core: RangeTracker scores must be visited in order")
+		invariant.Failf("core", "RangeTracker scores must be visited in order: got %d, want %d", s, len(t.mR))
 	}
 	x := t.pen.Mismatch
 	oe := t.pen.GapOpen + t.pen.GapExtend

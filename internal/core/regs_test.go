@@ -1,0 +1,136 @@
+package core
+
+import "testing"
+
+func mustWrite(t *testing.T, r *RegFile, offset, value uint32) {
+	t.Helper()
+	if err := r.Write(offset, value); err != nil {
+		t.Fatalf("Write(%#x, %#x): %v", offset, value, err)
+	}
+}
+
+func mustRead(t *testing.T, r *RegFile, offset uint32) uint32 {
+	t.Helper()
+	v, err := r.Read(offset)
+	if err != nil {
+		t.Fatalf("Read(%#x): %v", offset, err)
+	}
+	return v
+}
+
+// TestRegFileReadOnlyWrites checks that the R-only registers reject AXI
+// writes instead of silently corrupting hardware-owned state.
+func TestRegFileReadOnlyWrites(t *testing.T) {
+	r := NewRegFile()
+	r.OutCount = 7
+	r.JobCycles = 0x1_0000_0003
+	for _, offset := range []uint32{RegOutCount, RegCycleLo, RegCycleHi} {
+		if err := r.Write(offset, 0xFFFFFFFF); err == nil {
+			t.Errorf("write to read-only offset %#x succeeded", offset)
+		}
+	}
+	if got := mustRead(t, r, RegOutCount); got != 7 {
+		t.Errorf("OutCount corrupted by rejected write: got %d", got)
+	}
+	if lo, hi := mustRead(t, r, RegCycleLo), mustRead(t, r, RegCycleHi); lo != 3 || hi != 1 {
+		t.Errorf("JobCycles corrupted: lo=%#x hi=%#x", lo, hi)
+	}
+}
+
+// TestRegFileUnknownOffsets checks both directions of the default case:
+// past-the-map and unaligned offsets.
+func TestRegFileUnknownOffsets(t *testing.T) {
+	r := NewRegFile()
+	for _, offset := range []uint32{0x30, 0x100, 0x02, 0x0B} {
+		if err := r.Write(offset, 1); err == nil {
+			t.Errorf("write to unknown offset %#x succeeded", offset)
+		}
+		if _, err := r.Read(offset); err == nil {
+			t.Errorf("read of unknown offset %#x succeeded", offset)
+		}
+	}
+}
+
+// TestRegFileAddressComposition checks the lo/hi halves of the 64-bit input
+// and output base addresses compose and decompose exactly.
+func TestRegFileAddressComposition(t *testing.T) {
+	r := NewRegFile()
+	mustWrite(t, r, RegInputAddrLo, 0xDEADBEEF)
+	mustWrite(t, r, RegInputAddrHi, 0x00000012)
+	if r.InputAddr != 0x12DEADBEEF {
+		t.Fatalf("InputAddr = %#x, want 0x12DEADBEEF", r.InputAddr)
+	}
+	mustWrite(t, r, RegOutputAddrHi, 0x00000001)
+	mustWrite(t, r, RegOutputAddrLo, 0xCAFE0000)
+	if r.OutputAddr != 0x1CAFE0000 {
+		t.Fatalf("OutputAddr = %#x, want 0x1CAFE0000", r.OutputAddr)
+	}
+	if lo := mustRead(t, r, RegInputAddrLo); lo != 0xDEADBEEF {
+		t.Errorf("InputAddrLo reads back %#x", lo)
+	}
+	if hi := mustRead(t, r, RegInputAddrHi); hi != 0x12 {
+		t.Errorf("InputAddrHi reads back %#x", hi)
+	}
+}
+
+// TestRegFileIRQStateMachine walks the interrupt life cycle the driver
+// relies on: enable via Ctrl, raise, observe via Status, clear with W1C.
+func TestRegFileIRQStateMachine(t *testing.T) {
+	r := NewRegFile()
+	if !r.Idle() {
+		t.Fatal("fresh RegFile not idle")
+	}
+	if mustRead(t, r, RegStatus)&StatusIdle == 0 {
+		t.Fatal("Status misses the Idle bit at reset")
+	}
+
+	// An IRQ raised with the enable bit clear must not reach the line.
+	r.irq = true
+	if r.IRQPending() {
+		t.Fatal("IRQ pending while disabled")
+	}
+	mustWrite(t, r, RegCtrl, CtrlIRQEnable)
+	if !r.IRQPending() {
+		t.Fatal("IRQ not pending after enable")
+	}
+	if mustRead(t, r, RegStatus)&StatusIRQ == 0 {
+		t.Fatal("Status misses the IRQ bit")
+	}
+
+	// Writing 1 to the IRQ status bit clears it (W1C); writing 0 must not.
+	mustWrite(t, r, RegStatus, 0)
+	if !r.IRQPending() {
+		t.Fatal("W1C cleared the IRQ on a zero write")
+	}
+	mustWrite(t, r, RegStatus, StatusIRQ)
+	if r.IRQPending() {
+		t.Fatal("IRQ still pending after W1C clear")
+	}
+
+	// The Start bit latches without disturbing the enable.
+	mustWrite(t, r, RegCtrl, CtrlStart|CtrlIRQEnable)
+	if !r.startRequested {
+		t.Fatal("Start bit did not latch")
+	}
+	if mustRead(t, r, RegCtrl)&CtrlIRQEnable == 0 {
+		t.Fatal("IRQ enable lost on Start write")
+	}
+}
+
+// TestRegFileErrored checks the Error status bit surfaces through both the
+// accessor and the Status register.
+func TestRegFileErrored(t *testing.T) {
+	r := NewRegFile()
+	if r.Errored() {
+		t.Fatal("fresh RegFile errored")
+	}
+	r.errored = true
+	r.idle = true
+	if !r.Errored() {
+		t.Fatal("Errored() false with the bit set")
+	}
+	v := mustRead(t, r, RegStatus)
+	if v&StatusError == 0 || v&StatusIdle == 0 {
+		t.Fatalf("Status = %#x, want Error|Idle", v)
+	}
+}

@@ -8,6 +8,7 @@
 package heuristic
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/align"
@@ -24,17 +25,19 @@ type Stats struct {
 // half-width w: row i evaluates columns [center-w, center+w], where the
 // center follows the best column of the previous row. Memory and time are
 // O(n*w). The result is exact whenever the optimal path stays inside the
-// band and may be suboptimal (or fail) otherwise.
-func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
+// band and may be suboptimal (or fail) otherwise. Invalid penalties —
+// reachable from user input through the driver API — return an error.
+func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, error) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return align.Result{}, Stats{}, fmt.Errorf("heuristic: %w", err)
 	}
 	if w < 1 {
 		w = 1
 	}
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
-		return degenerate(a, b, p)
+		res, st := degenerate(a, b, p)
+		return res, st, nil
 	}
 	width := 2*w + 1
 	x, o, e := int32(p.Mismatch), int32(p.GapOpen), int32(p.GapExtend)
@@ -154,7 +157,7 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
 	final := get(M, n, m)
 	if final >= inf {
 		// The band drifted away from the corner: heuristic failure.
-		return align.Result{Success: false}, st
+		return align.Result{Success: false}, st, nil
 	}
 
 	// Traceback inside the band.
@@ -163,7 +166,7 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
 	mat := byte('M')
 	for i > 0 || j > 0 {
 		if j < lo[i] || j >= lo[i]+width {
-			return align.Result{Success: false}, st
+			return align.Result{Success: false}, st, nil
 		}
 		cell := tb[i][j-lo[i]]
 		switch mat {
@@ -172,7 +175,7 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
 			case mDiag:
 				if i == 0 || j == 0 {
 					// Row-0/col-0 cells tagged diag are the origin.
-					return align.Result{Success: false}, st
+					return align.Result{Success: false}, st, nil
 				}
 				if a[i-1] == b[j-1] {
 					rev = append(rev, align.OpMatch)
@@ -206,7 +209,7 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats) {
 	for k, op := range rev {
 		cigar[len(rev)-1-k] = op
 	}
-	return align.Result{Score: int(final), CIGAR: cigar, Success: true}, st
+	return align.Result{Score: int(final), CIGAR: cigar, Success: true}, st, nil
 }
 
 // degenerate handles empty-sequence alignments exactly.

@@ -14,7 +14,7 @@ func TestBandedExactWhenBandCoversMatrix(t *testing.T) {
 		pair := g.Pair(0, 40+trial*13, 0.08)
 		ref, _ := swg.Align(pair.A, pair.B, align.DefaultPenalties)
 		// A band wider than the matrix is a full DP: must be exact.
-		res, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, len(pair.B)+len(pair.A))
+		res, _, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, len(pair.B)+len(pair.A))
 		if !res.Success || res.Score != ref.Score {
 			t.Fatalf("trial %d: full-band score %d (success=%v) != exact %d", trial, res.Score, res.Success, ref.Score)
 		}
@@ -28,7 +28,7 @@ func TestBandedCIGARConsistency(t *testing.T) {
 	g := seqgen.New(9, 10)
 	for trial := 0; trial < 25; trial++ {
 		pair := g.Pair(0, 200, 0.10)
-		res, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
+		res, _, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
 		if !res.Success {
 			continue // band drift is a legal heuristic outcome
 		}
@@ -54,7 +54,7 @@ func TestBandedNarrowBandIsLossyOnGappyInput(t *testing.T) {
 	b := append(append([]byte{}, base[:150]...), g.RandomSequence(60)...) // 60-base insertion
 	b = append(b, base[150:]...)
 	ref, _ := swg.Score(a, b, align.DefaultPenalties)
-	res, _ := BandedAlign(a, b, align.DefaultPenalties, 8)
+	res, _, _ := BandedAlign(a, b, align.DefaultPenalties, 8)
 	if res.Success && res.Score <= ref {
 		t.Fatalf("narrow band matched the exact score %d across a 60-base gap", ref)
 	}
@@ -63,7 +63,7 @@ func TestBandedNarrowBandIsLossyOnGappyInput(t *testing.T) {
 func TestBandedCellBudget(t *testing.T) {
 	g := seqgen.New(13, 14)
 	pair := g.Pair(0, 500, 0.05)
-	_, st := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
+	_, st, _ := BandedAlign(pair.A, pair.B, align.DefaultPenalties, 16)
 	maxCells := int64(len(pair.A)+1) * int64(2*16+1)
 	if st.CellsComputed > maxCells {
 		t.Fatalf("banded computed %d cells, budget %d", st.CellsComputed, maxCells)
@@ -71,11 +71,11 @@ func TestBandedCellBudget(t *testing.T) {
 }
 
 func TestBandedDegenerate(t *testing.T) {
-	res, _ := BandedAlign(nil, []byte("ACGT"), align.DefaultPenalties, 4)
+	res, _, _ := BandedAlign(nil, []byte("ACGT"), align.DefaultPenalties, 4)
 	if !res.Success || res.Score != 6+4*2 {
 		t.Fatalf("empty query: %+v", res)
 	}
-	res, _ = BandedAlign([]byte("ACGT"), nil, align.DefaultPenalties, 4)
+	res, _, _ = BandedAlign([]byte("ACGT"), nil, align.DefaultPenalties, 4)
 	if !res.Success || res.Score != 6+4*2 {
 		t.Fatalf("empty text: %+v", res)
 	}
@@ -132,5 +132,14 @@ func TestGACTHandlesAsymmetricLengths(t *testing.T) {
 	}
 	if err := res.CIGAR.Validate(a, b); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BandedAlign is reachable with user-supplied penalties; invalid ones must
+// come back as an error, not a panic.
+func TestBandedAlignInvalidPenalties(t *testing.T) {
+	bad := align.Penalties{Mismatch: -1, GapOpen: 6, GapExtend: 2}
+	if _, _, err := BandedAlign([]byte("ACGT"), []byte("ACGT"), bad, 4); err == nil {
+		t.Fatal("BandedAlign accepted invalid penalties")
 	}
 }

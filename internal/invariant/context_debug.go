@@ -1,0 +1,36 @@
+//go:build invariantdebug
+
+package invariant
+
+import "sync"
+
+// Verbose reports whether the binary was built with -tags invariantdebug.
+const Verbose = true
+
+var (
+	ctxMu        sync.Mutex
+	ctxProviders = map[string]func() string{}
+)
+
+// RegisterContext installs the context provider for a module; the latest
+// registration wins (each new Machine replaces the previous one's cycle
+// provider), so long test runs don't accumulate stale providers.
+func RegisterContext(module string, fn func() string) {
+	ctxMu.Lock()
+	defer ctxMu.Unlock()
+	if fn == nil {
+		delete(ctxProviders, module)
+		return
+	}
+	ctxProviders[module] = fn
+}
+
+func contextFor(module string) string {
+	ctxMu.Lock()
+	fn := ctxProviders[module]
+	ctxMu.Unlock()
+	if fn == nil {
+		return ""
+	}
+	return fn()
+}

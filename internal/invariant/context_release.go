@@ -1,0 +1,12 @@
+//go:build !invariantdebug
+
+package invariant
+
+// Verbose reports whether the binary was built with -tags invariantdebug.
+const Verbose = false
+
+// RegisterContext is a no-op in release builds: providers are never stored
+// and never invoked, so registering from a constructor costs nothing.
+func RegisterContext(module string, fn func() string) {}
+
+func contextFor(module string) string { return "" }

@@ -1,0 +1,84 @@
+// Package invariant is the sanctioned way for simulator code to assert
+// internal invariants. The repo's panic policy (enforced by
+// cmd/wfasic-vet's panicpolicy analyzer) is:
+//
+//   - A condition that can be violated by user input — malformed penalties,
+//     bad sequences, out-of-range job configurations — must surface as an
+//     error return, never as a panic.
+//   - A condition that can only be violated by a bug in the simulator
+//     itself — a FIFO overrun the Tick contract forbids, a backtrace
+//     walking off a stored wavefront, a register decoder reaching an
+//     impossible arm — is an invariant, and must fail through this package
+//     so every violation carries a module tag and (in verbose builds)
+//     cycle/module context.
+//
+// On the hot path, guard with an explicit branch and call Failf inside it,
+// so the happy path pays nothing:
+//
+//	if addr < 0 || addr >= len(r.words) {
+//		invariant.Failf("sim", "RAM read address %d out of range [0,%d)", addr, len(r.words))
+//	}
+//
+// Checkf is the compact form for cold paths (constructors, configuration):
+//
+//	invariant.Checkf(err == nil, "mem", "invalid controller timing: %v", err)
+//
+// Building with `-tags invariantdebug` enables the verbose mode: modules
+// may RegisterContext a provider (e.g. the Machine registers its cycle
+// counter) and every Violation raised for that module carries the
+// provider's output.
+package invariant
+
+import "fmt"
+
+// Violation is the value a failed invariant panics with. Recovering code
+// can distinguish simulator bugs from other panics by type-asserting on it.
+type Violation struct {
+	// Module tags the subsystem that failed ("sim", "mem", "core", "wfa",
+	// "seqgen", "swg", ...), matching the prefixes the old ad-hoc panics
+	// used.
+	Module string
+	// Msg is the formatted assertion message.
+	Msg string
+	// Context is the module's registered context output; empty unless the
+	// binary was built with -tags invariantdebug and a provider is
+	// registered for Module.
+	Context string
+}
+
+// Error makes a Violation usable as an error by code that recovers it.
+func (v Violation) Error() string {
+	if v.Context != "" {
+		return v.Module + ": " + v.Msg + " [" + v.Context + "]"
+	}
+	return v.Module + ": " + v.Msg
+}
+
+// String returns the same rendering as Error, so a raw panic trace reads
+// well.
+func (v Violation) String() string { return v.Error() }
+
+// Checkf panics with a Violation when cond is false. The format arguments
+// are evaluated on every call; on hot paths prefer an explicit branch
+// around Failf.
+func Checkf(cond bool, module, format string, args ...any) {
+	if cond {
+		return
+	}
+	fail(module, format, args...)
+}
+
+// Failf unconditionally raises a Violation. Use it inside an explicit guard
+// on hot paths, and for unreachable branches (exhaustive switches over
+// hardware enums).
+func Failf(module, format string, args ...any) {
+	fail(module, format, args...)
+}
+
+func fail(module, format string, args ...any) {
+	panic(Violation{
+		Module:  module,
+		Msg:     fmt.Sprintf(format, args...),
+		Context: contextFor(module),
+	})
+}

@@ -1,0 +1,82 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func recoverViolation(t *testing.T, f func()) (v Violation, fired bool) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		v, ok = r.(Violation)
+		if !ok {
+			t.Fatalf("panicked with %T, want invariant.Violation", r)
+		}
+		fired = true
+	}()
+	f()
+	return
+}
+
+func TestCheckfTrueDoesNothing(t *testing.T) {
+	if _, fired := recoverViolation(t, func() { Checkf(true, "sim", "never %d", 1) }); fired {
+		t.Fatal("Checkf(true) raised a Violation")
+	}
+}
+
+func TestCheckfFalsePanicsWithViolation(t *testing.T) {
+	v, fired := recoverViolation(t, func() { Checkf(false, "sim", "addr %d out of range", 42) })
+	if !fired {
+		t.Fatal("Checkf(false) did not panic")
+	}
+	if v.Module != "sim" {
+		t.Fatalf("Module = %q, want sim", v.Module)
+	}
+	if v.Msg != "addr 42 out of range" {
+		t.Fatalf("Msg = %q", v.Msg)
+	}
+	if got := v.Error(); got != "sim: addr 42 out of range" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestFailfAlwaysPanics(t *testing.T) {
+	v, fired := recoverViolation(t, func() { Failf("core", "bad component %d", 9) })
+	if !fired {
+		t.Fatal("Failf did not panic")
+	}
+	if !strings.Contains(v.Error(), "core: bad component 9") {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
+
+func TestViolationContextRendering(t *testing.T) {
+	v := Violation{Module: "core", Msg: "boom", Context: "cycle=7"}
+	if got := v.Error(); got != "core: boom [cycle=7]" {
+		t.Fatalf("Error() with context = %q", got)
+	}
+}
+
+func TestRegisterContextMatchesBuildMode(t *testing.T) {
+	// Safe under both build modes: in release builds RegisterContext is a
+	// no-op and Violations never carry context; in invariantdebug builds
+	// the provider's output must show up.
+	RegisterContext("invtest", func() string { return "cycle=123" })
+	defer RegisterContext("invtest", nil)
+	v, fired := recoverViolation(t, func() { Failf("invtest", "boom") })
+	if !fired {
+		t.Fatal("Failf did not panic")
+	}
+	if Verbose {
+		if v.Context != "cycle=123" {
+			t.Fatalf("verbose build: Context = %q, want cycle=123", v.Context)
+		}
+	} else if v.Context != "" {
+		t.Fatalf("release build: Context = %q, want empty", v.Context)
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// cycleSteppedSuffixes are packages whose entire API runs inside the
+// cycle-stepped simulation and must therefore be deterministic end to end.
+var cycleSteppedSuffixes = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/mem",
+}
+
+// timeNondet are the time package entry points that read the wall clock or
+// schedule against it. Pure-value helpers (time.Duration arithmetic,
+// time.Unix on a stored stamp) stay legal.
+var timeNondet = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are math/rand selectors that build an explicitly seeded
+// local source — the sanctioned way to use randomness in simulator code.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// Determinism flags wall-clock time, global math/rand state, and goroutine
+// launches inside cycle-stepped code: the whole of internal/sim, internal/core
+// and internal/mem, plus every Step/Tick method anywhere in the tree. The
+// simulator's contract is that a (config, input, seed) triple reproduces the
+// same cycle count and the same output bytes on every run; any of these three
+// constructs silently breaks that.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "cycle-stepped code must not read the clock, use global math/rand, or spawn goroutines",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	whole := false
+	for _, suffix := range cycleSteppedSuffixes {
+		if p.ImportPath == suffix || strings.HasSuffix(p.ImportPath, "/"+suffix) {
+			whole = true
+			break
+		}
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !whole && !isStepMethod(fd) {
+				continue
+			}
+			where := "cycle-stepped package " + p.Name
+			if !whole {
+				where = fd.Name.Name + " method"
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					out = append(out, p.diag(n,
+						"goroutine launched in %s: cycle-stepped code must be single-threaded so cycle counts are reproducible", where))
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch path := p.pkgPathOf(f, id); path {
+					case "time":
+						if timeNondet[sel.Sel.Name] {
+							out = append(out, p.diag(n,
+								"time.%s in %s: simulated cycles must not depend on the wall clock", sel.Sel.Name, where))
+						}
+					case "math/rand", "math/rand/v2":
+						if !randConstructors[sel.Sel.Name] {
+							out = append(out, p.diag(n,
+								"global rand.%s in %s: use an explicitly seeded rand.New(...) owned by the component", sel.Sel.Name, where))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isStepMethod reports whether fd is a Step or Tick method — the per-cycle
+// entry points of a simulated component.
+func isStepMethod(fd *ast.FuncDecl) bool {
+	return fd.Recv != nil && (fd.Name.Name == "Step" || fd.Name.Name == "Tick")
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var universeError = types.Universe.Lookup("error").Type()
+
+// ErrPath flags error values discarded with the blank identifier inside
+// exported functions that themselves return an error. Such a function has
+// already committed to an error contract with its caller; swallowing a
+// callee's error there hides exactly the failures the contract exists to
+// surface. Unexported helpers and functions without an error result are left
+// alone — the check targets the API boundary, not every cleanup path.
+func ErrPath() *Analyzer {
+	return &Analyzer{
+		Name: "errpath",
+		Doc:  "exported functions returning error must not discard callee errors with _",
+		Run:  runErrPath,
+	}
+}
+
+func runErrPath(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !declaresErrorResult(fd.Type) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				out = append(out, p.blankErrorDiscards(fd, as)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// blankErrorDiscards reports each blank-identifier assignment in as whose
+// corresponding right-hand value is (statically) of type error.
+func (p *Package) blankErrorDiscards(fd *ast.FuncDecl, as *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	report := func(at ast.Node) {
+		out = append(out, p.diag(at,
+			"error discarded with _ inside exported %s, which returns error: handle or propagate it", fd.Name.Name))
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value call: v, _ := f().
+		tuple, ok := p.exprTuple(as.Rhs[0])
+		if !ok {
+			return nil
+		}
+		for i, l := range as.Lhs {
+			if isBlank(l) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				report(l)
+			}
+		}
+		return out
+	}
+	if len(as.Rhs) != len(as.Lhs) {
+		return nil
+	}
+	for i, l := range as.Lhs {
+		if !isBlank(l) {
+			continue
+		}
+		if tv, ok := p.Info.Types[as.Rhs[i]]; ok && isErrorType(tv.Type) {
+			report(l)
+		}
+	}
+	return out
+}
+
+// exprTuple returns the tuple type of a multi-value expression, if known.
+func (p *Package) exprTuple(e ast.Expr) (*types.Tuple, bool) {
+	if p.Info == nil {
+		return nil, false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	return tuple, ok
+}
+
+// declaresErrorResult reports whether the function type syntactically lists
+// an `error` result (type info is not needed: shadowing `error` would be its
+// own crime).
+func declaresErrorResult(ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, universeError)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

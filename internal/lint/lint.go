@@ -1,0 +1,140 @@
+// Package lint implements wfasic-vet, the repo's project-specific static
+// analysis suite. It is built purely on the standard library (go/ast,
+// go/parser, go/types) so it runs anywhere the Go toolchain runs, with no
+// module downloads.
+//
+// The analyzers encode invariants that generic linters cannot know:
+//
+//   - determinism: cycle-stepped simulator code must stay bit-reproducible —
+//     no wall-clock time, no global math/rand, no goroutines.
+//   - panicpolicy: library code asserts through internal/invariant, never
+//     through raw panic().
+//   - magicoffset: register offsets and beat-sized buffers use the named
+//     constants from internal/core and internal/mem, so the Section 4 memory
+//     formats cannot silently drift.
+//   - errpath: exported functions that return an error must not discard a
+//     callee's error with the blank identifier.
+//
+// A finding can be suppressed for a line by placing a
+//
+//	//vet:allow <analyzer> [reason]
+//
+// comment on the same line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		PanicPolicy(),
+		MagicOffset(),
+		ErrPath(),
+	}
+}
+
+// Check runs the given analyzers over the package, drops suppressed
+// findings, and returns the rest sorted by position.
+func Check(p *Package, analyzers []*Analyzer) []Diagnostic {
+	allow := suppressions(p)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(p) {
+			d.Analyzer = a.Name
+			if allow.covers(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet maps "file\x00line" to the analyzer names allowed on that line
+// ("*" allows all).
+type allowSet map[string]map[string]bool
+
+func (s allowSet) covers(d Diagnostic) bool {
+	names := s[allowKey(d.Pos.Filename, d.Pos.Line)]
+	return names != nil && (names["*"] || names[d.Analyzer])
+}
+
+func allowKey(file string, line int) string {
+	return file + "\x00" + strconv.Itoa(line)
+}
+
+// suppressions collects //vet:allow comments. A comment suppresses findings
+// on its own line and on the line below it, so both trailing and standalone
+// placement work.
+func suppressions(p *Package) allowSet {
+	set := allowSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "vet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := p.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := allowKey(pos.Filename, line)
+					if set[key] == nil {
+						set[key] = map[string]bool{}
+					}
+					set[key][name] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// diag builds a Diagnostic at a node's position.
+func (p *Package) diag(node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(node.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDiags loads testdata/src/fixture once and returns its post-
+// suppression findings grouped by analyzer.
+func fixtureDiags(t *testing.T) map[string][]Diagnostic {
+	t.Helper()
+	p, err := LoadDir(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	byName := map[string][]Diagnostic{}
+	for _, d := range Check(p, All()) {
+		byName[d.Analyzer] = append(byName[d.Analyzer], d)
+	}
+	return byName
+}
+
+func messages(ds []Diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Message)
+	}
+	return out
+}
+
+func wantContains(t *testing.T, ds []Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range ds {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding mentions %q; got %q", substr, messages(ds))
+}
+
+func TestDeterminismFindings(t *testing.T) {
+	ds := fixtureDiags(t)["determinism"]
+	if len(ds) != 3 {
+		t.Fatalf("got %d determinism findings, want 3: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "time.Now")
+	wantContains(t, ds, "rand.Intn")
+	wantContains(t, ds, "goroutine")
+}
+
+func TestPanicPolicyFindings(t *testing.T) {
+	ds := fixtureDiags(t)["panicpolicy"]
+	if len(ds) != 1 {
+		t.Fatalf("got %d panicpolicy findings, want 1: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "raw panic")
+}
+
+func TestMagicOffsetFindings(t *testing.T) {
+	ds := fixtureDiags(t)["magicoffset"]
+	if len(ds) != 4 {
+		t.Fatalf("got %d magicoffset findings, want 4: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "core.RegMaxReadLen") // 0x08 on the typed receiver
+	wantContains(t, ds, "core.RegOutCount")   // 0x24
+	wantContains(t, ds, "make([]byte, 16)")
+	wantContains(t, ds, "[16]byte")
+}
+
+func TestErrPathFindings(t *testing.T) {
+	ds := fixtureDiags(t)["errpath"]
+	if len(ds) != 4 {
+		t.Fatalf("got %d errpath findings, want 4: %q", len(ds), messages(ds))
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Message, "Program") {
+			t.Errorf("finding outside Program: %s", d.Message)
+		}
+	}
+}
+
+// TestSuppression checks that //vet:allow is analyzer-scoped: the suppressed
+// line still yields its errpath finding but no magicoffset one.
+func TestSuppression(t *testing.T) {
+	byName := fixtureDiags(t)
+	for _, d := range byName["magicoffset"] {
+		if strings.Contains(d.Message, "0x4 ") || strings.Contains(d.Message, "RegStatus") {
+			t.Errorf("suppressed magicoffset finding leaked: %s", d.Message)
+		}
+	}
+	// The errpath finding on the suppressed line must survive: the fixture
+	// has exactly four, one of which shares the //vet:allow line.
+	if got := len(byName["errpath"]); got != 4 {
+		t.Errorf("suppression bled into errpath: got %d findings, want 4", got)
+	}
+}
+
+func TestStubName(t *testing.T) {
+	cases := map[string]string{
+		"time":         "time",
+		"math/rand":    "rand",
+		"math/rand/v2": "rand",
+		"go/token":     "token",
+	}
+	for path, want := range cases {
+		if got := stubName(path); got != want {
+			t.Errorf("stubName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestModuleIsClean runs the whole suite over the real tree: the acceptance
+// bar is zero findings (anything intentional must carry a //vet:allow with
+// a reason).
+func TestModuleIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, d := range Check(p, All()) {
+			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestCrossPackageTypes asserts the dependency-ordered loader really
+// resolves module-internal types: internal/soc sees core.RegFile as a named
+// type, which the magicoffset typed rule depends on.
+func TestCrossPackageTypes(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, "internal/soc") {
+			if p.Types == nil {
+				t.Fatal("internal/soc has no type info")
+			}
+			core := p.Types.Imports()
+			for _, imp := range core {
+				if strings.HasSuffix(imp.Path(), "internal/core") && imp.Scope().Lookup("RegFile") != nil {
+					return // resolved for real, not a stub
+				}
+			}
+			t.Fatal("internal/soc does not see a checked internal/core (RegFile missing)")
+		}
+	}
+	t.Fatal("internal/soc not loaded")
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and best-effort type-checked package. Type
+// information is filled from a lenient check (stdlib imports are stubbed, all
+// type errors ignored), so analyzers must treat missing entries in Info as
+// "unknown", never as proof of absence.
+type Package struct {
+	// ImportPath is the module-qualified import path ("repro/internal/sim"),
+	// or the directory path for packages loaded outside a module (fixtures).
+	ImportPath string
+	Dir        string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// pkgPathOf resolves an identifier used as a package qualifier (the `time`
+// in `time.Now`) to its import path, or "" when the identifier is not a
+// package name (shadowed, or a variable). Type info is preferred; when the
+// lenient check could not resolve the identifier it falls back to the file's
+// import table.
+func (p *Package) pkgPathOf(file *ast.File, id *ast.Ident) string {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // resolved to something that is not a package
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := stubName(path)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// versionSuffix matches major-version import path elements ("v2").
+var versionSuffix = regexp.MustCompile(`^v[0-9]+$`)
+
+// stubName guesses the package name of an import path ("math/rand/v2" is
+// package rand).
+func stubName(path string) string {
+	elems := strings.Split(path, "/")
+	name := elems[len(elems)-1]
+	if versionSuffix.MatchString(name) && len(elems) > 1 {
+		name = elems[len(elems)-2]
+	}
+	return name
+}
+
+// moduleImporter serves module-internal packages that were already checked
+// and empty stubs for everything else (stdlib), keeping the suite free of
+// any dependency beyond go/ast, go/parser and go/types.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	stubs   map[string]*types.Package
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.checked[path]; ok {
+		return p, nil
+	}
+	if p, ok := im.stubs[path]; ok {
+		return p, nil
+	}
+	p := types.NewPackage(path, stubName(path))
+	p.MarkComplete()
+	im.stubs[path] = p
+	return p, nil
+}
+
+// pkgSrc is a parsed, not-yet-checked package directory.
+type pkgSrc struct {
+	importPath string
+	dir        string
+	name       string
+	files      []*ast.File
+	imports    []string // module-internal imports only
+}
+
+// parsePackageDir parses the non-test Go files of one directory.
+func parsePackageDir(fset *token.FileSet, dir string) (*pkgSrc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	src := &pkgSrc{dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if src.name == "" {
+			src.name = f.Name.Name
+		}
+		if f.Name.Name != src.name {
+			// Stray file from another package (e.g. an external test
+			// package that escaped the _test filter); skip it.
+			continue
+		}
+		src.files = append(src.files, f)
+	}
+	if len(src.files) == 0 {
+		return nil, nil
+	}
+	return src, nil
+}
+
+// checkPackage runs the lenient type-check and wraps the result.
+func checkPackage(fset *token.FileSet, imp *moduleImporter, src *pkgSrc) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:                 imp,
+		Error:                    func(error) {}, // best-effort: keep going
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, _ := conf.Check(src.importPath, fset, src.files, info)
+	return &Package{
+		ImportPath: src.importPath,
+		Dir:        src.dir,
+		Name:       src.name,
+		Fset:       fset,
+		Files:      src.files,
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+// LoadDir loads a single directory as one package with every import stubbed
+// (used for analyzer fixtures under testdata).
+func LoadDir(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	src, err := parsePackageDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	src.importPath = filepath.ToSlash(dir)
+	imp := &moduleImporter{checked: map[string]*types.Package{}, stubs: map[string]*types.Package{}}
+	return checkPackage(fset, imp, src), nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// LoadModule loads every package of the module rooted at root, type-checking
+// module-internal packages in dependency order so cross-package types (for
+// example core.RegFile seen from internal/soc) resolve for real; only the
+// standard library is stubbed. Directories named testdata, hidden
+// directories, and _-prefixed directories are skipped.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	srcs := map[string]*pkgSrc{} // keyed by import path
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		src, err := parsePackageDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if src == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			src.importPath = modPath
+		} else {
+			src.importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, f := range src.files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					src.imports = append(src.imports, ip)
+				}
+			}
+		}
+		srcs[src.importPath] = src
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically order module-internal dependencies (Go rejects import
+	// cycles, so a cycle here only means a parse-level anomaly; those
+	// packages are checked in arbitrary order with their deps stubbed).
+	order := make([]string, 0, len(srcs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(ip string)
+	visit = func(ip string) {
+		if state[ip] != 0 {
+			return
+		}
+		state[ip] = 1
+		if src, ok := srcs[ip]; ok {
+			for _, dep := range src.imports {
+				if state[dep] == 0 {
+					visit(dep)
+				}
+			}
+		}
+		state[ip] = 2
+		order = append(order, ip)
+	}
+	paths := make([]string, 0, len(srcs))
+	for ip := range srcs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		visit(ip)
+	}
+
+	imp := &moduleImporter{checked: map[string]*types.Package{}, stubs: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, ip := range order {
+		src, ok := srcs[ip]
+		if !ok {
+			continue
+		}
+		p := checkPackage(fset, imp, src)
+		if p.Types != nil {
+			imp.checked[ip] = p.Types
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// regOffsetNames mirrors the AXI-Lite register map in internal/core/regs.go.
+// The table is only used to name offenders in messages and to catch untyped
+// call sites; the authoritative map stays in core.
+var regOffsetNames = map[int64]string{
+	0x00: "RegCtrl",
+	0x04: "RegStatus",
+	0x08: "RegMaxReadLen",
+	0x0C: "RegBTEnable",
+	0x10: "RegInputAddrLo",
+	0x14: "RegInputAddrHi",
+	0x18: "RegNumPairs",
+	0x1C: "RegOutputAddrLo",
+	0x20: "RegOutputAddrHi",
+	0x24: "RegOutCount",
+	0x28: "RegCycleLo",
+	0x2C: "RegCycleHi",
+}
+
+// MagicOffset flags two classes of magic numbers that the Section 4 memory
+// and register formats depend on:
+//
+//  1. a bare integer literal passed as the offset of a RegFile Read/Write —
+//     the named Reg* constants in internal/core/regs.go are the contract
+//     between driver and hardware;
+//  2. beat-sized byte buffers written as a literal 16 ([16]byte or
+//     make([]byte, 16)) outside internal/mem — those must spell
+//     mem.BeatBytes so a beat-width change cannot silently corrupt packing.
+func MagicOffset() *Analyzer {
+	return &Analyzer{
+		Name: "magicoffset",
+		Doc:  "register offsets and beat-sized buffers use named constants, not literals",
+		Run:  runMagicOffset,
+	}
+}
+
+func runMagicOffset(p *Package) []Diagnostic {
+	inMem := strings.HasSuffix(p.ImportPath, "internal/mem")
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if d, ok := p.regOffsetCall(n); ok {
+					out = append(out, d)
+				} else if !inMem {
+					if d, ok := p.beatMake(n); ok {
+						out = append(out, d)
+					}
+				}
+			case *ast.ArrayType:
+				if inMem {
+					return true
+				}
+				if v, ok := intLitValue(n.Len); ok && v == 16 && isByteIdent(n.Elt) {
+					out = append(out, p.diag(n,
+						"beat-sized array written as [16]byte: use [mem.BeatBytes]byte so the Section 4 formats cannot drift"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// regOffsetCall reports a Read/Write call on a RegFile whose offset argument
+// is a bare integer literal. When the receiver's type is unknown (lenient
+// check could not resolve it) the call is still flagged if the literal lands
+// on a known register offset.
+func (p *Package) regOffsetCall(call *ast.CallExpr) (Diagnostic, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Read" && sel.Sel.Name != "Write") || len(call.Args) == 0 {
+		return Diagnostic{}, false
+	}
+	v, ok := intLitValue(call.Args[0])
+	if !ok {
+		return Diagnostic{}, false
+	}
+	switch p.receiverTypeName(sel.X) {
+	case "RegFile":
+		// fall through to report
+	case "":
+		// Unknown receiver: only flag literals that sit on the register map.
+		if _, known := regOffsetNames[v]; !known {
+			return Diagnostic{}, false
+		}
+	default:
+		return Diagnostic{}, false // resolved to some other type (RAM, memory)
+	}
+	if name, known := regOffsetNames[v]; known {
+		return p.diag(call.Args[0],
+			"register offset %#x passed as a bare literal: use core.%s from internal/core/regs.go", v, name), true
+	}
+	return p.diag(call.Args[0],
+		"register offset %#x passed as a bare literal: use a named Reg* constant from internal/core/regs.go", v), true
+}
+
+// beatMake reports make([]byte, 16).
+func (p *Package) beatMake(call *ast.CallExpr) (Diagnostic, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return Diagnostic{}, false
+	}
+	at, ok := call.Args[0].(*ast.ArrayType)
+	if !ok || at.Len != nil || !isByteIdent(at.Elt) {
+		return Diagnostic{}, false
+	}
+	if v, ok := intLitValue(call.Args[1]); !ok || v != 16 {
+		return Diagnostic{}, false
+	}
+	return p.diag(call.Args[1],
+		"beat-sized buffer written as make([]byte, 16): use mem.BeatBytes so the Section 4 formats cannot drift"), true
+}
+
+// receiverTypeName resolves the named type of a method receiver expression,
+// through one pointer indirection; "" means the type could not be resolved.
+func (p *Package) receiverTypeName(x ast.Expr) string {
+	if p.Info == nil {
+		return ""
+	}
+	tv, ok := p.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// intLitValue evaluates an expression that is literally an integer constant
+// in the source (possibly parenthesised); named constants return false.
+func intLitValue(e ast.Expr) (int64, bool) {
+	for {
+		paren, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = paren.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// isByteIdent reports whether e is the identifier `byte`.
+func isByteIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "byte"
+}

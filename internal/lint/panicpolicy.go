@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicy flags raw panic() calls in library code. The repo's convention
+// (see internal/invariant) is:
+//
+//   - conditions reachable from user input return errors;
+//   - internal invariant violations assert via invariant.Checkf / Failf,
+//     which panic with a structured Violation carrying the module name and,
+//     under -tags invariantdebug, cycle context.
+//
+// internal/invariant itself is exempt (it is the one place allowed to
+// panic), as are test files (never loaded) and fixtures under testdata.
+func PanicPolicy() *Analyzer {
+	return &Analyzer{
+		Name: "panicpolicy",
+		Doc:  "library code asserts via invariant.Checkf/Failf, not raw panic()",
+		Run:  runPanicPolicy,
+	}
+}
+
+func runPanicPolicy(p *Package) []Diagnostic {
+	if strings.HasSuffix(p.ImportPath, "internal/invariant") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// If type info resolved the identifier to something other than
+			// the builtin (a local function named panic), stay quiet.
+			if p.Info != nil {
+				if obj, ok := p.Info.Uses[id]; ok {
+					if _, builtin := obj.(*types.Builtin); !builtin {
+						return true
+					}
+				}
+			}
+			out = append(out, p.diag(call,
+				"raw panic in library code: use invariant.Checkf/Failf for internal bugs, or return an error for user-reachable conditions"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package fixture seeds one violation per wfasic-vet analyzer; the expected
+// findings are asserted by internal/lint's tests. This file is under
+// testdata, so the module loader and the Go toolchain both ignore it.
+package fixture
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Engine mimics a cycle-stepped component: its Step method is in
+// determinism scope even though this package is not internal/sim.
+type Engine struct{ cycle uint64 }
+
+// Step carries three determinism violations: a clock read, global math/rand
+// state, and a goroutine launch.
+func (e *Engine) Step() {
+	_ = time.Now()
+	if rand.Intn(2) == 0 {
+		e.cycle++
+	}
+	go func() { e.cycle++ }()
+}
+
+// WallClock is not a Step/Tick method, so clock use here is legal.
+func WallClock() time.Time { return time.Now() }
+
+// Seeded uses the sanctioned constructor form; not a violation even inside
+// a Step method.
+func (e *Engine) Tick() {
+	r := rand.New(rand.NewSource(42))
+	e.cycle += uint64(r.Intn(3))
+}
+
+// RegFile mirrors the shape of core.RegFile so the typed magicoffset rule
+// resolves the receiver.
+type RegFile struct{}
+
+func (r *RegFile) Write(offset, value uint32) error { return nil }
+
+func (r *RegFile) Read(offset uint32) (uint32, error) { return 0, nil }
+
+// Program violates magicoffset (bare 0x08 offset, bare 0x24 offset, literal
+// beat size) and errpath (three discarded errors plus one on the suppressed
+// line).
+func Program(r *RegFile) error {
+	if err := r.Write(0x08, 1); err != nil {
+		return err
+	}
+	_, _ = r.Read(0x24)
+	buf := make([]byte, 16)
+	_ = buf
+	_ = touch()
+	v, _ := two()
+	_ = v
+	_, _ = r.Read(0x04) //vet:allow magicoffset exercised by TestSuppression
+	return nil
+}
+
+// Beat violates the magicoffset array rule ([16]byte instead of
+// [mem.BeatBytes]byte).
+var Beat [16]byte
+
+func touch() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+// Explode violates panicpolicy.
+func Explode() {
+	panic("kaboom")
+}

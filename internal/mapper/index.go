@@ -42,7 +42,7 @@ func BuildIndex(ref []byte, k int) (*Index, error) {
 	mask := uint64(1)<<(2*k) - 1
 	var kmer uint64
 	for i := 0; i < len(ref); i++ {
-		code, _ := seqio.Code2Bit(ref[i])
+		code, _ := seqio.Code2Bit(ref[i]) //vet:allow errpath ref was validated above, Code2Bit cannot fail
 		kmer = (kmer<<2 | uint64(code)) & mask
 		if i >= k-1 {
 			ix.buckets[kmer] = append(ix.buckets[kmer], int32(i-k+1))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/align"
+	"repro/internal/invariant"
 	"repro/internal/seqio"
 	"repro/internal/soc"
 	"repro/internal/wfa"
@@ -55,9 +56,14 @@ type Mapper struct {
 	opts Options
 }
 
-// New builds a mapper over the index.
-func New(ix *Index, opts Options) *Mapper {
-	return &Mapper{ix: ix, opts: opts.withDefaults()}
+// New builds a mapper over the index. The penalty set is validated here so
+// every later MapRead can align without a per-candidate error path.
+func New(ix *Index, opts Options) (*Mapper, error) {
+	opts = opts.withDefaults()
+	if err := opts.Penalties.Validate(); err != nil {
+		return nil, fmt.Errorf("mapper: %w", err)
+	}
+	return &Mapper{ix: ix, opts: opts}, nil
 }
 
 // window extracts the candidate reference window for a read.
@@ -105,10 +111,12 @@ func (m *Mapper) MapRead(id uint32, read []byte) Mapping {
 	for _, c := range cands {
 		start, end := m.window(len(read), c.RefStart)
 		win := m.ix.Ref[start:end]
-		res, _ := wfa.Align(read, win, m.opts.Penalties, wfa.Options{
+		// Penalties were validated in New, so Align cannot fail here.
+		res, _, err := wfa.Align(read, win, m.opts.Penalties, wfa.Options{
 			WithCIGAR: true,
 			MaxScore:  best, // early abandon against the current best
 		})
+		invariant.Checkf(err == nil, "mapper", "align with validated penalties failed: %v", err)
 		if !res.Success {
 			continue
 		}

@@ -92,7 +92,10 @@ func TestMapReadsSoftwareAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(ix, Options{})
+	m, err := New(ix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reads, truth := sampleReads(g, ref, 20, 250, 0.05)
 	mappings := m.MapReads(reads)
 	correct := 0
@@ -126,7 +129,10 @@ func TestMapReadUnmappableRead(t *testing.T) {
 	g := seqgen.New(7, 8)
 	ref := g.RandomSequence(10000)
 	ix, _ := BuildIndex(ref, 15)
-	m := New(ix, Options{})
+	m, err := New(ix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A read from a different random universe: no seeds should map it.
 	foreign := seqgen.New(999, 999).RandomSequence(200)
 	mp := m.MapRead(1, foreign)
@@ -146,7 +152,10 @@ func TestMapReadsAcceleratedMatchesSoftware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(ix, Options{})
+	m, err := New(ix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	reads, truth := sampleReads(g, ref, 10, 300, 0.06)
 
 	sw := m.MapReads(reads)

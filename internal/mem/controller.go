@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
 
 // Timing parameterizes the memory controller's AXI-Full service rate.
 //
@@ -141,9 +145,8 @@ type Controller struct {
 
 // NewController builds a controller over the memory with the given timing.
 func NewController(m *Memory, t Timing) *Controller {
-	if err := t.Validate(); err != nil {
-		panic(err)
-	}
+	err := t.Validate()
+	invariant.Checkf(err == nil, "mem", "controller built with invalid timing: %v", err)
 	return &Controller{mem: m, timing: t}
 }
 

@@ -5,7 +5,7 @@
 // derives cycle counts structurally.
 package mem
 
-import "fmt"
+import "repro/internal/invariant"
 
 // BeatBytes is the AXI-Full data width: 16 bytes per beat (Section 4.1).
 const BeatBytes = 16
@@ -54,6 +54,6 @@ func (m *Memory) Bytes() []byte { return m.data }
 
 func (m *Memory) check(addr int64, n int) {
 	if addr < 0 || addr+int64(n) > int64(len(m.data)) {
-		panic(fmt.Sprintf("mem: access [%d,%d) outside memory of %d bytes", addr, addr+int64(n), len(m.data)))
+		invariant.Failf("mem", "access [%d,%d) outside memory of %d bytes", addr, addr+int64(n), len(m.data))
 	}
 }

@@ -13,9 +13,9 @@
 package seqgen
 
 import (
-	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/invariant"
 	"repro/internal/seqio"
 )
 
@@ -181,9 +181,7 @@ func (g *Generator) ClusteredPair(id uint32, length int, errorRate float64, burs
 
 // Set generates a whole input set for the profile.
 func (g *Generator) Set(p Profile) *seqio.InputSet {
-	if p.NumPairs <= 0 {
-		panic(fmt.Sprintf("seqgen: profile %q has NumPairs=%d", p.Name, p.NumPairs))
-	}
+	invariant.Checkf(p.NumPairs > 0, "seqgen", "profile %q has NumPairs=%d", p.Name, p.NumPairs)
 	set := &seqio.InputSet{Pairs: make([]seqio.Pair, 0, p.NumPairs)}
 	for i := 0; i < p.NumPairs; i++ {
 		set.Pairs = append(set.Pairs, g.Pair(uint32(i), p.Length, p.ErrorRate))

@@ -9,6 +9,8 @@
 // artifacts between components updated in the same simulated cycle.
 package sim
 
+import "repro/internal/invariant"
+
 // FIFO is a show-ahead FIFO of fixed depth: the oldest unread word is
 // available combinationally at Front and is consumed by Pop (the Vivado
 // "show ahead" mode of Section 4.6). Pushes are staged and commit at Tick,
@@ -26,9 +28,7 @@ type FIFO[T any] struct {
 
 // NewFIFO returns a FIFO holding up to depth words.
 func NewFIFO[T any](depth int) *FIFO[T] {
-	if depth <= 0 {
-		panic("sim: FIFO depth must be positive")
-	}
+	invariant.Checkf(depth > 0, "sim", "FIFO depth must be positive, got %d", depth)
 	return &FIFO[T]{depth: depth}
 }
 

@@ -1,6 +1,6 @@
 package sim
 
-import "fmt"
+import "repro/internal/invariant"
 
 // DualPortRAM models the FPGA-prototype memories of Section 4.6: one write
 // port and one independent synchronous read port. A read issued in cycle t
@@ -32,7 +32,7 @@ func (r *DualPortRAM) Depth() int { return len(r.words) }
 // next Tick.
 func (r *DualPortRAM) Read(addr int) {
 	if addr < 0 || addr >= len(r.words) {
-		panic(fmt.Sprintf("sim: RAM read address %d out of range [0,%d)", addr, len(r.words)))
+		invariant.Failf("sim", "RAM read address %d out of range [0,%d)", addr, len(r.words))
 	}
 	r.readPending = true
 	r.readAddr = addr
@@ -42,7 +42,7 @@ func (r *DualPortRAM) Read(addr int) {
 // Write issues a synchronous write; it lands at Tick.
 func (r *DualPortRAM) Write(addr int, data uint64) {
 	if addr < 0 || addr >= len(r.words) {
-		panic(fmt.Sprintf("sim: RAM write address %d out of range [0,%d)", addr, len(r.words)))
+		invariant.Failf("sim", "RAM write address %d out of range [0,%d)", addr, len(r.words))
 	}
 	r.writePending = true
 	r.writeAddr = addr
@@ -121,7 +121,7 @@ func (r *SinglePortRAM) Write(addr int, data uint64) {
 func (r *SinglePortRAM) claim() {
 	if r.busy {
 		r.Conflicts++
-		panic("sim: single-port RAM accessed twice in one cycle")
+		invariant.Failf("sim", "single-port RAM accessed twice in one cycle")
 	}
 	r.busy = true
 }

@@ -55,7 +55,10 @@ func (s *SoC) RunCPU(set *seqio.InputSet, mode CPUMode, withBacktrace bool) (*CP
 		var outcome align.Result
 		switch mode {
 		case CPUScalar, CPUVector:
-			res, st := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{WithCIGAR: withBacktrace})
+			res, st, err := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{WithCIGAR: withBacktrace})
+			if err != nil {
+				return nil, err
+			}
 			ws := cpumodel.WFAStats{
 				ScoreSteps:     st.ScoreSteps,
 				CellsComputed:  st.CellsComputed,
@@ -99,7 +102,10 @@ func (s *SoC) RunCPU(set *seqio.InputSet, mode CPUMode, withBacktrace bool) (*CP
 func (s *SoC) EstimateBTOutputBytes(set *seqio.InputSet) (int, error) {
 	total := 0
 	for _, p := range set.Pairs {
-		res, _ := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{MaxK: s.Cfg.KMax})
+		res, _, err := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{MaxK: s.Cfg.KMax})
+		if err != nil {
+			return 0, err
+		}
 		if !res.Success {
 			total += mem.BeatBytes // lone score record
 			continue

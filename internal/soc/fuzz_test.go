@@ -56,7 +56,7 @@ func TestCrossEngineFuzz(t *testing.T) {
 			t.Fatalf("trial %d (%v bt=%v): %v", trial, pen, bt, err)
 		}
 		hw := rep.Outcomes[0].Result
-		sw, _ := wfa.Align(pair.A, pair.B, pen, wfa.Options{WithCIGAR: bt, MaxK: cfg.KMax})
+		sw, _, _ := wfa.Align(pair.A, pair.B, pen, wfa.Options{WithCIGAR: bt, MaxK: cfg.KMax})
 		if hw.Success != sw.Success {
 			t.Fatalf("trial %d (%v): success hw=%v sw=%v", trial, pen, hw.Success, sw.Success)
 		}

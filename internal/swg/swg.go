@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/align"
+	"repro/internal/invariant"
 )
 
 // inf is a safe "unreachable" score: large enough to dominate, small enough
@@ -30,9 +31,8 @@ type Stats struct {
 // substitution case and the I/D matrices at the same cell, so the final
 // score is M(n,m).
 func Align(a, b []byte, p align.Penalties) (align.Result, Stats) {
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
+	err := p.Validate()
+	invariant.Checkf(err == nil, "swg", "oracle called with invalid penalties: %v", err)
 	n, m := len(a), len(b)
 	w := m + 1
 	// Score matrices, flattened row-major.
@@ -169,9 +169,8 @@ func Align(a, b []byte, p align.Penalties) (align.Result, Stats) {
 // Score computes only the optimal gap-affine score with O(m) memory
 // (two-row rolling arrays), suitable for long reads.
 func Score(a, b []byte, p align.Penalties) (int, Stats) {
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
+	err := p.Validate()
+	invariant.Checkf(err == nil, "swg", "oracle called with invalid penalties: %v", err)
 	n, m := len(a), len(b)
 	x, o, e := int32(p.Mismatch), int32(p.GapOpen), int32(p.GapExtend)
 

@@ -1,9 +1,8 @@
 package wfa
 
 import (
-	"fmt"
-
 	"repro/internal/align"
+	"repro/internal/invariant"
 )
 
 // backtrace reconstructs the optimal CIGAR from the retained wavefronts,
@@ -27,10 +26,10 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 		case CompM:
 			mwf := al.store.get(CompM, s)
 			if mwf == nil || !mwf.Valid(k) {
-				panic(fmt.Sprintf("wfa: backtrace lost M~ cell (s=%d,k=%d)", s, k))
+				invariant.Failf("wfa", "backtrace lost M~ cell (s=%d,k=%d)", s, k)
 			}
 			if got := mwf.At(k); got != cur {
-				panic(fmt.Sprintf("wfa: backtrace offset mismatch at M~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got))
+				invariant.Failf("wfa", "backtrace offset mismatch at M~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got)
 			}
 			tag := mwf.TagAt(k)
 			// Pre-extend value of this cell, from its origin.
@@ -45,7 +44,7 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 			case MTagDOpen, MTagDExt:
 				pre = al.store.get(CompD, s).At(k)
 			default:
-				panic(fmt.Sprintf("wfa: bad M~ tag %d at (s=%d,k=%d)", tag, s, k))
+				invariant.Failf("wfa", "bad M~ tag %d at (s=%d,k=%d)", tag, s, k)
 			}
 			for cur > pre {
 				rev = append(rev, align.OpMatch)
@@ -54,7 +53,7 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 			switch tag {
 			case MTagNone:
 				if s != 0 || k != 0 || cur != 0 {
-					panic(fmt.Sprintf("wfa: backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur))
+					invariant.Failf("wfa", "backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur)
 				}
 				return reverseOps(rev)
 			case MTagSub:
@@ -86,10 +85,10 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 		case CompI:
 			iwf := al.store.get(CompI, s)
 			if iwf == nil || !iwf.Valid(k) {
-				panic(fmt.Sprintf("wfa: backtrace lost I~ cell (s=%d,k=%d)", s, k))
+				invariant.Failf("wfa", "backtrace lost I~ cell (s=%d,k=%d)", s, k)
 			}
 			if got := iwf.At(k); got != cur {
-				panic(fmt.Sprintf("wfa: backtrace offset mismatch at I~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got))
+				invariant.Failf("wfa", "backtrace offset mismatch at I~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got)
 			}
 			rev = append(rev, align.OpInsert)
 			cur--
@@ -104,10 +103,10 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 		case CompD:
 			dwf := al.store.get(CompD, s)
 			if dwf == nil || !dwf.Valid(k) {
-				panic(fmt.Sprintf("wfa: backtrace lost D~ cell (s=%d,k=%d)", s, k))
+				invariant.Failf("wfa", "backtrace lost D~ cell (s=%d,k=%d)", s, k)
 			}
 			if got := dwf.At(k); got != cur {
-				panic(fmt.Sprintf("wfa: backtrace offset mismatch at D~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got))
+				invariant.Failf("wfa", "backtrace offset mismatch at D~(s=%d,k=%d): walk=%d stored=%d", s, k, cur, got)
 			}
 			rev = append(rev, align.OpDelete)
 			k++

@@ -1,6 +1,7 @@
 package wfa
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -20,8 +21,11 @@ type BatchResult struct {
 // use). It is the software counterpart of the paper's multi-threaded
 // WFA-CPU baseline (the EPYC rows of Table 2): embarrassingly parallel
 // across pairs, with per-pair results in input order. workers <= 0 selects
-// GOMAXPROCS.
-func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int) []BatchResult {
+// GOMAXPROCS. The penalties are validated once before the fan-out.
+func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int) ([]BatchResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("wfa: %w", err)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,7 +34,7 @@ func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int
 	}
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {
-		return out
+		return out, nil
 	}
 	var next int
 	var mu sync.Mutex
@@ -39,7 +43,7 @@ func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			al := New(p, opts)
+			al := newAligner(p, opts)
 			for {
 				mu.Lock()
 				idx := next
@@ -55,5 +59,5 @@ func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, nil
 }

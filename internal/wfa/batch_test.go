@@ -20,12 +20,15 @@ func batchPairs(n int) []seqio.Pair {
 func TestAlignBatchMatchesSerial(t *testing.T) {
 	pairs := batchPairs(24)
 	for _, workers := range []int{1, 2, 4, 0} {
-		got := AlignBatch(pairs, align.DefaultPenalties, Options{WithCIGAR: true}, workers)
+		got, err := AlignBatch(pairs, align.DefaultPenalties, Options{WithCIGAR: true}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(pairs) {
 			t.Fatalf("workers=%d: %d results", workers, len(got))
 		}
 		for i, p := range pairs {
-			want, _ := Align(p.A, p.B, align.DefaultPenalties, Options{WithCIGAR: true})
+			want, _, _ := Align(p.A, p.B, align.DefaultPenalties, Options{WithCIGAR: true})
 			r := got[i]
 			if r.ID != p.ID {
 				t.Fatalf("workers=%d: result %d has ID %d want %d (order lost)", workers, i, r.ID, p.ID)
@@ -41,14 +44,21 @@ func TestAlignBatchMatchesSerial(t *testing.T) {
 }
 
 func TestAlignBatchEmpty(t *testing.T) {
-	if got := AlignBatch(nil, align.DefaultPenalties, Options{}, 4); len(got) != 0 {
+	got, err := AlignBatch(nil, align.DefaultPenalties, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
 		t.Fatalf("empty batch returned %d results", len(got))
 	}
 }
 
 func TestAlignBatchStatsPerPair(t *testing.T) {
 	pairs := batchPairs(6)
-	got := AlignBatch(pairs, align.DefaultPenalties, Options{}, 3)
+	got, err := AlignBatch(pairs, align.DefaultPenalties, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range got {
 		if r.Result.Success && r.Stats.Score != r.Result.Score {
 			t.Fatalf("pair %d: stats score %d != result %d", i, r.Stats.Score, r.Result.Score)

@@ -1,9 +1,8 @@
 package wfa
 
 import (
-	"fmt"
-
 	"repro/internal/align"
+	"repro/internal/invariant"
 	"repro/internal/swg"
 )
 
@@ -20,9 +19,7 @@ import (
 // software substrate for the gap-linear baseline of Section 2.2 and is
 // verified against swg.LinearAlign.
 func LinearAlign(a, b []byte, p swg.LinearPenalties, opts Options) (align.Result, Stats) {
-	if p.Mismatch <= 0 || p.Gap <= 0 {
-		panic(fmt.Sprintf("wfa: invalid gap-linear penalties %+v", p))
-	}
+	invariant.Checkf(p.Mismatch > 0 && p.Gap > 0, "wfa", "invalid gap-linear penalties %+v", p)
 	n, m := len(a), len(b)
 	alignK := m - n
 	var st Stats
@@ -207,7 +204,7 @@ func linearBacktrace(a, b []byte, store wfStore, finalScore, alignK int, p swg.L
 	for {
 		wf := store.get(CompM, s)
 		if wf == nil || !wf.Valid(k) {
-			panic(fmt.Sprintf("wfa: linear backtrace lost cell (s=%d,k=%d)", s, k))
+			invariant.Failf("wfa", "linear backtrace lost cell (s=%d,k=%d)", s, k)
 		}
 		tag := wf.TagAt(k)
 		var pre int32
@@ -241,7 +238,7 @@ func linearBacktrace(a, b []byte, store wfStore, finalScore, alignK int, p swg.L
 			s -= p.Gap
 		default:
 			if s != 0 || k != 0 || cur != 0 {
-				panic(fmt.Sprintf("wfa: linear backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur))
+				invariant.Failf("wfa", "linear backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur)
 			}
 			return reverseOps(rev)
 		}

@@ -1,0 +1,64 @@
+package wfa
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+// TestAlignBatchConcurrentOverlap runs several AlignBatch calls at once over
+// overlapping slices of the same pairs and checks every result against a
+// serial reference. Under -race this exercises the worker fan-out in
+// batch.go: the shared `next` index, the per-worker Aligners, and the
+// write-disjointness of the output slice.
+func TestAlignBatchConcurrentOverlap(t *testing.T) {
+	g := seqgen.New(99, 7)
+	pairs := make([]seqio.Pair, 24)
+	for i := range pairs {
+		pairs[i] = g.Pair(uint32(i+1), 300, 0.08)
+	}
+
+	// Serial reference, one pair at a time.
+	ref := make([]align.Result, len(pairs))
+	for i, p := range pairs {
+		res, _, err := Align(p.A, p.B, align.DefaultPenalties, Options{WithCIGAR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = res
+	}
+
+	const batches = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, batches)
+	for b := 0; b < batches; b++ {
+		lo := b % 3 // overlapping windows into the same backing array
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			window := pairs[lo:]
+			out, err := AlignBatch(window, align.DefaultPenalties, Options{WithCIGAR: true}, 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, r := range out {
+				want := ref[lo+i]
+				if r.ID != window[i].ID || r.Result.Score != want.Score ||
+					string(r.Result.CIGAR) != string(want.CIGAR) {
+					t.Errorf("batch[%d..] pair %d: got score=%d cigar=%s, want score=%d cigar=%s",
+						lo, r.ID, r.Result.Score, r.Result.CIGAR, want.Score, want.CIGAR)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

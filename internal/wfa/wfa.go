@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/align"
+	"repro/internal/invariant"
 )
 
 // Options configures one WFA run.
@@ -51,19 +52,29 @@ type Aligner struct {
 	Stats  Stats
 }
 
-// New returns an Aligner for the penalty set.
-func New(p align.Penalties, opts Options) *Aligner {
+// New returns an Aligner for the penalty set. Invalid penalties — which can
+// arrive from user input through the driver API — surface as an error, never
+// as a panic.
+func New(p align.Penalties, opts Options) (*Aligner, error) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("wfa: %w", err)
 	}
+	return newAligner(p, opts), nil
+}
+
+// newAligner skips validation; callers must have validated p already.
+func newAligner(p align.Penalties, opts Options) *Aligner {
 	return &Aligner{pen: p, opts: opts}
 }
 
 // Align is a convenience wrapper: one-shot alignment of a and b.
-func Align(a, b []byte, p align.Penalties, opts Options) (align.Result, Stats) {
-	al := New(p, opts)
+func Align(a, b []byte, p align.Penalties, opts Options) (align.Result, Stats, error) {
+	al, err := New(p, opts)
+	if err != nil {
+		return align.Result{}, Stats{}, err
+	}
 	res := al.Run(a, b)
-	return res, al.Stats
+	return res, al.Stats, nil
 }
 
 // safeMaxScore derives a bound that any alignment is guaranteed to beat.
@@ -411,7 +422,7 @@ func (st *fullStore) get(c Component, s int) *Wavefront {
 
 func (st *fullStore) put(c Component, s int, w *Wavefront) {
 	if s >= len(st.wfs[c]) {
-		panic(fmt.Sprintf("wfa: score %d beyond store capacity %d", s, len(st.wfs[c])))
+		invariant.Failf("wfa", "score %d beyond store capacity %d", s, len(st.wfs[c]))
 	}
 	st.wfs[c][s] = w
 }

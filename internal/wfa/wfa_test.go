@@ -11,7 +11,10 @@ import (
 
 func mustAlign(t *testing.T, a, b []byte, p align.Penalties) (align.Result, Stats) {
 	t.Helper()
-	res, st := Align(a, b, p, Options{WithCIGAR: true})
+	res, st, err := Align(a, b, p, Options{WithCIGAR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Success {
 		t.Fatalf("WFA failed on a=%q b=%q", a, b)
 	}
@@ -122,7 +125,7 @@ func TestLongerPairsScoreOnly(t *testing.T) {
 	for _, length := range []int{500, 1000, 2000} {
 		for _, rate := range []float64{0.05, 0.10} {
 			pair := g.Pair(0, length, rate)
-			res, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
+			res, _, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
 			if !res.Success {
 				t.Fatalf("len=%d rate=%v: WFA failed", length, rate)
 			}
@@ -138,8 +141,8 @@ func TestScoreOnlyMatchesWithCIGAR(t *testing.T) {
 	g := seqgen.New(9, 9)
 	for trial := 0; trial < 20; trial++ {
 		pair := g.Pair(0, 50+trial*13, 0.08)
-		full, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{WithCIGAR: true})
-		lean, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
+		full, _, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{WithCIGAR: true})
+		lean, _, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
 		if full.Score != lean.Score {
 			t.Fatalf("trial %d: full=%d lean=%d", trial, full.Score, lean.Score)
 		}
@@ -150,11 +153,11 @@ func TestMaxScoreAbort(t *testing.T) {
 	a := []byte("AAAAAAAAAA")
 	b := []byte("TTTTTTTTTT")
 	// True score is 40 (10 mismatches); cap below it.
-	res, _ := Align(a, b, align.DefaultPenalties, Options{MaxScore: 20})
+	res, _, _ := Align(a, b, align.DefaultPenalties, Options{MaxScore: 20})
 	if res.Success {
 		t.Fatalf("expected failure under MaxScore=20, got score %d", res.Score)
 	}
-	res, _ = Align(a, b, align.DefaultPenalties, Options{MaxScore: 40})
+	res, _, _ = Align(a, b, align.DefaultPenalties, Options{MaxScore: 40})
 	if !res.Success || res.Score != 40 {
 		t.Fatalf("expected success with score 40, got %+v", res)
 	}
@@ -167,13 +170,13 @@ func TestMaxKClamp(t *testing.T) {
 	pair := g.Pair(0, 200, 0.05)
 	ref, _ := swg.Score(pair.A, pair.B, align.DefaultPenalties)
 
-	res, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{MaxK: (ref - 4 + 1) / 2})
+	res, _, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{MaxK: (ref - 4 + 1) / 2})
 	if !res.Success || res.Score != ref {
 		t.Fatalf("MaxK large enough: got %+v want score %d", res, ref)
 	}
 	// A pure-gap alignment far off-diagonal: query empty, text 30 bases
 	// needs k up to 30.
-	res, _ = Align(nil, []byte("ACGTACGTACGTACGTACGTACGTACGTAC"), align.DefaultPenalties, Options{MaxK: 5})
+	res, _, _ = Align(nil, []byte("ACGTACGTACGTACGTACGTACGTACGTAC"), align.DefaultPenalties, Options{MaxK: 5})
 	if res.Success {
 		t.Fatalf("expected failure with MaxK=5 and 30-diagonal goal")
 	}
@@ -182,7 +185,7 @@ func TestMaxKClamp(t *testing.T) {
 func TestStatsAreCounted(t *testing.T) {
 	g := seqgen.New(5, 6)
 	pair := g.Pair(0, 300, 0.05)
-	res, st := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
+	res, st, _ := Align(pair.A, pair.B, align.DefaultPenalties, Options{})
 	if !res.Success {
 		t.Fatal("alignment failed")
 	}
@@ -203,7 +206,7 @@ func TestStatsAreCounted(t *testing.T) {
 func TestIdenticalSequencesScoreZero(t *testing.T) {
 	g := seqgen.New(10, 20)
 	s := g.RandomSequence(5000)
-	res, st := Align(s, s, align.DefaultPenalties, Options{WithCIGAR: true})
+	res, st, _ := Align(s, s, align.DefaultPenalties, Options{WithCIGAR: true})
 	if !res.Success || res.Score != 0 {
 		t.Fatalf("identical sequences: %+v", res)
 	}
@@ -225,4 +228,19 @@ func TestAsymmetricLengths(t *testing.T) {
 	checkAgainstSWG(t, []byte("ACGTACGTACGTACGT"), []byte("ACG"), p)
 	checkAgainstSWG(t, []byte("ACG"), []byte("ACGTACGTACGTACGT"), p)
 	checkAgainstSWG(t, []byte("A"), []byte("TTTTTTTT"), p)
+}
+
+// Malformed penalties can arrive from user input through the driver API;
+// they must surface as errors, never crash the process.
+func TestInvalidPenaltiesReturnError(t *testing.T) {
+	bad := align.Penalties{Mismatch: 0, GapOpen: 6, GapExtend: 2}
+	if _, err := New(bad, Options{}); err == nil {
+		t.Fatal("New accepted invalid penalties")
+	}
+	if _, _, err := Align([]byte("ACGT"), []byte("ACGT"), bad, Options{}); err == nil {
+		t.Fatal("Align accepted invalid penalties")
+	}
+	if _, err := AlignBatch(batchPairs(2), bad, Options{}, 2); err == nil {
+		t.Fatal("AlignBatch accepted invalid penalties")
+	}
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check.sh — the repo's full correctness gate, kept identical to CI
+# (.github/workflows/ci.yml) so a green local run means a green pipeline:
+#
+#   1. gofmt        formatting drift
+#   2. go vet       the stock toolchain analyzers
+#   3. wfasic-vet   the project-specific analyzers (determinism, panicpolicy,
+#                   magicoffset, errpath — see internal/lint)
+#   4. go build     everything compiles, including examples
+#   5. go test -race  the full suite under the race detector (the bench
+#                     package takes a few minutes under -race; use
+#                     SKIP_RACE=1 for a quick non-race pass)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+badfmt=$(gofmt -l .)
+if [[ -n "$badfmt" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== wfasic-vet =="
+go run ./cmd/wfasic-vet ./...
+
+echo "== go build =="
+go build ./...
+
+if [[ "${SKIP_RACE:-0}" == "1" ]]; then
+    echo "== go test (race detector skipped) =="
+    go test ./...
+else
+    echo "== go test -race =="
+    go test -race ./...
+fi
+
+echo "all checks passed"
