@@ -1,22 +1,36 @@
 // Command wfasic-vet runs the repo's project-specific static analyzers over
 // the module: determinism (cycle-stepped code must be reproducible),
 // panicpolicy (assert via internal/invariant, not raw panic), magicoffset
-// (named register/beat constants, not literals) and errpath (exported
-// error-returning functions must not swallow callee errors).
+// (named register/beat constants, not literals), errpath (exported
+// error-returning functions must not swallow callee errors), tickphase
+// (Tick/Step methods follow the two-phase next-state discipline), regmap
+// (register constants, annotations, switch arms and the soc driver agree)
+// and suppress (//vet:allow comments must still mask a finding).
 //
 // Usage:
 //
 //	go run ./cmd/wfasic-vet ./...
 //	go run ./cmd/wfasic-vet -only determinism,errpath ./internal/...
+//	go run ./cmd/wfasic-vet -json ./...
+//	go run ./cmd/wfasic-vet -baseline vet-baseline.json ./...
+//	go run ./cmd/wfasic-vet -write-baseline vet-baseline.json ./...
 //	go run ./cmd/wfasic-vet -list
+//
+// With -baseline, only regressions (findings absent from the baseline) and
+// stale baseline entries fail the run: the findings ratchet can shrink but
+// never grow. -json emits the machine-readable report on stdout; CI archives
+// it as an artifact. -write-baseline snapshots the current findings as a
+// baseline skeleton whose justifications must then be filled in by hand.
 //
 // It is built purely on the standard library so it needs no module downloads;
 // scripts/check.sh and CI run it on every change. A finding can be
 // suppressed with a `//vet:allow <analyzer> [reason]` comment on the same
-// line or the line above. Exits 1 when any finding remains.
+// line or the line above. Exits 1 when the run is not clean, 2 on usage or
+// I/O errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +43,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "fail only on regressions against this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -72,23 +89,62 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	total := 0
+	// The whole module is analyzed (module-level analyzers need every
+	// package); patterns restrict which findings are reported.
+	matchedDirs := map[string]bool{}
 	for _, p := range pkgs {
-		if !matchAny(patterns, cwd, p.Dir) {
-			continue
-		}
-		for _, d := range lint.Check(p, analyzers) {
-			file := d.Pos.Filename
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-			total++
+		if matchAny(patterns, cwd, p.Dir) {
+			matchedDirs[p.Dir] = true
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "wfasic-vet: %d finding(s)\n", total)
+	var ds []lint.Diagnostic
+	for _, d := range lint.CheckModule(pkgs, analyzers) {
+		if matchedDirs[filepath.Dir(d.Pos.Filename)] {
+			ds = append(ds, d)
+		}
+	}
+	findings := lint.ToJSONFindings(ds, root)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, findings,
+			"wfasic-vet findings ratchet: entries may only be removed; every entry needs a justification"); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wfasic-vet: wrote %d finding(s) to %s (fill in the justifications)\n",
+			len(findings), *writeBaseline)
+		return
+	}
+
+	var baseline *lint.Baseline
+	if *baselinePath != "" {
+		baseline, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	report := lint.BuildReport(findings, baseline)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, f := range report.Findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		for _, e := range report.Stale {
+			fmt.Printf("%s: [%s] stale baseline entry (finding no longer occurs): %s\n", e.File, e.Analyzer, e.Message)
+		}
+	}
+	if !report.Clean() {
+		fmt.Fprintf(os.Stderr, "wfasic-vet: %d regression(s), %d stale baseline entr(ies)\n",
+			len(report.Regressions), len(report.Stale))
 		os.Exit(1)
+	}
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "wfasic-vet: %d finding(s), all baselined\n", n)
 	}
 }
 

@@ -89,16 +89,18 @@ func (e *Extractor) Tick(cycle int64) {
 			return // wait for the DMA
 		}
 		e.consumeBeat(beat)
-		e.beatIdx++
-		if e.beatIdx < e.pairBeats {
+		beatIdx := e.beatIdx + 1
+		e.beatIdx = beatIdx
+		if beatIdx < e.pairBeats {
 			return
 		}
 		e.dispatchWait = e.cfg.Timing.DispatchOverhead
 		return
 	}
 	if e.dispatchWait > 0 {
-		e.dispatchWait--
-		if e.dispatchWait == 0 {
+		wait := e.dispatchWait - 1
+		e.dispatchWait = wait
+		if wait == 0 {
 			e.dispatch(cycle)
 		}
 	}

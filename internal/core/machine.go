@@ -183,27 +183,28 @@ func (m *Machine) Tick() {
 		m.Regs.startRequested = false
 		m.startJob()
 	}
-	m.cycle++
+	cycle := m.cycle + 1
+	m.cycle = cycle
 	if !m.running {
 		return
 	}
 
 	m.ctl.Tick()
 	m.dmaRead()
-	m.extractor.Tick(m.cycle)
+	m.extractor.Tick(cycle)
 	for _, a := range m.aligners {
-		a.Tick(m.cycle)
+		a.Tick(cycle)
 	}
 	m.collector.Tick()
 	m.dmaWrite()
 	m.inFIFO.Tick()
 	m.outFIFO.Tick()
 	m.Regs.OutCount = uint32(m.collector.Transactions)
-	m.Regs.JobCycles = uint64(m.cycle - m.jobStart)
+	m.Regs.JobCycles = uint64(cycle - m.jobStart)
 
 	if m.jobDone() {
 		m.trace("machine", "job-done", "cycles=%d transactions=%d",
-			m.cycle-m.jobStart, m.collector.Transactions)
+			cycle-m.jobStart, m.collector.Transactions)
 		m.running = false
 		m.Regs.idle = true
 		if m.Regs.irqEnable {

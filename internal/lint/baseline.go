@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the findings ratchet: `wfasic-vet -json` emits
+// machine-readable findings, and `-baseline vet-baseline.json` makes the run
+// fail only on *regressions* — findings absent from the baseline — plus stale
+// baseline entries, so the debt list can only shrink. Every surviving entry
+// must carry a justification; an unexplained waiver is a config error.
+//
+// Entries match on (file, analyzer, message), deliberately not on line
+// numbers: unrelated edits move lines, and a ratchet that churns on every
+// refactor trains people to regenerate it blindly.
+
+// JSONFinding is the machine-readable form of one Diagnostic. File paths are
+// module-root-relative and slash-separated so the output is stable across
+// checkouts and operating systems.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// BaselineEntry is one ratcheted (grandfathered) finding.
+type BaselineEntry struct {
+	File          string `json:"file"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Justification string `json:"justification"`
+}
+
+// Baseline is the on-disk vet-baseline.json document.
+type Baseline struct {
+	Note     string          `json:"note,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// Report is the full outcome of a vet run: all post-suppression findings,
+// split against the baseline (when one was supplied).
+type Report struct {
+	Findings    []JSONFinding   `json:"findings"`
+	Regressions []JSONFinding   `json:"regressions,omitempty"`
+	Stale       []BaselineEntry `json:"stale_baseline,omitempty"`
+}
+
+// Clean reports whether the run should exit 0: no regressions and no stale
+// baseline entries (without a baseline, no findings at all).
+func (r *Report) Clean() bool {
+	return len(r.Regressions) == 0 && len(r.Stale) == 0
+}
+
+// ToJSONFindings converts diagnostics, relativizing file paths to root.
+func ToJSONFindings(ds []Diagnostic, root string) []JSONFinding {
+	out := make([]JSONFinding, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, JSONFinding{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+func relPath(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// LoadBaseline reads and validates a baseline file. Every entry needs a
+// non-empty justification — the ratchet exists to document debt, not hide it.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	for i, e := range b.Findings {
+		if strings.TrimSpace(e.Justification) == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d (%s in %s) has no justification",
+				path, i, e.Analyzer, e.File)
+		}
+		if e.File == "" || e.Analyzer == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline %s entry %d is missing file/analyzer/message", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// BuildReport splits findings against an optional baseline. With a nil
+// baseline every finding is a regression (strict mode).
+func BuildReport(findings []JSONFinding, b *Baseline) *Report {
+	r := &Report{Findings: findings}
+	if b == nil {
+		r.Regressions = findings
+		return r
+	}
+	type key struct{ file, analyzer, message string }
+	matched := map[key]bool{}
+	allowed := map[key]bool{}
+	for _, e := range b.Findings {
+		allowed[key{e.File, e.Analyzer, e.Message}] = true
+	}
+	for _, f := range findings {
+		k := key{f.File, f.Analyzer, f.Message}
+		if allowed[k] {
+			matched[k] = true
+			continue
+		}
+		r.Regressions = append(r.Regressions, f)
+	}
+	for _, e := range b.Findings {
+		if !matched[key{e.File, e.Analyzer, e.Message}] {
+			r.Stale = append(r.Stale, e)
+		}
+	}
+	return r
+}
+
+// WriteBaseline serializes the current findings as a baseline skeleton, with
+// a placeholder justification the author must replace.
+func WriteBaseline(path string, findings []JSONFinding, note string) error {
+	b := Baseline{Note: note}
+	seen := map[BaselineEntry]bool{}
+	for _, f := range findings {
+		e := BaselineEntry{
+			File:          f.File,
+			Analyzer:      f.Analyzer,
+			Message:       f.Message,
+			Justification: "TODO: justify or fix",
+		}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func jf(file, analyzer, msg string) JSONFinding {
+	return JSONFinding{File: file, Line: 1, Col: 1, Analyzer: analyzer, Message: msg}
+}
+
+func TestBuildReportStrictWithoutBaseline(t *testing.T) {
+	fs := []JSONFinding{jf("a.go", "tickphase", "boom")}
+	r := BuildReport(fs, nil)
+	if len(r.Regressions) != 1 || r.Clean() {
+		t.Fatalf("nil baseline must treat every finding as a regression: %+v", r)
+	}
+}
+
+func TestBuildReportSplit(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "tickphase", Message: "grandfathered", Justification: "known"},
+		{File: "b.go", Analyzer: "regmap", Message: "fixed since", Justification: "known"},
+	}}
+	fs := []JSONFinding{
+		jf("a.go", "tickphase", "grandfathered"), // baselined
+		jf("c.go", "errpath", "brand new"),       // regression
+	}
+	r := BuildReport(fs, b)
+	if len(r.Regressions) != 1 || r.Regressions[0].File != "c.go" {
+		t.Fatalf("regressions = %+v, want the c.go finding only", r.Regressions)
+	}
+	if len(r.Stale) != 1 || r.Stale[0].File != "b.go" {
+		t.Fatalf("stale = %+v, want the b.go entry only", r.Stale)
+	}
+	if r.Clean() {
+		t.Fatal("report with a regression and a stale entry must not be clean")
+	}
+}
+
+func TestBuildReportClean(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "tickphase", Message: "grandfathered", Justification: "known"},
+	}}
+	r := BuildReport([]JSONFinding{jf("a.go", "tickphase", "grandfathered")}, b)
+	if !r.Clean() {
+		t.Fatalf("fully matched baseline must be clean: %+v", r)
+	}
+}
+
+// Line numbers deliberately do not participate in matching: unrelated edits
+// move findings around and the ratchet must not churn.
+func TestBaselineIgnoresLines(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "tickphase", Message: "m", Justification: "known"},
+	}}
+	f := jf("a.go", "tickphase", "m")
+	f.Line = 999
+	if r := BuildReport([]JSONFinding{f}, b); !r.Clean() {
+		t.Fatalf("line number must not affect matching: %+v", r)
+	}
+}
+
+func TestLoadBaselineRequiresJustification(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	body := `{"findings":[{"file":"a.go","analyzer":"tickphase","message":"m","justification":"  "}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("entry with blank justification must be rejected")
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	fs := []JSONFinding{
+		jf("b.go", "regmap", "second"),
+		jf("a.go", "tickphase", "first"),
+		jf("a.go", "tickphase", "first"), // duplicate collapses
+	}
+	if err := WriteBaseline(path, fs, "note"); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d entries, want 2 (deduped): %+v", len(b.Findings), b.Findings)
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "b.go" {
+		t.Fatalf("entries not sorted by file: %+v", b.Findings)
+	}
+	if r := BuildReport(fs, b); !r.Clean() {
+		t.Fatalf("freshly written baseline must match its own findings: %+v", r)
+	}
+}

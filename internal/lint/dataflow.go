@@ -1,0 +1,582 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the intraprocedural def-use engine the hardware-semantics
+// analyzers (tickphase) are built on. A function body is lowered to a
+// statement-granularity control-flow graph — one node per simple statement
+// plus one per control header (if/for/switch conditions, range operands) —
+// and a forward reaching-definitions pass propagates receiver-field writes
+// across branch and loop joins.
+//
+// Scope and deliberate limits, mirroring registered RTL:
+//
+//   - Tracked state is the method receiver's fields, addressed by dotted
+//     selector path ("cycle", "Stats.BusyCycles"). Distinct paths are assumed
+//     not to alias. Locals are wires, not registers, and are ignored.
+//   - Method calls are opaque: `m.startJob()` neither reads nor writes fields
+//     as far as the engine can see (their receiver prefix, as in `m.ctl.Tick()`
+//     reading `ctl`, still counts as a read). Function literals are likewise
+//     opaque. The analysis is intraprocedural by design.
+//   - Loop back edges are excluded from propagation: a statement pair whose
+//     only write→read path is loop-carried models sequential micro-steps of
+//     one cycle (an induction pointer, a commit loop), not a phase-ordering
+//     bug. Writes still propagate out of a loop body — the body frontier is
+//     wired forward past the loop — so a post-loop read of loop-written state
+//     is reported.
+//   - A node's own write never reaches its own reads (Go evaluates the RHS
+//     first, so `x = x + 1` and `x++` read pre-cycle state).
+
+// fieldAccess is one read or write of a receiver field path.
+type fieldAccess struct {
+	path string // dotted path below the receiver, e.g. "Stats.BusyCycles"
+	pos  token.Pos
+}
+
+// flowNode is one CFG node: a simple statement or a control-header
+// expression, with the field accesses its evaluation performs.
+type flowNode struct {
+	pos   token.Pos
+	uses  []fieldAccess
+	defs  []fieldAccess
+	succs []int
+}
+
+// funcFlow is the control-flow graph of one function body.
+type funcFlow struct {
+	recv  string
+	nodes []*flowNode
+}
+
+// fieldDef identifies one reaching definition: field path written at node.
+type fieldDef struct {
+	node int
+	path string
+}
+
+// hazard is a same-pass read of a field after a write from another node.
+type hazard struct {
+	path   string
+	usePos token.Pos
+	defPos token.Pos
+}
+
+// buildFlow lowers a method body to a funcFlow. recv is the receiver
+// identifier ("" disables field tracking, yielding an empty graph).
+func buildFlow(recv string, body *ast.BlockStmt) *funcFlow {
+	b := &flowBuilder{ff: &funcFlow{recv: recv}}
+	b.stmts(body.List, []edge{})
+	return b.ff
+}
+
+// edge is a pending predecessor: node `from` needs its next successor wired.
+type edge struct{ from int }
+
+// loopCtx tracks where break/continue jump inside the innermost loop or
+// switch.
+type loopCtx struct {
+	isLoop    bool
+	breaks    []edge // collected, wired to the construct's exit
+	continues []edge // loops only: wired to post/header
+}
+
+type flowBuilder struct {
+	ff    *funcFlow
+	stack []*loopCtx
+}
+
+// node appends a CFG node for stmt-or-expr accesses, wiring preds to it, and
+// returns it as the single-element frontier.
+func (b *flowBuilder) node(pos token.Pos, preds []edge, exprs ...ast.Expr) (int, []edge) {
+	n := &flowNode{pos: pos}
+	for _, e := range exprs {
+		if e != nil {
+			b.collect(e, false, n)
+		}
+	}
+	id := len(b.ff.nodes)
+	b.ff.nodes = append(b.ff.nodes, n)
+	for _, p := range preds {
+		b.ff.nodes[p.from].succs = append(b.ff.nodes[p.from].succs, id)
+	}
+	return id, []edge{{from: id}}
+}
+
+// stmts wires a statement list, returning the fall-through frontier.
+func (b *flowBuilder) stmts(list []ast.Stmt, preds []edge) []edge {
+	for _, s := range list {
+		preds = b.stmt(s, preds)
+	}
+	return preds
+}
+
+func (b *flowBuilder) stmt(s ast.Stmt, preds []edge) []edge {
+	switch s := s.(type) {
+	case nil:
+		return preds
+	case *ast.BlockStmt:
+		return b.stmts(s.List, preds)
+	case *ast.EmptyStmt:
+		return preds
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, preds)
+	case *ast.ExprStmt:
+		_, out := b.node(s.Pos(), preds, s.X)
+		return out
+	case *ast.SendStmt:
+		_, out := b.node(s.Pos(), preds, s.Chan, s.Value)
+		return out
+	case *ast.IncDecStmt:
+		// x++ reads then writes x; both land on one node, so the write never
+		// reaches its own read.
+		id, out := b.node(s.Pos(), preds, s.X)
+		b.collectLHS(s.X, b.ff.nodes[id])
+		return out
+	case *ast.AssignStmt:
+		id, out := b.node(s.Pos(), preds, s.Rhs...)
+		n := b.ff.nodes[id]
+		for _, l := range s.Lhs {
+			b.collectLHS(l, n)
+		}
+		return out
+	case *ast.DeclStmt:
+		id, out := b.node(s.Pos(), preds)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.collect(v, false, b.ff.nodes[id])
+					}
+				}
+			}
+		}
+		return out
+	case *ast.DeferStmt:
+		// Deferred calls run at exit; for hazard purposes their argument
+		// evaluation (which happens here) is what matters.
+		_, out := b.node(s.Pos(), preds, s.Call)
+		return out
+	case *ast.GoStmt:
+		_, out := b.node(s.Pos(), preds, s.Call)
+		return out
+	case *ast.ReturnStmt:
+		var exprs []ast.Expr
+		exprs = append(exprs, s.Results...)
+		b.node(s.Pos(), preds, exprs...)
+		return nil // flows to function exit
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := b.nearest(false); ctx != nil {
+				ctx.breaks = append(ctx.breaks, preds...)
+			}
+			return nil
+		case token.CONTINUE:
+			if ctx := b.nearest(true); ctx != nil {
+				ctx.continues = append(ctx.continues, preds...)
+			}
+			return nil
+		default:
+			// goto/fallthrough: treated as fall-through (no goto in the
+			// tree; fallthrough keeps the conservative sequential edge).
+			return preds
+		}
+	case *ast.IfStmt:
+		preds = b.stmt(s.Init, preds)
+		_, condOut := b.node(s.If, preds, s.Cond)
+		thenOut := b.stmts(s.Body.List, condOut)
+		if s.Else != nil {
+			elseOut := b.stmt(s.Else, condOut)
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, condOut...)
+	case *ast.ForStmt:
+		preds = b.stmt(s.Init, preds)
+		condID, condOut := b.node(s.For, preds, s.Cond)
+		ctx := b.push(true)
+		bodyOut := b.stmts(s.Body.List, condOut)
+		b.pop()
+		postOut := append(bodyOut, ctx.continues...)
+		if s.Post != nil {
+			postOut = b.stmt(s.Post, postOut)
+		}
+		for _, e := range postOut { // back edge
+			b.ff.nodes[e.from].succs = append(b.ff.nodes[e.from].succs, condID)
+		}
+		// The loop exits before the first iteration (condOut) or after any
+		// iteration (postOut): both frontiers flow forward to the next
+		// statement, so body writes propagate past the loop while the back
+		// edge into the header stays excluded from propagation.
+		return append(append(condOut, postOut...), ctx.breaks...)
+	case *ast.RangeStmt:
+		hdrID, hdrOut := b.node(s.For, preds, s.X)
+		n := b.ff.nodes[hdrID]
+		if s.Tok == token.ASSIGN {
+			b.collectLHS(s.Key, n)
+			b.collectLHS(s.Value, n)
+		}
+		ctx := b.push(true)
+		bodyOut := b.stmts(s.Body.List, hdrOut)
+		b.pop()
+		iterOut := append(bodyOut, ctx.continues...)
+		for _, e := range iterOut { // back edge
+			b.ff.nodes[e.from].succs = append(b.ff.nodes[e.from].succs, hdrID)
+		}
+		// As with for loops, the iteration frontier also flows forward past
+		// the range so body writes reach post-loop reads.
+		return append(append(hdrOut, iterOut...), ctx.breaks...)
+	case *ast.SwitchStmt:
+		preds = b.stmt(s.Init, preds)
+		_, tagOut := b.node(s.Switch, preds, s.Tag)
+		return b.caseClauses(s.Body, tagOut)
+	case *ast.TypeSwitchStmt:
+		preds = b.stmt(s.Init, preds)
+		var x ast.Expr
+		switch a := s.Assign.(type) {
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				x = a.Rhs[0]
+			}
+		case *ast.ExprStmt:
+			x = a.X
+		}
+		_, tagOut := b.node(s.Switch, preds, x)
+		return b.caseClauses(s.Body, tagOut)
+	case *ast.SelectStmt:
+		ctx := b.push(false)
+		var out []edge
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			commOut := b.stmt(cc.Comm, preds)
+			out = append(out, b.stmts(cc.Body, commOut)...)
+		}
+		b.pop()
+		return append(out, ctx.breaks...)
+	default:
+		// Unknown statement kind: model as one opaque node.
+		_, out := b.node(s.Pos(), preds)
+		return out
+	}
+}
+
+// caseClauses wires a switch body: every clause starts from the tag node,
+// clause bodies are mutually exclusive, and the switch exit is the union of
+// clause exits (plus the tag itself when there is no default clause).
+func (b *flowBuilder) caseClauses(body *ast.BlockStmt, tagOut []edge) []edge {
+	ctx := b.push(false)
+	var out []edge
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		_, hdrOut := b.node(cc.Pos(), tagOut, cc.List...)
+		out = append(out, b.stmts(cc.Body, hdrOut)...)
+	}
+	b.pop()
+	if !hasDefault {
+		out = append(out, tagOut...)
+	}
+	return append(out, ctx.breaks...)
+}
+
+func (b *flowBuilder) push(isLoop bool) *loopCtx {
+	ctx := &loopCtx{isLoop: isLoop}
+	b.stack = append(b.stack, ctx)
+	return ctx
+}
+
+func (b *flowBuilder) pop() { b.stack = b.stack[:len(b.stack)-1] }
+
+// nearest returns the innermost loop (needLoop) or breakable construct.
+func (b *flowBuilder) nearest(needLoop bool) *loopCtx {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if !needLoop || b.stack[i].isLoop {
+			return b.stack[i]
+		}
+	}
+	return nil
+}
+
+// collectLHS records an assignment target: a receiver-field selector is a
+// def (with its index expressions as uses); anything else is walked for
+// reads.
+func (b *flowBuilder) collectLHS(e ast.Expr, n *flowNode) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return // local or blank: not simulator state
+	case *ast.SelectorExpr:
+		if path, ok := b.fieldPath(e); ok {
+			n.defs = append(n.defs, fieldAccess{path: path, pos: e.Pos()})
+			return
+		}
+		b.collect(e, false, n)
+	case *ast.IndexExpr:
+		// recv.F[i] = v writes (an element of) F and reads the index.
+		if sel, ok := e.X.(*ast.SelectorExpr); ok {
+			if path, ok := b.fieldPath(sel); ok {
+				n.defs = append(n.defs, fieldAccess{path: path, pos: sel.Pos()})
+				b.collect(e.Index, false, n)
+				return
+			}
+		}
+		b.collect(e, false, n)
+	case *ast.StarExpr:
+		b.collect(e.X, false, n)
+	case *ast.ParenExpr:
+		b.collectLHS(e.X, n)
+	default:
+		b.collect(e, false, n)
+	}
+}
+
+// collect records the receiver-field reads performed by evaluating e.
+// asCallee marks e as the Fun of a call: the final selector element is a
+// method name, so only the prefix is a field read.
+func (b *flowBuilder) collect(e ast.Expr, asCallee bool, n *flowNode) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.Ident, *ast.BasicLit:
+		return
+	case *ast.SelectorExpr:
+		if path, ok := b.fieldPath(e); ok {
+			if asCallee {
+				// recv.A.Method(): drop the method element; recv.Method()
+				// touches no field at all.
+				if i := strings.LastIndexByte(path, '.'); i >= 0 {
+					n.uses = append(n.uses, fieldAccess{path: path[:i], pos: e.Pos()})
+				}
+				return
+			}
+			n.uses = append(n.uses, fieldAccess{path: path, pos: e.Pos()})
+			return
+		}
+		b.collect(e.X, false, n)
+	case *ast.CallExpr:
+		b.collect(e.Fun, true, n)
+		for _, a := range e.Args {
+			b.collect(a, false, n)
+		}
+	case *ast.FuncLit:
+		return // opaque, like method calls
+	case *ast.UnaryExpr:
+		b.collect(e.X, false, n)
+	case *ast.BinaryExpr:
+		b.collect(e.X, false, n)
+		b.collect(e.Y, false, n)
+	case *ast.ParenExpr:
+		b.collect(e.X, false, n)
+	case *ast.StarExpr:
+		b.collect(e.X, false, n)
+	case *ast.IndexExpr:
+		b.collect(e.X, false, n)
+		b.collect(e.Index, false, n)
+	case *ast.IndexListExpr:
+		b.collect(e.X, false, n)
+		for _, ix := range e.Indices {
+			b.collect(ix, false, n)
+		}
+	case *ast.SliceExpr:
+		b.collect(e.X, false, n)
+		b.collect(e.Low, false, n)
+		b.collect(e.High, false, n)
+		b.collect(e.Max, false, n)
+	case *ast.TypeAssertExpr:
+		b.collect(e.X, false, n)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			b.collect(el, false, n)
+		}
+	case *ast.KeyValueExpr:
+		b.collect(e.Value, false, n)
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StructType,
+		*ast.FuncType, *ast.InterfaceType:
+		return
+	default:
+		ast.Inspect(e, func(c ast.Node) bool {
+			if sel, ok := c.(*ast.SelectorExpr); ok {
+				if path, ok := b.fieldPath(sel); ok {
+					n.uses = append(n.uses, fieldAccess{path: path, pos: sel.Pos()})
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldPath resolves a selector chain rooted at the receiver identifier to
+// its dotted field path ("Stats.BusyCycles" for a.Stats.BusyCycles).
+func (b *flowBuilder) fieldPath(sel *ast.SelectorExpr) (string, bool) {
+	if b.ff.recv == "" {
+		return "", false
+	}
+	var elems []string
+	e := ast.Expr(sel)
+	for {
+		s, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		elems = append(elems, s.Sel.Name)
+		e = s.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != b.ff.recv {
+		return "", false
+	}
+	// elems is outermost-last; reverse into a dotted path.
+	var sb strings.Builder
+	for i := len(elems) - 1; i >= 0; i-- {
+		if sb.Len() > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(elems[i])
+	}
+	return sb.String(), true
+}
+
+// backEdges finds the CFG edges that close loops (successor is an ancestor on
+// the DFS stack). Propagation over the remaining DAG is what reaching
+// definitions runs on.
+func (ff *funcFlow) backEdges() map[[2]int]bool {
+	back := map[[2]int]bool{}
+	state := make([]int, len(ff.nodes)) // 0 white, 1 on stack, 2 done
+	var dfs func(int)
+	dfs = func(u int) {
+		state[u] = 1
+		for _, v := range ff.nodes[u].succs {
+			switch state[v] {
+			case 0:
+				dfs(v)
+			case 1:
+				back[[2]int{u, v}] = true
+			}
+		}
+		state[u] = 2
+	}
+	for i := range ff.nodes {
+		if state[i] == 0 {
+			dfs(i)
+		}
+	}
+	return back
+}
+
+// reachingDefs computes, for each node, the receiver-field definitions
+// reaching its entry along forward (non-back) edges. Definitions are
+// generated per node and killed by a later write of the same path.
+func (ff *funcFlow) reachingDefs() []map[fieldDef]bool {
+	n := len(ff.nodes)
+	in := make([]map[fieldDef]bool, n)
+	out := make([]map[fieldDef]bool, n)
+	for i := range in {
+		in[i] = map[fieldDef]bool{}
+		out[i] = map[fieldDef]bool{}
+	}
+	back := ff.backEdges()
+	changed := true
+	for changed {
+		changed = false
+		for u := 0; u < n; u++ {
+			// Transfer: OUT = gen(u) ∪ (IN − kill(u)).
+			newOut := map[fieldDef]bool{}
+			killed := map[string]bool{}
+			for _, d := range ff.nodes[u].defs {
+				killed[d.path] = true
+			}
+			for d := range in[u] {
+				if !killed[d.path] {
+					newOut[d] = true
+				}
+			}
+			for _, d := range ff.nodes[u].defs {
+				newOut[fieldDef{node: u, path: d.path}] = true
+			}
+			if len(newOut) != len(out[u]) || !sameDefs(newOut, out[u]) {
+				out[u] = newOut
+				changed = true
+			}
+			for _, v := range ff.nodes[u].succs {
+				if back[[2]int{u, v}] {
+					continue
+				}
+				for d := range newOut {
+					if !in[v][d] {
+						in[v][d] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+func sameDefs(a, b map[fieldDef]bool) bool {
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// hazards reports every read of a field path at a node whose entry is reached
+// by a write of the same path from a different node — the same-cycle
+// read-after-write set. One hazard is emitted per (use position, path),
+// naming the earliest reaching write.
+func (ff *funcFlow) hazards() []hazard {
+	in := ff.reachingDefs()
+	var out []hazard
+	for u, node := range ff.nodes {
+		for _, use := range node.uses {
+			var defPos token.Pos
+			for d := range in[u] {
+				if d.path != use.path || d.node == u {
+					continue
+				}
+				p := ff.defPos(d)
+				if defPos == token.NoPos || p < defPos {
+					defPos = p
+				}
+			}
+			if defPos != token.NoPos {
+				out = append(out, hazard{path: use.path, usePos: use.pos, defPos: defPos})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].usePos != out[j].usePos {
+			return out[i].usePos < out[j].usePos
+		}
+		return out[i].path < out[j].path
+	})
+	return out
+}
+
+// defPos returns the position of the def's write access at its node.
+func (ff *funcFlow) defPos(d fieldDef) token.Pos {
+	for _, w := range ff.nodes[d.node].defs {
+		if w.path == d.path {
+			return w.pos
+		}
+	}
+	return ff.nodes[d.node].pos
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// hazardPaths lowers the first method in src (which is wrapped in a package
+// clause; no type checking, the engine is purely syntactic) and returns the
+// hazard field paths in report order.
+func hazardPaths(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", "package flow\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil {
+			continue
+		}
+		ff := buildFlow(receiverIdent(fd), fd.Body)
+		var out []string
+		for _, h := range ff.hazards() {
+			out = append(out, h.path)
+		}
+		return out
+	}
+	t.Fatal("no method in source")
+	return nil
+}
+
+func TestDataflowHazards(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "straight-line RAW",
+			src:  `func (m *M) f() { m.a = 1; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "self increment reads pre-cycle state",
+			src:  `func (m *M) f() { m.a++ }`,
+			want: nil,
+		},
+		{
+			name: "self assignment reads pre-cycle state",
+			src:  `func (m *M) f() { m.a = m.a + 1 }`,
+			want: nil,
+		},
+		{
+			name: "branch join",
+			src:  `func (m *M) f(c bool) { if c { m.a = 1 }; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "exclusive branches",
+			src:  `func (m *M) f(c bool) { if c { m.a = 1 } else { m.b = m.a } }`,
+			want: nil,
+		},
+		{
+			name: "loop-carried only",
+			src:  `func (m *M) f(n int) { for i := 0; i < n; i++ { s := m.a; m.a = s + 1 } }`,
+			want: nil,
+		},
+		{
+			name: "post-loop read of loop write",
+			src:  `func (m *M) f(n int) { for i := 0; i < n; i++ { m.a = i }; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "post-range read of range write",
+			src:  `func (m *M) f(xs []int) { for _, x := range xs { m.a = x }; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "method calls are opaque",
+			src:  `func (m *M) f() { m.reset(); m.b = m.a }`,
+			want: nil,
+		},
+		{
+			name: "callee prefix is a read",
+			src:  `func (m *M) f() { m.sub = nil; m.sub.Tick() }`,
+			want: []string{"sub"},
+		},
+		{
+			name: "distinct nested paths do not alias",
+			src:  `func (m *M) f() { m.s.x = 1; m.b = m.s.y }`,
+			want: nil,
+		},
+		{
+			name: "nested path RAW",
+			src:  `func (m *M) f() { m.s.x = 1; m.b = m.s.x }`,
+			want: []string{"s.x"},
+		},
+		{
+			name: "write in switch case read after",
+			src:  `func (m *M) f(v int) { switch v { case 1: m.a = 1 }; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "indexed write then read",
+			src:  `func (m *M) f() { m.buf[0] = 1; m.b = m.buf[1] }`,
+			want: []string{"buf"},
+		},
+		{
+			name: "deferred call arguments evaluate at defer",
+			src:  `func (m *M) f() { m.a = 1; defer log(m.a) }`,
+			want: []string{"a"},
+		},
+		{
+			name: "return value read",
+			src:  `func (m *M) f() int { m.a = 1; return m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "kill by rewrite still flags the later write",
+			src:  `func (m *M) f() { m.a = 1; m.a = 2; m.b = m.a }`,
+			want: []string{"a"},
+		},
+		{
+			name: "break carries the write out of the loop",
+			src:  `func (m *M) f(n int) { for i := 0; i < n; i++ { m.a = i; break }; m.b = m.a }`,
+			want: []string{"a"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := hazardPaths(t, tc.src)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("hazards = %v, want %v\nsrc: %s", got, tc.want, tc.src)
+			}
+		})
+	}
+}
+
+func TestShadowPath(t *testing.T) {
+	cases := map[string]bool{
+		"nextAcc":        true,
+		"pendingWrite":   true,
+		"stagedValue":    true,
+		"writePending":   true,
+		"commitStaged":   true,
+		"acc":            false,
+		"count":          false,
+		"Stats.nextHead": true,
+		"Stats.head":     false,
+	}
+	for path, want := range cases {
+		if got := isShadowPath(path); got != want {
+			t.Errorf("isShadowPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -38,16 +39,30 @@ var randConstructors = map[string]bool{
 	"NewZipf":    true,
 }
 
-// Determinism flags wall-clock time, global math/rand state, and goroutine
-// launches inside cycle-stepped code: the whole of internal/sim, internal/core
-// and internal/mem, plus every Step/Tick method anywhere in the tree. The
-// simulator's contract is that a (config, input, seed) triple reproduces the
-// same cycle count and the same output bytes on every run; any of these three
-// constructs silently breaks that.
+// portMethodNames are the FIFO/RAM/controller port entry points: a map-order-
+// dependent sequence of these calls changes which data lands where, breaking
+// bit-reproducibility even when the iterated values are commutative.
+var portMethodNames = map[string]bool{
+	"Push":          true,
+	"Pop":           true,
+	"Read":          true,
+	"Write":         true,
+	"Poke":          true,
+	"RequestRead":   true,
+	"RequestWrite":  true,
+	"PushWriteBeat": true,
+}
+
+// Determinism flags wall-clock time, global math/rand state, goroutine
+// launches, and state-mutating map iteration inside cycle-stepped code: the
+// whole of internal/sim, internal/core and internal/mem, plus every Step/Tick
+// method anywhere in the tree. The simulator's contract is that a
+// (config, input, seed) triple reproduces the same cycle count and the same
+// output bytes on every run; any of these constructs silently breaks that.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
-		Doc:  "cycle-stepped code must not read the clock, use global math/rand, or spawn goroutines",
+		Doc:  "cycle-stepped code must not read the clock, use global math/rand, spawn goroutines, or mutate state from map iteration",
 		Run:  runDeterminism,
 	}
 }
@@ -75,11 +90,17 @@ func runDeterminism(p *Package) []Diagnostic {
 			if !whole {
 				where = fd.Name.Name + " method"
 			}
+			recv := receiverIdent(fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.GoStmt:
 					out = append(out, p.diag(n,
 						"goroutine launched in %s: cycle-stepped code must be single-threaded so cycle counts are reproducible", where))
+				case *ast.RangeStmt:
+					if p.isMapRange(n) && rangeBodyMutatesState(n.Body, recv) {
+						out = append(out, p.diag(n,
+							"range over map in %s mutates simulator state: map iteration order is nondeterministic and breaks bit-reproducibility — iterate sorted keys instead", where))
+					}
 				case *ast.CallExpr:
 					sel, ok := n.Fun.(*ast.SelectorExpr)
 					if !ok {
@@ -113,4 +134,67 @@ func runDeterminism(p *Package) []Diagnostic {
 // entry points of a simulated component.
 func isStepMethod(fd *ast.FuncDecl) bool {
 	return fd.Recv != nil && (fd.Name.Name == "Step" || fd.Name.Name == "Tick")
+}
+
+// isMapRange reports whether the range operand's type resolved to a map.
+// Unresolved types stay quiet (the lenient check's gaps must not flag).
+func (p *Package) isMapRange(rs *ast.RangeStmt) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// rangeBodyMutatesState reports whether a range body writes receiver state
+// (an assignment or ++/-- whose target is a selector rooted at recv) or
+// drives a FIFO/RAM port method — the two ways iteration order becomes
+// observable simulator state.
+func rangeBodyMutatesState(body *ast.BlockStmt, recv string) bool {
+	mutates := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if selectorRoot(l) == recv && recv != "" {
+					mutates = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if selectorRoot(n.X) == recv && recv != "" {
+				mutates = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && portMethodNames[sel.Sel.Name] {
+				mutates = true
+			}
+		}
+		return !mutates
+	})
+	return mutates
+}
+
+// selectorRoot returns the root identifier of a (possibly indexed) selector
+// chain: m.Regs.OutCount → "m", f.buf[i] → "f", anything else → "".
+func selectorRoot(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
 }

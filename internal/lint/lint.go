@@ -6,7 +6,8 @@
 // The analyzers encode invariants that generic linters cannot know:
 //
 //   - determinism: cycle-stepped simulator code must stay bit-reproducible —
-//     no wall-clock time, no global math/rand, no goroutines.
+//     no wall-clock time, no global math/rand, no goroutines, no map
+//     iteration that mutates simulator state.
 //   - panicpolicy: library code asserts through internal/invariant, never
 //     through raw panic().
 //   - magicoffset: register offsets and beat-sized buffers use the named
@@ -14,6 +15,13 @@
 //     formats cannot silently drift.
 //   - errpath: exported functions that return an error must not discard a
 //     callee's error with the blank identifier.
+//   - tickphase: Tick/Step methods follow the two-phase discipline of
+//     registered RTL — read pre-cycle state, commit via next-state shadows —
+//     enforced by the def-use dataflow engine in dataflow.go.
+//   - regmap: the Reg* constants, their // W:/R: annotations, the RegFile
+//     switch arms and the internal/soc driver must agree (module-level).
+//   - suppress: every //vet:allow comment must still mask a finding; stale
+//     suppressions fail the build.
 //
 // A finding can be suppressed for a line by placing a
 //
@@ -27,7 +35,6 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -38,11 +45,15 @@ type Diagnostic struct {
 	Message  string
 }
 
-// Analyzer is one named check over a loaded package.
+// Analyzer is one named check. Run inspects a single package; RunModule (for
+// cross-artifact checks like regmap) sees every loaded package at once. The
+// suppress analyzer has neither: it is evaluated by CheckModule itself, after
+// all other findings exist.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Diagnostic
+	RunModule func(pkgs []*Package) []Diagnostic
 }
 
 // All returns every analyzer in the suite, in reporting order.
@@ -52,25 +63,82 @@ func All() []*Analyzer {
 		PanicPolicy(),
 		MagicOffset(),
 		ErrPath(),
+		TickPhase(),
+		RegMap(),
+		Suppress(),
 	}
 }
 
-// Check runs the given analyzers over the package, drops suppressed
-// findings, and returns the rest sorted by position.
+// Check runs the given analyzers over one package. Module-level analyzers see
+// a one-package module; prefer CheckModule for a full tree.
 func Check(p *Package, analyzers []*Analyzer) []Diagnostic {
-	allow := suppressions(p)
-	var out []Diagnostic
+	return CheckModule([]*Package{p}, analyzers)
+}
+
+// CheckModule runs the given analyzers over all packages, drops suppressed
+// findings, reports stale //vet:allow comments (when the suppress analyzer is
+// active), and returns the rest deduplicated and sorted by
+// (file, line, column, analyzer, message) — byte-stable across runs so CI
+// diffs and baseline files do not churn.
+func CheckModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	allows := collectAllows(pkgs)
+	suppressActive := false
+
+	var raw []Diagnostic
 	for _, a := range analyzers {
-		for _, d := range a.Run(p) {
-			d.Analyzer = a.Name
-			if allow.covers(d) {
-				continue
+		if a.Name == suppressName {
+			suppressActive = true
+			continue
+		}
+		var ds []Diagnostic
+		if a.Run != nil {
+			for _, p := range pkgs {
+				ds = append(ds, a.Run(p)...)
 			}
+		}
+		if a.RunModule != nil {
+			ds = append(ds, a.RunModule(pkgs)...)
+		}
+		for _, d := range ds {
+			d.Analyzer = a.Name
+			raw = append(raw, d)
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if !allows.cover(d) {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	if suppressActive {
+		active := map[string]bool{}
+		for _, a := range analyzers {
+			active[a.Name] = true
+		}
+		// Pass 1: ordinary comments. Filtering these findings may consume
+		// //vet:allow suppress comments, so those are audited second.
+		for _, d := range staleAllows(allows, active, false) {
+			d.Analyzer = suppressName
+			if !allows.cover(d) {
+				out = append(out, d)
+			}
+		}
+		for _, d := range staleAllows(allows, active, true) {
+			d.Analyzer = suppressName
+			if !allows.cover(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return dedupeDiagnostics(out)
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer, message).
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -80,55 +148,88 @@ func Check(p *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// dedupeDiagnostics removes exact duplicates from a sorted slice (two
+// analyzers or two files of one package can surface the same finding).
+func dedupeDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
 	return out
 }
 
-// allowSet maps "file\x00line" to the analyzer names allowed on that line
-// ("*" allows all).
-type allowSet map[string]map[string]bool
+// allowComment is one parsed //vet:allow comment. A comment covers findings
+// on its own line and the line below it (trailing and standalone placement);
+// used tracks whether it masked anything, which the suppress analyzer audits.
+type allowComment struct {
+	file string
+	line int // the comment's own line
+	col  int
+	name string
+	used bool
+}
 
-func (s allowSet) covers(d Diagnostic) bool {
-	names := s[allowKey(d.Pos.Filename, d.Pos.Line)]
-	return names != nil && (names["*"] || names[d.Analyzer])
+// allowIndex maps "file\x00line" to the comments covering that line.
+type allowIndex struct {
+	comments []*allowComment
+	byLine   map[string][]*allowComment
 }
 
 func allowKey(file string, line int) string {
-	return file + "\x00" + strconv.Itoa(line)
+	return file + "\x00" + fmt.Sprintf("%d", line)
 }
 
-// suppressions collects //vet:allow comments. A comment suppresses findings
-// on its own line and on the line below it, so both trailing and standalone
-// placement work.
-func suppressions(p *Package) allowSet {
-	set := allowSet{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, "vet:allow")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				name := fields[0]
-				pos := p.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := allowKey(pos.Filename, line)
-					if set[key] == nil {
-						set[key] = map[string]bool{}
+// cover reports whether a comment suppresses d, marking every matching
+// comment as used.
+func (ai *allowIndex) cover(d Diagnostic) bool {
+	hit := false
+	for _, c := range ai.byLine[allowKey(d.Pos.Filename, d.Pos.Line)] {
+		if c.name == "*" || c.name == d.Analyzer {
+			c.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// collectAllows gathers //vet:allow comments across all packages.
+func collectAllows(pkgs []*Package) *allowIndex {
+	ai := &allowIndex{byLine: map[string][]*allowComment{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "vet:allow")
+					if !ok {
+						continue
 					}
-					set[key][name] = true
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					ac := &allowComment{file: pos.Filename, line: pos.Line, col: pos.Column, name: fields[0]}
+					ai.comments = append(ai.comments, ac)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := allowKey(pos.Filename, line)
+						ai.byLine[key] = append(ai.byLine[key], ac)
+					}
 				}
 			}
 		}
 	}
-	return set
+	return ai
 }
 
 // diag builds a Diagnostic at a node's position.

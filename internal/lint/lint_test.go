@@ -6,11 +6,11 @@ import (
 	"testing"
 )
 
-// fixtureDiags loads testdata/src/fixture once and returns its post-
+// dirDiags loads one testdata/src fixture package and returns its post-
 // suppression findings grouped by analyzer.
-func fixtureDiags(t *testing.T) map[string][]Diagnostic {
+func dirDiags(t *testing.T, dir string) map[string][]Diagnostic {
 	t.Helper()
-	p, err := LoadDir(filepath.Join("testdata", "src", "fixture"))
+	p, err := LoadDir(filepath.Join("testdata", "src", dir))
 	if err != nil {
 		t.Fatalf("LoadDir: %v", err)
 	}
@@ -19,6 +19,11 @@ func fixtureDiags(t *testing.T) map[string][]Diagnostic {
 		byName[d.Analyzer] = append(byName[d.Analyzer], d)
 	}
 	return byName
+}
+
+func fixtureDiags(t *testing.T) map[string][]Diagnostic {
+	t.Helper()
+	return dirDiags(t, "fixture")
 }
 
 func messages(ds []Diagnostic) []string {
@@ -41,12 +46,77 @@ func wantContains(t *testing.T, ds []Diagnostic, substr string) {
 
 func TestDeterminismFindings(t *testing.T) {
 	ds := fixtureDiags(t)["determinism"]
-	if len(ds) != 3 {
-		t.Fatalf("got %d determinism findings, want 3: %q", len(ds), messages(ds))
+	if len(ds) != 4 {
+		t.Fatalf("got %d determinism findings, want 4: %q", len(ds), messages(ds))
 	}
 	wantContains(t, ds, "time.Now")
 	wantContains(t, ds, "rand.Intn")
 	wantContains(t, ds, "goroutine")
+	wantContains(t, ds, "range over map")
+}
+
+func wantNotContains(t *testing.T, ds []Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range ds {
+		if strings.Contains(d.Message, substr) {
+			t.Errorf("unexpected finding mentioning %q: %s", substr, d.Message)
+		}
+	}
+}
+
+// TestTickPhaseFindings pins the tickphase fixture: the plain and branch-join
+// RAW hazards are reported; the shadow-convention Step, the exclusive-branch
+// Step, the loop-carried Step and the //vet:allow'd Tick are not.
+func TestTickPhaseFindings(t *testing.T) {
+	byName := dirDiags(t, "tickphase")
+	ds := byName["tickphase"]
+	if len(ds) != 2 {
+		t.Fatalf("got %d tickphase findings, want 2: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "a.acc")
+	wantContains(t, ds, "b.mode")
+	wantNotContains(t, ds, "nextAcc")
+	wantNotContains(t, ds, "f.buf") // suppressed by //vet:allow tickphase
+	wantNotContains(t, ds, "l.ptr") // loop-carried only
+	if stale := byName[suppressName]; len(stale) != 0 {
+		t.Errorf("the live //vet:allow tickphase was reported stale: %q", messages(stale))
+	}
+}
+
+// TestRegMapFindings pins the regmap fixture: missing Write arm, duplicate
+// offset, missing annotation; the //vet:allow'd RegF stays quiet.
+func TestRegMapFindings(t *testing.T) {
+	byName := dirDiags(t, "regmap")
+	ds := byName["regmap"]
+	if len(ds) != 3 {
+		t.Fatalf("got %d regmap findings, want 3: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "RegC")
+	wantContains(t, ds, "duplicates offset")
+	wantContains(t, ds, "RegE")
+	wantNotContains(t, ds, "RegF ") // suppressed ("RegFile" would also match a bare "RegF")
+	if stale := byName[suppressName]; len(stale) != 0 {
+		t.Errorf("the live //vet:allow regmap was reported stale: %q", messages(stale))
+	}
+}
+
+// TestSuppressFindings pins the //vet:allow lifecycle: a stale comment and an
+// unknown-analyzer comment are reported; the live comment and the
+// suppress-waived comment are not, and the finding the live comment masks
+// stays masked.
+func TestSuppressFindings(t *testing.T) {
+	byName := dirDiags(t, "suppress")
+	ds := byName[suppressName]
+	if len(ds) != 2 {
+		t.Fatalf("got %d suppress findings, want 2: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "stale //vet:allow determinism")
+	wantContains(t, ds, "unknown analyzer")
+	wantNotContains(t, ds, "panicpolicy") // live
+	wantNotContains(t, ds, "magicoffset") // stale but waived by //vet:allow suppress
+	if leaked := byName["panicpolicy"]; len(leaked) != 0 {
+		t.Errorf("suppressed panicpolicy finding leaked: %q", messages(leaked))
+	}
 }
 
 func TestPanicPolicyFindings(t *testing.T) {
@@ -122,9 +192,39 @@ func TestModuleIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
 	}
-	for _, p := range pkgs {
-		for _, d := range Check(p, All()) {
-			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	for _, d := range CheckModule(pkgs, All()) {
+		t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+// TestCheckModuleDeterministicOrder runs the suite twice over the tickphase
+// fixture and asserts byte-identical, sorted, deduplicated output.
+func TestCheckModuleDeterministicOrder(t *testing.T) {
+	p1, err := LoadDir(filepath.Join("testdata", "src", "tickphase"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	p2, err := LoadDir(filepath.Join("testdata", "src", "tickphase"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	run := func(p *Package) []string {
+		var out []string
+		for _, d := range CheckModule([]*Package{p}, All()) {
+			out = append(out, d.Pos.Filename+": "+d.Analyzer+": "+d.Message)
+		}
+		return out
+	}
+	a, b := run(p1), run(p2)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("two runs disagree:\n%q\nvs\n%q", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[i-1] {
+			t.Errorf("duplicate finding survived dedupe: %s", a[i])
+		}
+		if a[i] < a[i-1] {
+			t.Errorf("findings out of order: %q before %q", a[i-1], a[i])
 		}
 	}
 }

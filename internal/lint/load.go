@@ -27,6 +27,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// TypeErrors records every error the lenient check swallowed. Stub-induced
+	// errors (stdlib members are invisible) are expected and harmless; the list
+	// exists so tests and debugging can tell "resolved cleanly" from "limped
+	// through", not to gate analysis.
+	TypeErrors []error
 }
 
 // pkgPathOf resolves an identifier used as a package qualifier (the `time`
@@ -142,9 +147,10 @@ func checkPackage(fset *token.FileSet, imp *moduleImporter, src *pkgSrc) *Packag
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
+	var typeErrs []error
 	conf := types.Config{
 		Importer:                 imp,
-		Error:                    func(error) {}, // best-effort: keep going
+		Error:                    func(err error) { typeErrs = append(typeErrs, err) }, // best-effort: keep going
 		DisableUnusedImportCheck: true,
 	}
 	tpkg, _ := conf.Check(src.importPath, fset, src.files, info)
@@ -156,6 +162,7 @@ func checkPackage(fset *token.FileSet, imp *moduleImporter, src *pkgSrc) *Packag
 		Files:      src.files,
 		Types:      tpkg,
 		Info:       info,
+		TypeErrors: typeErrs,
 	}
 }
 

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirTypeError pins the loader's contract for broken input: a package
+// that parses but does not type-check is loaded with the errors recorded in
+// TypeErrors — never a panic, never a hard failure.
+func TestLoadDirTypeError(t *testing.T) {
+	p, err := LoadDir(filepath.Join("testdata", "src", "typeerror"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("got %d files, want 1", len(p.Files))
+	}
+	if len(p.TypeErrors) == 0 {
+		t.Fatal("deliberately ill-typed package reported no TypeErrors")
+	}
+	// The analyzers must also survive partial type info.
+	_ = Check(p, All())
+}
+
+// TestLoadDirStubbing: the fixture imports time and math/rand, which the
+// loader stubs; the check limps through (stub-induced TypeErrors) but local
+// types still resolve, which isMapRange depends on.
+func TestLoadDirStubbing(t *testing.T) {
+	p, err := LoadDir(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if p.Name != "fixture" {
+		t.Fatalf("package name = %q, want fixture", p.Name)
+	}
+	if p.Types == nil || p.Info == nil {
+		t.Fatal("stubbed load produced no type info")
+	}
+	if len(p.TypeErrors) == 0 {
+		t.Fatal("stubbed stdlib imports should surface as recorded TypeErrors")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir(filepath.Join("testdata", "src", "nosuchdir")); err == nil {
+		t.Fatal("missing directory did not error")
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("directory without Go files did not error")
+	}
+}
+
+func TestModulePathMissing(t *testing.T) {
+	if _, err := modulePath(t.TempDir()); err == nil {
+		t.Fatal("directory without go.mod did not error")
+	}
+}
+
+// TestLoadModuleResolution: stdlib stubbing surfaces as recorded TypeErrors
+// (not silence, not failure), while module-internal symbols still resolve for
+// real — the property the dependency-order pass exists to provide.
+func TestLoadModuleResolution(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	anyStubErr := false
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			anyStubErr = true
+		}
+		if p.Types == nil {
+			t.Errorf("%s: lenient check produced no *types.Package", p.ImportPath)
+		}
+	}
+	if !anyStubErr {
+		t.Error("no package recorded any TypeErrors; stub-induced errors should be captured")
+	}
+	core := packageWithSuffix(pkgs, "internal/core")
+	if core == nil {
+		t.Fatal("internal/core not loaded")
+	}
+	for _, sym := range []string{"RegFile", "Machine", "Extractor"} {
+		if core.Types.Scope().Lookup(sym) == nil {
+			t.Errorf("internal/core scope is missing %s; module-internal checking regressed", sym)
+		}
+	}
+}

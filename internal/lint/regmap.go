@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RegMap cross-checks the AXI-Lite register map: the Reg* offset constants,
+// their // W: / // R: annotations, the RegFile.Write / RegFile.Read switch
+// arms, and the internal/soc driver must all agree. The annotation grammar
+// (DESIGN.md, "Register annotation grammar") is the trailing comment of each
+// constant:
+//
+//	RegFoo = 0x10 // W: <description>   written by the CPU → needs a Write arm
+//	RegBar = 0x14 // R: <description>   read by the CPU   → needs a Read arm
+//	RegBaz = 0x18 // RW: <description>  both
+//
+// The annotation names the register's primary direction; appearing in the
+// other switch as well (readback, write-1-to-clear) is legal. Checks:
+//
+//  1. every Reg* constant carries an annotation;
+//  2. no two Reg* constants share an offset;
+//  3. a W-annotated register has a case arm in RegFile.Write, an R-annotated
+//     one in RegFile.Read;
+//  4. when internal/soc is loaded, every Reg* constant is exercised by the
+//     driver (a register no driver touches is dead contract surface).
+func RegMap() *Analyzer {
+	return &Analyzer{
+		Name:      "regmap",
+		Doc:       "Reg* constants, // W:/R: annotations, RegFile switch arms and the soc driver must agree",
+		RunModule: runRegMap,
+	}
+}
+
+// regConst is one parsed Reg* offset constant.
+type regConst struct {
+	name     string
+	value    int64
+	hasValue bool
+	dir      string // "W", "R", "RW", or "" when unannotated
+	spec     *ast.ValueSpec
+}
+
+func runRegMap(pkgs []*Package) []Diagnostic {
+	core := findRegFilePackage(pkgs)
+	if core == nil {
+		return nil
+	}
+	consts := collectRegConsts(core)
+	if len(consts) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+
+	// 1. Annotation present.
+	for _, rc := range consts {
+		if rc.dir == "" {
+			out = append(out, core.diag(rc.spec,
+				"register constant %s lacks a // W:, // R: or // RW: annotation (the regmap contract, see DESIGN.md)", rc.name))
+		}
+	}
+
+	// 2. Unique offsets.
+	byValue := map[int64]string{}
+	for _, rc := range consts {
+		if !rc.hasValue {
+			continue
+		}
+		if prev, dup := byValue[rc.value]; dup {
+			out = append(out, core.diag(rc.spec,
+				"register constant %s duplicates offset %#x already assigned to %s", rc.name, rc.value, prev))
+			continue
+		}
+		byValue[rc.value] = rc.name
+	}
+
+	// 3. Switch-arm coverage in RegFile.Write / RegFile.Read.
+	writeArms, haveWrite := regFileSwitchArms(core, "Write")
+	readArms, haveRead := regFileSwitchArms(core, "Read")
+	for _, rc := range consts {
+		if haveWrite && strings.Contains(rc.dir, "W") && !writeArms[rc.name] {
+			out = append(out, core.diag(rc.spec,
+				"register %s is annotated // %s: but has no case arm in RegFile.Write", rc.name, rc.dir))
+		}
+		if haveRead && strings.Contains(rc.dir, "R") && !readArms[rc.name] {
+			out = append(out, core.diag(rc.spec,
+				"register %s is annotated // %s: but has no case arm in RegFile.Read", rc.name, rc.dir))
+		}
+	}
+
+	// 4. Driver coverage (only when the module's soc package is loaded).
+	if soc := packageWithSuffix(pkgs, "internal/soc"); soc != nil && core.Types != nil {
+		used := socRegUses(soc, core.Types)
+		for _, rc := range consts {
+			if !used[rc.name] {
+				out = append(out, core.diag(rc.spec,
+					"register %s is not exercised by the internal/soc driver (dead contract surface)", rc.name))
+			}
+		}
+	}
+	return out
+}
+
+// findRegFilePackage picks the package that owns the register map: the one
+// declaring both a RegFile type and Reg* constants (internal/core in the real
+// tree; the fixture package when loaded standalone).
+func findRegFilePackage(pkgs []*Package) *Package {
+	if p := packageWithSuffix(pkgs, "internal/core"); p != nil {
+		return p
+	}
+	for _, p := range pkgs {
+		hasRegFile, hasConsts := false, false
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "RegFile" {
+							hasRegFile = true
+						}
+					case *ast.ValueSpec:
+						if gd.Tok == token.CONST {
+							for _, n := range s.Names {
+								if isRegConstName(n.Name) {
+									hasConsts = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if hasRegFile && hasConsts {
+			return p
+		}
+	}
+	return nil
+}
+
+func packageWithSuffix(pkgs []*Package, suffix string) *Package {
+	for _, p := range pkgs {
+		if p.ImportPath == suffix || strings.HasSuffix(p.ImportPath, "/"+suffix) {
+			return p
+		}
+	}
+	return nil
+}
+
+// isRegConstName reports whether a constant name belongs to the register map
+// (Reg followed by an upper-case letter; bit-mask constants like CtrlStart do
+// not match).
+func isRegConstName(name string) bool {
+	return len(name) > 3 && strings.HasPrefix(name, "Reg") &&
+		name[3] >= 'A' && name[3] <= 'Z'
+}
+
+// collectRegConsts parses the Reg* constant block: values (from type info
+// when resolved, source literals otherwise) and trailing annotations.
+func collectRegConsts(p *Package) []regConst {
+	var out []regConst
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !isRegConstName(name.Name) {
+						continue
+					}
+					rc := regConst{name: name.Name, spec: vs, dir: annotationDir(vs.Comment)}
+					if v, ok := constValue(p, name); ok {
+						rc.value, rc.hasValue = v, true
+					} else if i < len(vs.Values) {
+						if v, ok := intLitValue(vs.Values[i]); ok {
+							rc.value, rc.hasValue = v, true
+						}
+					}
+					out = append(out, rc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// annotationDir parses the direction from a trailing comment group:
+// "// W: ...", "// R: ...", "// RW: ..." (first comment line wins).
+func annotationDir(cg *ast.CommentGroup) string {
+	if cg == nil || len(cg.List) == 0 {
+		return ""
+	}
+	text := strings.TrimSpace(strings.TrimPrefix(cg.List[0].Text, "//"))
+	for _, dir := range []string{"RW", "W", "R"} {
+		if strings.HasPrefix(text, dir+":") {
+			return dir
+		}
+	}
+	return ""
+}
+
+// constValue resolves a declared constant's int64 value via type info.
+func constValue(p *Package, name *ast.Ident) (int64, bool) {
+	if p.Info == nil {
+		return 0, false
+	}
+	obj, ok := p.Info.Defs[name]
+	if !ok {
+		return 0, false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	if v, exact := constInt64(c); exact {
+		return v, true
+	}
+	return 0, false
+}
+
+func constInt64(c *types.Const) (int64, bool) {
+	val := c.Val()
+	if val == nil || val.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(val)
+}
+
+// regFileSwitchArms collects the Reg* identifiers appearing as case arms in
+// the named RegFile method. The second result is false when the method (or
+// any switch in it) is absent, which disables the coverage check rather than
+// flooding it.
+func regFileSwitchArms(p *Package, method string) (map[string]bool, bool) {
+	arms := map[string]bool{}
+	found := false
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Body == nil ||
+				receiverTypeIdent(fd) != "RegFile" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				found = true
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok && isRegConstName(id.Name) {
+						arms[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return arms, found
+}
+
+// receiverTypeIdent returns the syntactic receiver type name of a method,
+// through one pointer indirection.
+func receiverTypeIdent(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// socRegUses collects which of corePkg's Reg* constants the soc package
+// references, via resolved type info.
+func socRegUses(soc *Package, corePkg *types.Package) map[string]bool {
+	used := map[string]bool{}
+	if soc.Info == nil {
+		return used
+	}
+	for _, obj := range soc.Info.Uses {
+		c, ok := obj.(*types.Const)
+		if !ok || c.Pkg() == nil || c.Pkg().Path() != corePkg.Path() {
+			continue
+		}
+		if isRegConstName(c.Name()) {
+			used[c.Name()] = true
+		}
+	}
+	return used
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+const suppressName = "suppress"
+
+// Suppress audits the //vet:allow comments themselves: a suppression that no
+// longer masks any finding of its named analyzer is stale and fails the
+// build, so waivers cannot outlive the code they excused. A comment naming an
+// analyzer outside the suite is flagged as unknown (it masks nothing and
+// never will).
+//
+// Unlike the other analyzers this one has no Run function: CheckModule
+// evaluates it after every other finding exists, in two passes — ordinary
+// comments first, then //vet:allow suppress comments (which may legitimately
+// mask a stale finding reported by the first pass). With a partial -only set,
+// comments naming an inactive analyzer are skipped rather than reported,
+// since their findings were never computed.
+func Suppress() *Analyzer {
+	return &Analyzer{
+		Name: suppressName,
+		Doc:  "//vet:allow comments must still mask a finding; stale or unknown suppressions fail",
+	}
+}
+
+// staleAllows returns a suppress finding for every unused comment. When
+// suppressOnly is false it audits every comment except those naming the
+// suppress analyzer; when true, only those (their used flags settle after the
+// first pass's findings are filtered).
+func staleAllows(ai *allowIndex, active map[string]bool, suppressOnly bool) []Diagnostic {
+	known := map[string]bool{"*": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name := range active {
+		known[name] = true
+	}
+	var out []Diagnostic
+	for _, c := range ai.comments {
+		if (c.name == suppressName) != suppressOnly {
+			continue
+		}
+		if c.used {
+			continue
+		}
+		pos := token.Position{Filename: c.file, Line: c.line, Column: c.col}
+		if !known[c.name] {
+			out = append(out, Diagnostic{Pos: pos, Message: "//vet:allow " + c.name +
+				" names an unknown analyzer (run wfasic-vet -list); it can never mask a finding"})
+			continue
+		}
+		if c.name != "*" && !active[c.name] {
+			continue // analyzer not run this invocation: no verdict
+		}
+		out = append(out, Diagnostic{Pos: pos, Message: "stale //vet:allow " + c.name +
+			": no finding on this line needs it any more — delete the comment"})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}

@@ -70,3 +70,33 @@ func two() (int, error) { return 0, errors.New("boom") }
 func Explode() {
 	panic("kaboom")
 }
+
+// Q mimics a FIFO port.
+type Q struct{}
+
+func (q *Q) Push(v uint32) {}
+
+// Ports carries the fourth determinism violation: ranging over a map while
+// driving a port, so iteration order becomes observable simulator state.
+type Ports struct {
+	pending map[uint32]uint32
+	q       Q
+	drained int
+}
+
+func (p *Ports) Step() {
+	for _, v := range p.pending {
+		p.q.Push(v)
+		p.drained++
+	}
+}
+
+// Snapshot reads the same map without mutating state from inside the
+// range (it only collects keys), so it is legal.
+func (p *Ports) Snapshot() []uint32 {
+	var keys []uint32
+	for k := range p.pending {
+		keys = append(keys, k)
+	}
+	return keys
+}

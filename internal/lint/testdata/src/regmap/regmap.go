@@ -1,0 +1,40 @@
+// Package regmap seeds register-map contract violations for the regmap
+// analyzer tests. The analyzer shape-detects this package (a RegFile type
+// plus Reg* constants) because fixtures load outside the real module; the
+// driver-coverage check stays silent here since no internal/soc package is
+// loaded alongside.
+package regmap
+
+// The register map under test. Expected findings: RegC (W-annotated but no
+// Write arm), RegD (duplicate offset), RegE (no annotation). RegF is the
+// suppressed case.
+const (
+	RegA = 0x00 // W: command word
+	RegB = 0x04 // R: status word
+	RegC = 0x08 // W: missing from the Write switch
+	RegD = 0x04 // R: duplicates RegB's offset
+	RegE = 0x10
+	//vet:allow regmap legacy register kept for ABI compatibility until PR 3
+	RegF = 0x14 // W: suppressed: annotated but deliberately unwired
+)
+
+// RegFile mirrors the shape the analyzer detects.
+type RegFile struct {
+	cmd    uint32
+	status uint32
+}
+
+func (r *RegFile) Write(offset, value uint32) {
+	switch offset {
+	case RegA:
+		r.cmd = value
+	}
+}
+
+func (r *RegFile) Read(offset uint32) uint32 {
+	switch offset {
+	case RegB, RegD, RegE:
+		return r.status
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+// Package suppress seeds the //vet:allow lifecycle cases for the suppress
+// analyzer tests: a live comment (masks a real finding), a stale one (masks
+// nothing), an unknown analyzer name, and a stale comment that is itself
+// waived by //vet:allow suppress.
+package suppress
+
+// Live: the panicpolicy finding on this line keeps the comment used.
+func explode() {
+	panic("kaboom") //vet:allow panicpolicy fixture exercises a live suppression
+}
+
+// Stale: nothing on this line triggers determinism, so the comment is dead
+// weight and must be reported.
+func quiet() int {
+	x := 1 //vet:allow determinism nothing here needs this
+	return x
+}
+
+// Unknown: the named analyzer does not exist, so the comment can never mask
+// a finding.
+func typo() int {
+	y := 2 //vet:allow determinsim misspelled analyzer name
+	return y
+}
+
+// Waived staleness: the stale magicoffset comment below is itself excused by
+// a //vet:allow suppress comment, the escape hatch for comments kept around
+// deliberately (e.g. ahead of a known incoming change).
+func waived() int {
+	//vet:allow suppress keeping the waiver below until the offset lands in PR 3
+	z := 3 //vet:allow magicoffset future literal offset site
+	return z
+}

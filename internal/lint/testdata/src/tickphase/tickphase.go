@@ -1,0 +1,85 @@
+// Package tickphase seeds the same-cycle RAW-hazard cases asserted by
+// internal/lint's tickphase tests: one plain hazard, one branch-join hazard,
+// one suppressed hazard, and three clean shapes (shadow convention, exclusive
+// branches, loop-carried dependency).
+package tickphase
+
+// Acc is the true positive: acc is written and then read later in the same
+// Tick, so the second statement sees post-cycle state.
+type Acc struct {
+	acc uint32
+	out uint32
+}
+
+func (a *Acc) Tick(in uint32) {
+	a.acc = a.acc + in
+	a.out = a.acc // hazard: reads the value written two lines up
+}
+
+// Shadow follows the next-state convention: next* fields stage the commit and
+// may be read back freely, so this Step is clean.
+type Shadow struct {
+	acc     uint32
+	nextAcc uint32
+	out     uint32
+}
+
+func (s *Shadow) Step(in uint32) {
+	s.nextAcc = s.acc + in
+	s.out = s.nextAcc
+	s.acc = s.nextAcc
+}
+
+// Forwarded models deliberate write-before-read forwarding (a documented
+// hardware behavior), waived with a justification.
+type Forwarded struct {
+	buf uint32
+	out uint32
+}
+
+func (f *Forwarded) Tick(in uint32) {
+	f.buf = in
+	f.out = f.buf //vet:allow tickphase write-before-read forwarding is the modeled RAM behavior
+}
+
+// Branchy is the join case: the write happens on one branch only, but the
+// read after the join can still observe it.
+type Branchy struct {
+	mode uint32
+	out  uint32
+}
+
+func (b *Branchy) Step(sel bool) {
+	if sel {
+		b.mode = 1
+	}
+	b.out = b.mode // hazard: reachable through the then-branch
+}
+
+// Exclusive reads on the branch the write did not take: clean.
+type Exclusive struct {
+	mode uint32
+	out  uint32
+}
+
+func (e *Exclusive) Step(sel bool) {
+	if sel {
+		e.mode = 1
+	} else {
+		e.out = e.mode
+	}
+}
+
+// Loopy reads a field whose only write→read path is the loop back edge: that
+// is a sequential micro-step within one cycle, not a phase bug, so it is
+// exempt.
+type Loopy struct {
+	ptr uint32
+}
+
+func (l *Loopy) Step(n int) {
+	for i := 0; i < n; i++ {
+		sum := l.ptr
+		l.ptr = sum + 1
+	}
+}

@@ -1,0 +1,13 @@
+// Package typeerror parses cleanly but is deliberately ill-typed: the loader
+// must record the errors in Package.TypeErrors and keep going — analyzers see
+// partial type info, never a panic.
+package typeerror
+
+func Mismatch() int {
+	var s string = 42
+	return s
+}
+
+func Undefined() {
+	notDeclared(7)
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// TickPhase enforces the two-phase Tick discipline on every Tick/Step method:
+// registered RTL reads pre-cycle state and commits post-cycle state, so a
+// receiver field written and then read later in the same Tick is the software
+// analog of a combinational loop — the exact bug class that silently drifts
+// cycle counts away from the hardware the paper measured.
+//
+// A write escapes the check when it goes through the next-state shadow
+// convention: fields named next*/pending*/staged* (or *Pending/*Staged) hold
+// the value that commits at the end of Tick and may be read back freely. The
+// engine is intraprocedural (method calls are opaque) and ignores
+// loop-carried-only dependencies; see dataflow.go for the exact semantics.
+func TickPhase() *Analyzer {
+	return &Analyzer{
+		Name: "tickphase",
+		Doc:  "Tick/Step must read pre-cycle state; same-cycle RAW on a receiver field needs a next*/pending* shadow",
+		Run:  runTickPhase,
+	}
+}
+
+func runTickPhase(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isStepMethod(fd) {
+				continue
+			}
+			recv := receiverIdent(fd)
+			if recv == "" {
+				continue
+			}
+			ff := buildFlow(recv, fd.Body)
+			for _, h := range ff.hazards() {
+				if isShadowPath(h.path) {
+					continue
+				}
+				defLine := p.Fset.Position(h.defPos).Line
+				out = append(out, Diagnostic{
+					Pos: p.Fset.Position(h.usePos),
+					Message: fmt.Sprintf("field %s.%s written at line %d is read again in the same %s: same-cycle RAW hazard — read pre-cycle state, or stage the update in a next*/pending* shadow committed at the end of the cycle",
+						recv, h.path, defLine, fd.Name.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// receiverIdent returns the receiver identifier of a method ("" when unnamed
+// or blank).
+func receiverIdent(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	name := fd.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}
+
+// shadowPrefixes and shadowSuffixes define the next-state naming convention
+// recognized by tickphase (DESIGN.md, "Two-phase Tick contract"): such fields
+// stage the value that commits at the end of the cycle.
+var shadowPrefixes = []string{"next", "pending", "staged"}
+var shadowSuffixes = []string{"Pending", "Staged"}
+
+// isShadowPath reports whether the final element of a dotted field path
+// follows the next-state shadow convention.
+func isShadowPath(path string) bool {
+	last := path
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		last = path[i+1:]
+	}
+	lower := strings.ToLower(last)
+	for _, p := range shadowPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	for _, s := range shadowSuffixes {
+		if strings.HasSuffix(last, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -68,7 +68,7 @@ func (r *DualPortRAM) Tick() {
 		r.writePending = false
 	}
 	if r.readPending {
-		r.readData = r.words[r.readAddr]
+		r.readData = r.words[r.readAddr] //vet:allow tickphase write-before-read forwarding is the documented port contract
 		r.readValid = true
 		r.readPending = false
 	} else {

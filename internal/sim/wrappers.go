@@ -65,15 +65,19 @@ func (f *RegFileFIFO) Pop() (uint64, bool) {
 }
 
 // Tick commits staged writes into the register file and refreshes the
-// show-ahead output register.
+// show-ahead output register. Words committed this cycle count toward the
+// occupancy the refresh sees, so a word pushed in cycle t is visible at Front
+// from cycle t+1 — the show-ahead latency of the real wrapper.
 func (f *RegFileFIFO) Tick() {
+	count := f.count
 	for _, v := range f.staged {
 		f.ram.Poke(f.tail, v) // wrapper owns the write port exclusively
 		f.tail = (f.tail + 1) % f.depth
-		f.count++
+		count++
 	}
+	f.count = count
 	f.staged = f.staged[:0]
-	if !f.frontValid && f.count > 0 {
+	if !f.frontValid && count > 0 {
 		f.frontData = f.ram.Peek(f.head)
 		f.frontValid = true
 	}

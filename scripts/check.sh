@@ -5,7 +5,9 @@
 #   1. gofmt        formatting drift
 #   2. go vet       the stock toolchain analyzers
 #   3. wfasic-vet   the project-specific analyzers (determinism, panicpolicy,
-#                   magicoffset, errpath — see internal/lint)
+#                   magicoffset, errpath, tickphase, regmap, suppress — see
+#                   internal/lint), ratcheted against vet-baseline.json: new
+#                   findings and stale baseline entries fail
 #   4. go build     everything compiles, including examples
 #   5. go test -race  the full suite under the race detector (the bench
 #                     package takes a few minutes under -race; use
@@ -25,7 +27,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== wfasic-vet =="
-go run ./cmd/wfasic-vet ./...
+go run ./cmd/wfasic-vet -baseline vet-baseline.json ./...
 
 echo "== go build =="
 go build ./...
