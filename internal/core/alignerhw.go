@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/wfa"
 )
@@ -80,6 +81,10 @@ type AlignerHW struct {
 
 	outbox []obEntry
 
+	// inj is the machine-wide fault injector (nil-safe; set by
+	// Machine.AttachInjector).
+	inj *fault.Injector
+
 	// Per-pair measurement hooks (read by the Machine).
 	startCycle  int64
 	finishCycle int64
@@ -103,6 +108,23 @@ func NewAlignerHW(cfg Config, idx int) *AlignerHW {
 
 // Idle reports whether the Aligner can accept a new pair.
 func (a *AlignerHW) Idle() bool { return a.state == alignerIdle }
+
+// Reset aborts any in-flight pair and returns the Aligner to idle,
+// discarding all pair state and queued output. Statistics survive.
+func (a *AlignerHW) Reset() {
+	a.state = alignerIdle
+	a.seqA, a.seqB = nil, nil
+	a.pairID = 0
+	a.unsupported = false
+	a.btEnabled = false
+	a.tracker, a.ring = nil, nil
+	a.s = 0
+	a.busy = 0
+	a.finished = false
+	a.success = false
+	a.finalK = 0
+	a.outbox = nil
+}
 
 // BeginLoad transitions to Loading; the Extractor streams the pair in.
 func (a *AlignerHW) BeginLoad() {
@@ -245,19 +267,18 @@ func (a *AlignerHW) advanceScore(cycle int64) {
 		a.busy = int64(a.cfg.Timing.EmptyStepCycles)
 		return
 	}
-	cycles := a.executeStep(a.s, iR, dR, mR)
+	cycles := a.executeStep(cycle, a.s, iR, dR, mR)
 	a.Stats.Steps++
 	a.busy = cycles - 1
 	if a.busy < 0 {
 		a.busy = 0
 	}
-	_ = cycle
 }
 
 // executeStep computes the frame column for score s (Compute sub-modules),
 // extends it (Extend sub-modules), emits the backtrace blocks, checks
 // termination, and returns the step's cycle cost.
-func (a *AlignerHW) executeStep(s int, iR, dR, mR Range) int64 {
+func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	pen := a.cfg.Penalties
 	x, o, e := pen.Mismatch, pen.GapOpen, pen.GapExtend
 	n, m := a.seqA.Length, a.seqB.Length
@@ -387,6 +408,21 @@ func (a *AlignerHW) executeStep(s int, iR, dR, mR Range) int64 {
 				block: PackOriginBlock(origins),
 			})
 			a.Stats.BTBlocks++
+		}
+	}
+
+	// Fault hook: a single-event upset in the Wavefront RAM line just
+	// written. Only flips that leave the offset inside the sequence grid are
+	// applied (an out-of-grid value would be trimmed by the next step
+	// anyway); the resulting cell is plausible but wrong, which is exactly
+	// the silent-corruption case the driver's software oracle must catch.
+	if idx, bit, ok := a.inj.FlipWavefront(cycle, a.idx, mR.Hi-mR.Lo+1); ok {
+		k := mR.Lo + idx
+		if v := mwf.At(k); wfa.ValidOffset(v) {
+			nv := v ^ int32(1<<bit)
+			if nv >= 0 && nv <= int32(m) && nv-int32(k) >= 0 && nv-int32(k) <= int32(n) {
+				mwf.Set(k, nv, mwf.TagAt(k))
+			}
 		}
 	}
 

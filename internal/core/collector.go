@@ -55,6 +55,21 @@ func (c *Collector) Configure(numPairs int, btEnabled bool, onResult func(uint32
 	c.Transactions = 0
 }
 
+// Reset clears all chunking, merge and completion state; the machine's
+// scrub path uses it so a fresh Configure starts from nothing.
+func (c *Collector) Reset() {
+	c.btEnabled = false
+	c.rr = 0
+	c.chunkID = 0
+	c.chunkPayload = nil
+	c.counters = map[uint32]uint32{}
+	c.nbtBuf = c.nbtBuf[:0]
+	c.resultsSeen = 0
+	c.numPairs = 0
+	c.onResult = nil
+	c.Transactions = 0
+}
+
 // Done reports whether every result has been seen and fully written out.
 func (c *Collector) Done() bool {
 	return c.resultsSeen >= c.numPairs && len(c.chunkPayload) == 0 && len(c.nbtBuf) == 0

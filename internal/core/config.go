@@ -41,6 +41,11 @@ type Config struct {
 	// the chip).
 	InputFIFODepth  int
 	OutputFIFODepth int
+	// WatchdogCycles is the forward-progress window Machine.Run grants
+	// before returning a HangError: if no datapath counter moves for this
+	// many cycles the job is declared hung. Zero selects
+	// DefaultWatchdogCycles; a negative value disables the watchdog.
+	WatchdogCycles int
 	// Timing holds the cycle-model constants.
 	Timing Timing
 }

@@ -61,6 +61,24 @@ func (e *Extractor) Configure(maxReadLen, numPairs int, btEnabled bool) {
 	e.readingByID = map[uint32]int64{}
 }
 
+// Reset aborts any in-flight pair load and clears all job progress; the
+// machine's scrub path uses it so a fresh Configure starts from nothing.
+func (e *Extractor) Reset() {
+	e.maxReadLen = 0
+	e.numPairs = 0
+	e.btEnabled = false
+	e.pairsDispatched = 0
+	e.loading = false
+	e.target = nil
+	e.beatIdx = 0
+	e.pairBeats = 0
+	e.dispatchWait = 0
+	e.rawA = e.rawA[:0]
+	e.rawB = e.rawB[:0]
+	e.unsupported = false
+	e.readingByID = map[uint32]int64{}
+}
+
 // Done reports whether every pair has been dispatched to an Aligner.
 func (e *Extractor) Done() bool { return e.pairsDispatched >= e.numPairs && !e.loading }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/seqio"
@@ -52,6 +53,13 @@ type Machine struct {
 	writeAddr int64
 	writeBuf  [][mem.BeatBytes]byte
 
+	// Fault handling. pendingAbort is staged by the DMA engines mid-tick
+	// and consumed at the end of the same Tick.
+	inj          *fault.Injector
+	pendingAbort bool
+	abortCode    uint32
+	abortAddr    uint64
+
 	// Results.
 	Timings []PairTiming
 
@@ -99,6 +107,18 @@ func NewStandaloneMachine(cfg Config, memBytes int) (*Machine, *mem.Memory, erro
 	return m, memory, nil
 }
 
+// AttachInjector connects a fault injector to the machine, the memory
+// controller and every aligner (nil detaches). A quiescent injector (all
+// probabilities zero) leaves the machine cycle-for-cycle identical to one
+// without an injector.
+func (m *Machine) AttachInjector(j *fault.Injector) {
+	m.inj = j
+	m.ctl.AttachInjector(j)
+	for _, a := range m.aligners {
+		a.inj = j
+	}
+}
+
 // Config returns the hardware configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -117,6 +137,8 @@ func (m *Machine) Cycle() int64 { return m.cycle }
 func (m *Machine) startJob() {
 	r := m.Regs
 	r.errored = false
+	r.ErrCode = ErrCodeNone
+	r.ErrAddr = 0
 	r.OutCount = 0
 	maxReadLen := int(r.MaxReadLen)
 	numPairs := int(r.NumPairs)
@@ -127,7 +149,11 @@ func (m *Machine) startJob() {
 		if r.InputAddr%mem.BeatBytes != 0 || r.OutputAddr%mem.BeatBytes != 0 {
 			ok = false
 		}
-		if int64(r.InputAddr)+inputBytes > int64(m.memory.Size()) {
+		// Both base addresses must decode inside main memory; checking them
+		// first also keeps the region sum below free of int64 overflow.
+		if r.InputAddr >= uint64(m.memory.Size()) || r.OutputAddr >= uint64(m.memory.Size()) {
+			ok = false
+		} else if int64(r.InputAddr)+inputBytes > int64(m.memory.Size()) {
 			ok = false
 		}
 	}
@@ -135,6 +161,7 @@ func (m *Machine) startJob() {
 		m.trace("machine", "job-error", "rejected: maxReadLen=%d pairs=%d in=%#x out=%#x",
 			maxReadLen, numPairs, r.InputAddr, r.OutputAddr)
 		r.errored = true
+		r.ErrCode = ErrCodeConfig
 		r.idle = true
 		if r.irqEnable {
 			r.irq = true
@@ -179,6 +206,10 @@ func (m *Machine) recordResult(id uint32, rec ScoreRecord, a *AlignerHW) {
 
 // Tick advances the whole accelerator (and the memory controller) one cycle.
 func (m *Machine) Tick() {
+	if m.Regs.resetRequested {
+		m.Regs.resetRequested = false
+		m.softReset()
+	}
 	if m.Regs.startRequested {
 		m.Regs.startRequested = false
 		m.startJob()
@@ -190,32 +221,117 @@ func (m *Machine) Tick() {
 	}
 
 	m.ctl.Tick()
-	m.dmaRead()
+	m.dmaRead(cycle)
 	m.extractor.Tick(cycle)
 	for _, a := range m.aligners {
 		a.Tick(cycle)
 	}
 	m.collector.Tick()
-	m.dmaWrite()
+	m.dmaWrite(cycle)
 	m.inFIFO.Tick()
 	m.outFIFO.Tick()
 	m.Regs.OutCount = uint32(m.collector.Transactions)
 	m.Regs.JobCycles = uint64(cycle - m.jobStart)
 
+	if m.pendingAbort {
+		m.pendingAbort = false
+		m.abortJob(cycle)
+		return
+	}
 	if m.jobDone() {
 		m.trace("machine", "job-done", "cycles=%d transactions=%d",
 			cycle-m.jobStart, m.collector.Transactions)
 		m.running = false
 		m.Regs.idle = true
-		if m.Regs.irqEnable {
+		if m.Regs.irqEnable && !m.inj.DropIRQ(cycle) {
 			m.Regs.irq = true
 		}
+		return
+	}
+	if m.inj.SpuriousIRQ(cycle) {
+		m.Regs.irq = true
 	}
 }
 
+// requestAbort stages a job abort for the end of the current Tick; the
+// first fault of a cycle wins.
+func (m *Machine) requestAbort(code uint32, addr uint64) {
+	if m.pendingAbort {
+		return
+	}
+	m.pendingAbort = true
+	m.abortCode = code
+	m.abortAddr = addr
+}
+
+// abortJob terminates the running job on a bus fault: the datapath is
+// scrubbed, the error registers latch the diagnosis, and the machine goes
+// idle with the Error status bit set (raising the IRQ if enabled, exactly as
+// a rejected configuration does).
+func (m *Machine) abortJob(cycle int64) {
+	m.trace("machine", "job-abort", "code=%d addr=%#x cycles=%d",
+		m.abortCode, m.abortAddr, cycle-m.jobStart)
+	m.scrub()
+	m.running = false
+	r := m.Regs
+	r.ErrCode = m.abortCode
+	r.ErrAddr = m.abortAddr
+	r.errored = true
+	r.idle = true
+	r.JobCycles = uint64(cycle - m.jobStart)
+	if r.irqEnable {
+		r.irq = true
+	}
+}
+
+// scrub abandons all in-flight datapath state: DMA engines, FIFOs,
+// extractor, aligners and collector return to their pre-configure idle.
+func (m *Machine) scrub() {
+	m.ctl.CancelPort(m.rdPort)
+	m.ctl.CancelPort(m.wrPort)
+	m.inFIFO.Reset()
+	m.outFIFO.Reset()
+	m.extractor.Reset()
+	m.collector.Reset()
+	for _, a := range m.aligners {
+		a.Reset()
+	}
+	m.readBeatsLeft = 0
+	m.outstanding = 0
+	m.writeBuf = m.writeBuf[:0]
+	m.pendingAbort = false
+}
+
+// softReset implements CtrlReset: abort whatever is running, scrub the
+// datapath, clear status/error/result state and return to a cleanly
+// reconfigurable idle. Configuration registers survive, so the driver can
+// re-Start without reprogramming addresses.
+func (m *Machine) softReset() {
+	m.trace("machine", "soft-reset", "running=%v", m.running)
+	m.scrub()
+	m.ctl.ResetArbitration()
+	m.running = false
+	r := m.Regs
+	r.idle = true
+	r.errored = false
+	r.irq = false
+	r.startRequested = false
+	r.ErrCode = ErrCodeNone
+	r.ErrAddr = 0
+	r.OutCount = 0
+	r.JobCycles = 0
+	m.Timings = m.Timings[:0]
+}
+
 // dmaRead keeps the input FIFO fed: deliver arrived beats, then issue new
-// burst requests while both input data and FIFO room remain.
-func (m *Machine) dmaRead() {
+// burst requests while both input data and FIFO room remain. An AXI error
+// response latched on the read port aborts the job.
+func (m *Machine) dmaRead(cycle int64) {
+	if f, ok := m.rdPort.TakeFault(); ok {
+		m.trace("machine", "axi-error", "rd addr=%#x cycle=%d", f.Addr, cycle)
+		m.requestAbort(ErrCodeAXIRead, uint64(f.Addr))
+		return
+	}
 	for {
 		beat, ok := m.rdPort.NextBeat()
 		if !ok {
@@ -243,10 +359,22 @@ func (m *Machine) dmaRead() {
 
 // dmaWrite drains the output FIFO into main memory, one beat per cycle into
 // the staging buffer, issuing a burst when a full window accumulates (or at
-// the end of the job).
-func (m *Machine) dmaWrite() {
+// the end of the job). An AXI error response latched on the write port
+// aborts the job; the fault layer may also drop or corrupt outgoing beats
+// here, between the FIFO and the bus.
+func (m *Machine) dmaWrite(cycle int64) {
+	if f, ok := m.wrPort.TakeFault(); ok {
+		m.trace("machine", "axi-error", "wr addr=%#x cycle=%d", f.Addr, cycle)
+		m.requestAbort(ErrCodeAXIWrite, uint64(f.Addr))
+		return
+	}
 	if beat, ok := m.outFIFO.Pop(); ok {
-		m.writeBuf = append(m.writeBuf, beat)
+		if m.inj.DropOutputBeat(cycle) {
+			m.trace("machine", "out-drop", "cycle=%d", cycle)
+		} else {
+			m.inj.CorruptOutputBeat(cycle, beat[:])
+			m.writeBuf = append(m.writeBuf, beat)
+		}
 	}
 	burst := m.cfg.Timing.Mem.BurstBeats
 	flush := m.extractor.Done() && m.allAlignersIdle() && m.collector.Done() && m.outFIFO.Empty()
@@ -286,11 +414,36 @@ func (m *Machine) jobDone() bool {
 // Run ticks the machine until the job completes, returning the cycles spent.
 // It returns an error if the machine does not finish within maxCycles (the
 // paper's "no CPU freeze" robustness criterion: a hang is a bug, not a
-// wait).
+// wait), and a *HangError when the watchdog sees no datapath activity for
+// Config.WatchdogCycles consecutive cycles (zero selects
+// DefaultWatchdogCycles; negative disables the watchdog).
 func (m *Machine) Run(maxCycles int64) (int64, error) {
 	start := m.cycle
+	wd := int64(m.cfg.WatchdogCycles)
+	if wd == 0 {
+		wd = DefaultWatchdogCycles
+	}
+	last := m.progress()
+	lastChange := m.cycle
 	for m.Regs.startRequested || !m.Regs.Idle() {
 		m.Tick()
+		if wd > 0 {
+			if sig := m.progress(); sig != last {
+				last = sig
+				lastChange = m.cycle
+			} else if m.cycle-lastChange >= wd {
+				return m.cycle - start, &HangError{
+					Cycle:        m.cycle,
+					Stalled:      m.cycle - lastChange,
+					ReadsPending: m.readBeatsLeft,
+					Outstanding:  m.outstanding,
+					InFIFO:       m.inFIFO.Occupancy(),
+					OutFIFO:      m.outFIFO.Occupancy(),
+					Dispatched:   m.extractor.pairsDispatched,
+					Transactions: m.collector.Transactions,
+				}
+			}
+		}
 		if m.cycle-start > maxCycles {
 			return m.cycle - start, fmt.Errorf("core: machine did not finish within %d cycles", maxCycles)
 		}

@@ -18,16 +18,31 @@ const (
 	RegOutCount     = 0x24 // R: 16-byte transactions written so far
 	RegCycleLo      = 0x28 // R: job cycle counter, low 32 bits
 	RegCycleHi      = 0x2C // R: job cycle counter, high 32 bits
+	RegErrCode      = 0x30 // RW: last error code (ErrCode*); any write clears code+addr (W1C)
+	RegErrAddrLo    = 0x34 // R: faulting bus address (low 32 bits), 0 for config errors
+	RegErrAddrHi    = 0x38 // R: faulting bus address (high 32 bits)
 )
 
 // Control/status bits.
 const (
 	CtrlStart     uint32 = 1 << 0
 	CtrlIRQEnable uint32 = 1 << 1
+	// CtrlReset requests a soft reset: the Machine aborts any running job,
+	// scrubs all datapath state and returns to a cleanly reconfigurable
+	// idle. Configuration registers survive; error and result state clears.
+	CtrlReset uint32 = 1 << 2
 
 	StatusIdle  uint32 = 1 << 0
 	StatusIRQ   uint32 = 1 << 1
 	StatusError uint32 = 1 << 2
+)
+
+// Error codes reported in RegErrCode.
+const (
+	ErrCodeNone     uint32 = 0 // no error recorded
+	ErrCodeConfig   uint32 = 1 // job configuration rejected at Start
+	ErrCodeAXIRead  uint32 = 2 // AXI error response on the DMA read engine
+	ErrCodeAXIWrite uint32 = 3 // AXI error response on the DMA write engine
 )
 
 // RegFile is the accelerator's AXI-Lite register file. The Machine reads the
@@ -49,8 +64,14 @@ type RegFile struct {
 	// prototype is measured in clock cycles", Section 5.3).
 	JobCycles uint64
 
-	// startRequested is consumed by the Machine.
+	// ErrCode and ErrAddr describe the most recent error (see ErrCode*);
+	// cleared together by any write to RegErrCode (W1C) or by soft reset.
+	ErrCode uint32
+	ErrAddr uint64
+
+	// startRequested and resetRequested are consumed by the Machine.
 	startRequested bool
+	resetRequested bool
 }
 
 // NewRegFile returns a register file in the idle reset state.
@@ -65,6 +86,9 @@ func (r *RegFile) Write(offset, value uint32) error {
 		r.irqEnable = value&CtrlIRQEnable != 0
 		if value&CtrlStart != 0 {
 			r.startRequested = true
+		}
+		if value&CtrlReset != 0 {
+			r.resetRequested = true
 		}
 	case RegStatus:
 		// Writing 1 to the IRQ bit clears it.
@@ -85,6 +109,11 @@ func (r *RegFile) Write(offset, value uint32) error {
 		r.OutputAddr = r.OutputAddr&^uint64(0xFFFFFFFF) | uint64(value)
 	case RegOutputAddrHi:
 		r.OutputAddr = r.OutputAddr&0xFFFFFFFF | uint64(value)<<32
+	case RegErrCode:
+		// Any write acknowledges the error (W1C): code and address clear
+		// together so the driver never sees a half-updated pair.
+		r.ErrCode = ErrCodeNone
+		r.ErrAddr = 0
 	default:
 		return fmt.Errorf("core: write to unknown register offset %#x", offset)
 	}
@@ -135,6 +164,12 @@ func (r *RegFile) Read(offset uint32) (uint32, error) {
 		return uint32(r.JobCycles), nil
 	case RegCycleHi:
 		return uint32(r.JobCycles >> 32), nil
+	case RegErrCode:
+		return r.ErrCode, nil
+	case RegErrAddrLo:
+		return uint32(r.ErrAddr), nil
+	case RegErrAddrHi:
+		return uint32(r.ErrAddr >> 32), nil
 	default:
 		return 0, fmt.Errorf("core: read of unknown register offset %#x", offset)
 	}

@@ -24,7 +24,7 @@ func TestRegFileReadOnlyWrites(t *testing.T) {
 	r := NewRegFile()
 	r.OutCount = 7
 	r.JobCycles = 0x1_0000_0003
-	for _, offset := range []uint32{RegOutCount, RegCycleLo, RegCycleHi} {
+	for _, offset := range []uint32{RegOutCount, RegCycleLo, RegCycleHi, RegErrAddrLo, RegErrAddrHi} {
 		if err := r.Write(offset, 0xFFFFFFFF); err == nil {
 			t.Errorf("write to read-only offset %#x succeeded", offset)
 		}
@@ -41,7 +41,7 @@ func TestRegFileReadOnlyWrites(t *testing.T) {
 // past-the-map and unaligned offsets.
 func TestRegFileUnknownOffsets(t *testing.T) {
 	r := NewRegFile()
-	for _, offset := range []uint32{0x30, 0x100, 0x02, 0x0B} {
+	for _, offset := range []uint32{0x3C, 0x100, 0x02, 0x0B} {
 		if err := r.Write(offset, 1); err == nil {
 			t.Errorf("write to unknown offset %#x succeeded", offset)
 		}
@@ -114,6 +114,44 @@ func TestRegFileIRQStateMachine(t *testing.T) {
 	}
 	if mustRead(t, r, RegCtrl)&CtrlIRQEnable == 0 {
 		t.Fatal("IRQ enable lost on Start write")
+	}
+}
+
+// TestRegFileErrorRegs walks the error-reporting register pair: code and
+// address read back through their offsets and clear together on the W1C
+// write to RegErrCode.
+func TestRegFileErrorRegs(t *testing.T) {
+	r := NewRegFile()
+	if got := mustRead(t, r, RegErrCode); got != ErrCodeNone {
+		t.Fatalf("fresh ErrCode = %d", got)
+	}
+	r.ErrCode = ErrCodeAXIRead
+	r.ErrAddr = 0x1_2345_6780
+	if got := mustRead(t, r, RegErrCode); got != ErrCodeAXIRead {
+		t.Fatalf("ErrCode reads %d, want %d", got, ErrCodeAXIRead)
+	}
+	if lo, hi := mustRead(t, r, RegErrAddrLo), mustRead(t, r, RegErrAddrHi); lo != 0x23456780 || hi != 1 {
+		t.Fatalf("ErrAddr reads lo=%#x hi=%#x", lo, hi)
+	}
+	mustWrite(t, r, RegErrCode, 1)
+	if r.ErrCode != ErrCodeNone || r.ErrAddr != 0 {
+		t.Fatalf("W1C left code=%d addr=%#x", r.ErrCode, r.ErrAddr)
+	}
+}
+
+// TestRegFileResetLatch checks the CtrlReset bit latches into
+// resetRequested without disturbing Start or the IRQ enable.
+func TestRegFileResetLatch(t *testing.T) {
+	r := NewRegFile()
+	mustWrite(t, r, RegCtrl, CtrlReset|CtrlIRQEnable)
+	if !r.resetRequested {
+		t.Fatal("CtrlReset did not latch")
+	}
+	if r.startRequested {
+		t.Fatal("CtrlReset latched Start")
+	}
+	if !r.irqEnable {
+		t.Fatal("CtrlReset write lost the IRQ enable")
 	}
 }
 

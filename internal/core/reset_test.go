@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+// driveJob configures and starts a job on an existing machine through the
+// register file, runs it to completion and returns the raw output region and
+// the hardware JobCycles counter.
+func driveJob(t *testing.T, m *Machine, set *seqio.InputSet, bt bool, inputAddr, outputAddr int64) ([]byte, uint64) {
+	t.Helper()
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Memory().Write(inputAddr, img)
+	configureJob(t, m, set, bt, inputAddr, outputAddr)
+	if _, err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs.Errored() {
+		t.Fatal("job errored")
+	}
+	count, err := m.Regs.Read(RegOutCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := m.Memory().Read(outputAddr, int(count)*mem.BeatBytes)
+	cycles, err := m.Regs.Read(RegCycleLo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.Regs.Read(RegCycleHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, uint64(hi)<<32 | uint64(cycles)
+}
+
+func configureJob(t *testing.T, m *Machine, set *seqio.InputSet, bt bool, inputAddr, outputAddr int64) {
+	t.Helper()
+	r := m.Regs
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	btVal := uint32(0)
+	if bt {
+		btVal = 1
+	}
+	must(r.Write(RegMaxReadLen, uint32(set.EffectiveMaxReadLen())))
+	must(r.Write(RegBTEnable, btVal))
+	must(r.Write(RegInputAddrLo, uint32(inputAddr)))
+	must(r.Write(RegInputAddrHi, uint32(inputAddr>>32)))
+	must(r.Write(RegNumPairs, uint32(len(set.Pairs))))
+	must(r.Write(RegOutputAddrLo, uint32(outputAddr)))
+	must(r.Write(RegOutputAddrHi, uint32(outputAddr>>32)))
+	must(r.Write(RegCtrl, CtrlStart))
+}
+
+// TestSoftResetMidJobBitIdentical is the CtrlReset contract: configure,
+// start, soft-reset mid-job, reconfigure and rerun — the second run must be
+// bit-identical (output bytes and cycle count) to a run on a fresh machine,
+// in both output modes.
+func TestSoftResetMidJobBitIdentical(t *testing.T) {
+	for _, bt := range []bool{false, true} {
+		name := "nbt"
+		if bt {
+			name = "bt"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			g := seqgen.New(61, 62)
+			set := &seqio.InputSet{}
+			for i := 0; i < 6; i++ {
+				set.Pairs = append(set.Pairs, g.Pair(uint32(i+1), 200, 0.08))
+			}
+			img, err := set.BuildImage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputAddr := int64(0)
+			outputAddr := (int64(len(img)) + mem.BeatBytes + 15) &^ 15
+
+			fresh, _, err := NewStandaloneMachine(cfg, 1<<22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOut, wantCycles := driveJob(t, fresh, set, bt, inputAddr, outputAddr)
+
+			m, memory, err := NewStandaloneMachine(cfg, 1<<22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memory.Write(inputAddr, img)
+			configureJob(t, m, set, bt, inputAddr, outputAddr)
+			// Drive to roughly half completion, then yank the reset line.
+			for i := uint64(0); i < wantCycles/2; i++ {
+				m.Tick()
+			}
+			if m.Regs.Idle() {
+				t.Fatal("job finished before the mid-job reset; shrink the tick budget")
+			}
+			if err := m.Regs.Write(RegCtrl, CtrlReset); err != nil {
+				t.Fatal(err)
+			}
+			m.Tick()
+			if !m.Regs.Idle() {
+				t.Fatal("machine not idle after soft reset")
+			}
+			if m.Regs.Errored() {
+				t.Fatal("soft reset left the Error bit set")
+			}
+			if count, _ := m.Regs.Read(RegOutCount); count != 0 {
+				t.Fatalf("OutCount %d after soft reset", count)
+			}
+			// Scrub the partially written output region, then rerun the job
+			// on the same machine.
+			memory.Write(outputAddr, make([]byte, memory.Size()-int(outputAddr)))
+			gotOut, gotCycles := driveJob(t, m, set, bt, inputAddr, outputAddr)
+
+			if gotCycles != wantCycles {
+				t.Fatalf("post-reset job took %d cycles, fresh machine %d", gotCycles, wantCycles)
+			}
+			if !bytes.Equal(gotOut, wantOut) {
+				t.Fatalf("post-reset output (%dB) differs from fresh machine (%dB)", len(gotOut), len(wantOut))
+			}
+		})
+	}
+}
+
+// TestSoftResetWhileIdle checks the no-op case: resetting an idle machine
+// leaves it idle, error-free and startable.
+func TestSoftResetWhileIdle(t *testing.T) {
+	cfg := testConfig()
+	m, _, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Regs.Write(RegCtrl, CtrlReset); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	if !m.Regs.Idle() || m.Regs.Errored() {
+		t.Fatal("idle machine unsettled by soft reset")
+	}
+}
+
+// TestSoftResetClearsError checks that a soft reset clears a latched
+// configuration error (Error bit, code and address).
+func TestSoftResetClearsError(t *testing.T) {
+	cfg := testConfig()
+	m, _, err := NewStandaloneMachine(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Regs
+	r.Write(RegMaxReadLen, 100) // not divisible by 16
+	r.Write(RegNumPairs, 1)
+	r.Write(RegCtrl, CtrlStart)
+	m.Tick()
+	if !r.Errored() {
+		t.Fatal("bad config not rejected")
+	}
+	r.Write(RegCtrl, CtrlReset)
+	m.Tick()
+	if r.Errored() {
+		t.Fatal("Error bit survived soft reset")
+	}
+	if code, _ := r.Read(RegErrCode); code != ErrCodeNone {
+		t.Fatalf("error code %d after soft reset", code)
+	}
+}

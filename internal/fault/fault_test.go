@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"testing"
+)
+
+// TestNilInjectorIsInert checks every hook on a nil receiver reports no fault
+// and never panics — the production machine runs with a nil injector by
+// default.
+func TestNilInjectorIsInert(t *testing.T) {
+	var j *Injector
+	buf := make([]byte, 16)
+	if j.TransactionError(1, "rd", 0, false) || j.TransactionError(1, "wr", 0, true) {
+		t.Error("nil injector reported a transaction error")
+	}
+	if j.LoseGrant(1, "rd", 0) {
+		t.Error("nil injector lost a grant")
+	}
+	if j.ExtraBeatLatency(1, "rd", 0) != 0 {
+		t.Error("nil injector added latency")
+	}
+	if j.StallStorm(1) != 0 {
+		t.Error("nil injector stormed")
+	}
+	if j.CorruptDataBeat(1, "rd", 0, buf) || j.CorruptOutputBeat(1, buf) {
+		t.Error("nil injector corrupted data")
+	}
+	if _, _, ok := j.FlipWavefront(1, 0, 8); ok {
+		t.Error("nil injector flipped a wavefront cell")
+	}
+	if j.DropOutputBeat(1) || j.DropIRQ(1) || j.SpuriousIRQ(1) {
+		t.Error("nil injector dropped or raised something")
+	}
+	if j.Total() != 0 || j.Events() != nil || j.Counts() != nil {
+		t.Error("nil injector has state")
+	}
+	if j.Schedule() == "" {
+		t.Error("nil injector schedule empty")
+	}
+}
+
+// TestZeroProbInjectorIsInert checks a live injector with all probabilities
+// zero injects nothing, ever — the precondition for the fault-free
+// cycle-identity acceptance criterion.
+func TestZeroProbInjectorIsInert(t *testing.T) {
+	j, err := New(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	orig := make([]byte, 16)
+	copy(orig, buf)
+	for cycle := int64(0); cycle < 10_000; cycle++ {
+		if j.TransactionError(cycle, "rd", cycle, cycle%2 == 0) ||
+			j.LoseGrant(cycle, "rd", cycle) ||
+			j.ExtraBeatLatency(cycle, "rd", cycle) != 0 ||
+			j.StallStorm(cycle) != 0 ||
+			j.CorruptDataBeat(cycle, "rd", cycle, buf) ||
+			j.CorruptOutputBeat(cycle, buf) ||
+			j.DropOutputBeat(cycle) ||
+			j.DropIRQ(cycle) ||
+			j.SpuriousIRQ(cycle) {
+			t.Fatalf("zero-prob injector acted at cycle %d", cycle)
+		}
+		if _, _, ok := j.FlipWavefront(cycle, 0, 64); ok {
+			t.Fatalf("zero-prob injector flipped a cell at cycle %d", cycle)
+		}
+	}
+	for i := range buf {
+		if buf[i] != orig[i] {
+			t.Fatalf("zero-prob injector mutated data at byte %d", i)
+		}
+	}
+	if j.Total() != 0 || len(j.Events()) != 0 {
+		t.Fatalf("zero-prob injector logged %d events", j.Total())
+	}
+}
+
+// drive exercises every hook with a fixed call pattern and returns the
+// schedule rendering.
+func drive(t *testing.T, cfg Config) string {
+	t.Helper()
+	j, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for cycle := int64(0); cycle < 5_000; cycle++ {
+		j.TransactionError(cycle, "rd", cycle*16, false)
+		j.TransactionError(cycle, "wr", cycle*16, true)
+		j.LoseGrant(cycle, "rd", cycle*16)
+		j.ExtraBeatLatency(cycle, "rd", cycle*16)
+		j.StallStorm(cycle)
+		j.CorruptDataBeat(cycle, "rd", cycle*16, buf)
+		j.FlipWavefront(cycle, int(cycle%4), 32)
+		j.CorruptOutputBeat(cycle, buf)
+		j.DropOutputBeat(cycle)
+		j.DropIRQ(cycle)
+		j.SpuriousIRQ(cycle)
+	}
+	return j.Schedule()
+}
+
+func chaosConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		ReadErrorProb:     0.01,
+		WriteErrorProb:    0.01,
+		LostGrantProb:     0.005,
+		LatencyProb:       0.02,
+		LatencyMax:        9,
+		StallStormProb:    0.002,
+		StallStormMax:     40,
+		DataFlipProb:      0.01,
+		WavefrontFlipProb: 0.005,
+		OutputFlipProb:    0.01,
+		OutputDropProb:    0.005,
+		IRQDropProb:       0.01,
+		IRQSpuriousProb:   0.001,
+	}
+}
+
+// TestSameSeedSameSchedule checks byte-identical schedules for identical
+// seeds and different schedules for different seeds.
+func TestSameSeedSameSchedule(t *testing.T) {
+	a := drive(t, chaosConfig(7))
+	b := drive(t, chaosConfig(7))
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	c := drive(t, chaosConfig(8))
+	if a == c {
+		t.Fatal("different seeds produced identical non-trivial schedules")
+	}
+	if a == "seed=7 events=0\n" {
+		t.Fatal("chaos config injected nothing; probabilities too low for the test to mean anything")
+	}
+}
+
+// TestMaxEventsCap checks the injector goes quiet once the cap is reached.
+func TestMaxEventsCap(t *testing.T) {
+	cfg := chaosConfig(3)
+	cfg.MaxEvents = 10
+	j, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for cycle := int64(0); cycle < 50_000; cycle++ {
+		j.TransactionError(cycle, "rd", 0, false)
+		j.CorruptDataBeat(cycle, "rd", 0, buf)
+		j.DropIRQ(cycle)
+	}
+	if j.Total() != 10 {
+		t.Fatalf("Total = %d, want exactly the cap 10", j.Total())
+	}
+	if len(j.Events()) != 10 {
+		t.Fatalf("Events logged %d, want 10", len(j.Events()))
+	}
+}
+
+// TestConfigValidate covers the rejection paths.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ReadErrorProb: -0.1},
+		{WriteErrorProb: 1.5},
+		{LatencyProb: 0.5},    // LatencyMax unset
+		{StallStormProb: 0.5}, // StallStormMax unset
+		{IRQDropProb: 2},
+		{MaxEvents: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+	good := chaosConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestCountsMatchEvents cross-checks the per-kind counters against the log.
+func TestCountsMatchEvents(t *testing.T) {
+	j, err := New(chaosConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for cycle := int64(0); cycle < 5_000; cycle++ {
+		j.TransactionError(cycle, "rd", 0, false)
+		j.TransactionError(cycle, "wr", 0, true)
+		j.ExtraBeatLatency(cycle, "rd", 0)
+		j.CorruptDataBeat(cycle, "rd", 0, buf)
+		j.DropIRQ(cycle)
+	}
+	fromLog := map[Kind]int64{}
+	for _, e := range j.Events() {
+		fromLog[e.Kind]++
+	}
+	counts := j.Counts()
+	if len(counts) != len(fromLog) {
+		t.Fatalf("Counts has %d kinds, log has %d", len(counts), len(fromLog))
+	}
+	var sum int64
+	for k, n := range fromLog {
+		if counts[k] != n {
+			t.Errorf("kind %s: Counts=%d log=%d", k, counts[k], n)
+		}
+		sum += n
+	}
+	if sum != j.Total() {
+		t.Errorf("Total=%d, sum of counts=%d", j.Total(), sum)
+	}
+}

@@ -138,7 +138,15 @@ func (b *flowBuilder) stmt(s ast.Stmt, preds []edge) []edge {
 		b.collectLHS(s.X, b.ff.nodes[id])
 		return out
 	case *ast.AssignStmt:
-		id, out := b.node(s.Pos(), preds, s.Rhs...)
+		exprs := s.Rhs
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment (x += y etc.) reads the target before
+			// writing it, exactly like x++; as with IncDecStmt, the read and
+			// the write share one node so the write never reaches its own
+			// read.
+			exprs = append(append([]ast.Expr(nil), s.Rhs...), s.Lhs...)
+		}
+		id, out := b.node(s.Pos(), preds, exprs...)
 		n := b.ff.nodes[id]
 		for _, l := range s.Lhs {
 			b.collectLHS(l, n)

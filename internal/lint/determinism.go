@@ -12,7 +12,13 @@ var cycleSteppedSuffixes = []string{
 	"internal/sim",
 	"internal/core",
 	"internal/mem",
+	"internal/fault",
 }
+
+// faultPkgSuffix is the one package allowed to own randomness that fires on
+// a Tick path: its Injector draws every fault decision from a single seeded
+// PCG stream, which is what keeps chaos schedules bit-reproducible.
+const faultPkgSuffix = "internal/fault"
 
 // timeNondet are the time package entry points that read the wall clock or
 // schedule against it. Pure-value helpers (time.Duration arithmetic,
@@ -117,9 +123,16 @@ func runDeterminism(p *Package) []Diagnostic {
 								"time.%s in %s: simulated cycles must not depend on the wall clock", sel.Sel.Name, where))
 						}
 					case "math/rand", "math/rand/v2":
-						if !randConstructors[sel.Sel.Name] {
+						switch {
+						case !randConstructors[sel.Sel.Name]:
 							out = append(out, p.diag(n,
 								"global rand.%s in %s: use an explicitly seeded rand.New(...) owned by the component", sel.Sel.Name, where))
+						case isStepMethod(fd) && !isFaultPkg(p):
+							// Even a locally seeded source inside a Tick/Step
+							// method is a second randomness stream whose draw
+							// order the fault schedule cannot account for.
+							out = append(out, p.diag(n,
+								"rand.%s constructed in %s: the seeded PRNG in internal/fault is the only sanctioned randomness source on a Tick path — consult a fault.Injector hook instead", sel.Sel.Name, where))
 						}
 					}
 				}
@@ -134,6 +147,11 @@ func runDeterminism(p *Package) []Diagnostic {
 // entry points of a simulated component.
 func isStepMethod(fd *ast.FuncDecl) bool {
 	return fd.Recv != nil && (fd.Name.Name == "Step" || fd.Name.Name == "Tick")
+}
+
+// isFaultPkg reports whether p is the fault-injection package itself.
+func isFaultPkg(p *Package) bool {
+	return p.ImportPath == faultPkgSuffix || strings.HasSuffix(p.ImportPath, "/"+faultPkgSuffix)
 }
 
 // isMapRange reports whether the range operand's type resolved to a map.

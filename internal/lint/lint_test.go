@@ -46,13 +46,14 @@ func wantContains(t *testing.T, ds []Diagnostic, substr string) {
 
 func TestDeterminismFindings(t *testing.T) {
 	ds := fixtureDiags(t)["determinism"]
-	if len(ds) != 4 {
-		t.Fatalf("got %d determinism findings, want 4: %q", len(ds), messages(ds))
+	if len(ds) != 5 {
+		t.Fatalf("got %d determinism findings, want 5: %q", len(ds), messages(ds))
 	}
 	wantContains(t, ds, "time.Now")
 	wantContains(t, ds, "rand.Intn")
 	wantContains(t, ds, "goroutine")
 	wantContains(t, ds, "range over map")
+	wantContains(t, ds, "internal/fault")
 }
 
 func wantNotContains(t *testing.T, ds []Diagnostic, substr string) {

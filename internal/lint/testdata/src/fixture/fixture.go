@@ -26,11 +26,19 @@ func (e *Engine) Step() {
 // WallClock is not a Step/Tick method, so clock use here is legal.
 func WallClock() time.Time { return time.Now() }
 
-// Seeded uses the sanctioned constructor form; not a violation even inside
-// a Step method.
-func (e *Engine) Tick() {
+// Reseed uses the sanctioned constructor form outside any Tick/Step path;
+// not a violation.
+func (e *Engine) Reseed() {
 	r := rand.New(rand.NewSource(42))
 	e.cycle += uint64(r.Intn(3))
+}
+
+// Tick carries the fifth determinism violation: even a locally seeded
+// source is a second randomness stream when it is built on a Tick path —
+// internal/fault's Injector is the only sanctioned one there.
+func (e *Engine) Tick() {
+	src := rand.NewSource(int64(e.cycle))
+	e.cycle += uint64(src.Int63() & 3)
 }
 
 // RegFile mirrors the shape of core.RegFile so the typed magicoffset rule

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/invariant"
 )
 
@@ -59,6 +60,13 @@ type request struct {
 	// For writes the port supplies data beats through its writeQueue.
 }
 
+// BusFault is one AXI error response (SLVERR/DECERR-style) latched on a
+// port: the transaction completed with an error and transferred no data.
+type BusFault struct {
+	Addr  int64
+	Write bool
+}
+
 // Port is one AXI-Full master connection to the controller (the WFAsic DMA
 // read engine, the DMA write engine, and the CPU each own one).
 type Port struct {
@@ -69,6 +77,9 @@ type Port struct {
 	delivered  []Beat // completed read beats awaiting the client
 	writeQueue []Beat // beats the client queued for an in-flight write
 
+	faults      []BusFault // error responses awaiting the client
+	dropDeficit int        // write beats still owed to a faulted transaction
+
 	BeatsRead    int64
 	BeatsWritten int64
 	WaitCycles   int64 // cycles spent with work pending but no grant
@@ -77,25 +88,66 @@ type Port struct {
 // Name returns the port's diagnostic name.
 func (p *Port) Name() string { return p.name }
 
+// writeBusy reports whether the port has write-side state in flight: queued
+// or granted write transactions, or undrained write data.
+func (p *Port) writeBusy() bool {
+	for _, r := range p.pending {
+		if r.write {
+			return true
+		}
+	}
+	if p.ctl.active == p && p.ctl.cur.write {
+		return true
+	}
+	return len(p.writeQueue) > 0 || p.dropDeficit > 0
+}
+
+// readBusy reports whether the port has a queued or granted read transaction.
+func (p *Port) readBusy() bool {
+	for _, r := range p.pending {
+		if !r.write {
+			return true
+		}
+	}
+	return p.ctl.active == p && !p.ctl.cur.write
+}
+
 // RequestRead enqueues a read of `beats` 16-byte beats starting at addr.
+//
+// The WFAsic AXI engines own one transfer direction each, so issuing a read
+// while the port has write-side state in flight would silently interleave
+// the two streams — that is a client bug and trips an invariant.
 func (p *Port) RequestRead(addr int64, beats int) {
 	if beats <= 0 {
 		return
 	}
+	invariant.Checkf(!p.writeBusy(), "mem",
+		"port %q: read issued at cycle %d while a write is in flight", p.name, p.ctl.cycle)
 	p.pending = append(p.pending, request{addr: addr, beats: beats})
 }
 
 // RequestWrite enqueues a write transaction; the data beats must be supplied
 // (in order) with PushWriteBeat before they come due.
+//
+// Like RequestRead, issuing a write while a read transaction is queued or
+// granted on the same port trips an invariant.
 func (p *Port) RequestWrite(addr int64, beats int) {
 	if beats <= 0 {
 		return
 	}
+	invariant.Checkf(!p.readBusy(), "mem",
+		"port %q: write issued at cycle %d while a read is in flight", p.name, p.ctl.cycle)
 	p.pending = append(p.pending, request{addr: addr, beats: beats, write: true})
 }
 
 // PushWriteBeat supplies the next data beat for the port's write stream.
 func (p *Port) PushWriteBeat(b Beat) {
+	if p.dropDeficit > 0 {
+		// This beat belonged to a write transaction that already completed
+		// with an AXI error; swallow it.
+		p.dropDeficit--
+		return
+	}
 	p.writeQueue = append(p.writeQueue, b)
 }
 
@@ -107,6 +159,37 @@ func (p *Port) NextBeat() (Beat, bool) {
 	b := p.delivered[0]
 	p.delivered = p.delivered[1:]
 	return b, true
+}
+
+// TakeFault pops the oldest AXI error response latched on the port, if any.
+func (p *Port) TakeFault() (BusFault, bool) {
+	if len(p.faults) == 0 {
+		return BusFault{}, false
+	}
+	f := p.faults[0]
+	p.faults = p.faults[1:]
+	return f, true
+}
+
+// Reset discards all queued transactions, undelivered beats, queued write
+// data and latched faults. The statistics counters survive.
+func (p *Port) Reset() {
+	p.pending = nil
+	p.delivered = nil
+	p.writeQueue = nil
+	p.faults = nil
+	p.dropDeficit = 0
+}
+
+// dropWriteBeats consumes n beats of the port's write stream without letting
+// them reach memory; beats not pushed yet are swallowed on arrival.
+func (p *Port) dropWriteBeats(n int) {
+	if n >= len(p.writeQueue) {
+		p.dropDeficit += n - len(p.writeQueue)
+		p.writeQueue = p.writeQueue[:0]
+		return
+	}
+	p.writeQueue = p.writeQueue[n:]
 }
 
 // Idle reports whether the port has no pending transactions and no undelivered
@@ -140,6 +223,9 @@ type Controller struct {
 	cooldown  int // cycles until the next beat completes
 	rrNext    int
 
+	inj   *fault.Injector // nil-safe; nil means no fault injection
+	storm int             // remaining stall-storm cycles
+
 	BusyCycles int64
 }
 
@@ -156,6 +242,25 @@ func (c *Controller) NewPort(name string) *Port {
 	c.ports = append(c.ports, p)
 	return p
 }
+
+// AttachInjector connects a fault injector (nil detaches).
+func (c *Controller) AttachInjector(j *fault.Injector) { c.inj = j }
+
+// CancelPort aborts any transaction the port owns and clears all port-side
+// queues; the Machine's soft-reset and abort paths use it to scrub DMA state.
+func (c *Controller) CancelPort(p *Port) {
+	if c.active == p {
+		c.active = nil
+		c.cooldown = 0
+	}
+	p.Reset()
+}
+
+// ResetArbitration returns the round-robin grant pointer to port zero; part
+// of the accelerator's soft reset so a post-reset job replays the exact
+// grant order of a fresh machine. Any transaction still active on a
+// non-canceled port is untouched.
+func (c *Controller) ResetArbitration() { c.rrNext = 0 }
 
 // Cycle returns the number of ticks elapsed.
 func (c *Controller) Cycle() int64 { return c.cycle }
@@ -175,9 +280,20 @@ func (c *Controller) Idle() bool {
 
 // Tick advances the controller one cycle.
 func (c *Controller) Tick() {
-	c.cycle++
+	cycle := c.cycle + 1
+	c.cycle = cycle
+	if c.storm > 0 {
+		// A stall storm freezes the whole controller: no arbitration, no
+		// beat completion, no wait accounting.
+		c.storm--
+		return
+	}
+	if n := c.inj.StallStorm(cycle); n > 0 {
+		c.storm = n - 1 // this cycle is the first frozen one
+		return
+	}
 	if c.active == nil {
-		c.arbitrate()
+		c.arbitrate(cycle)
 		if c.active == nil {
 			return
 		}
@@ -193,27 +309,46 @@ func (c *Controller) Tick() {
 		return
 	}
 	// A beat completes this cycle.
-	c.completeBeat()
+	c.completeBeat(cycle)
 }
 
-func (c *Controller) arbitrate() {
+func (c *Controller) arbitrate(cycle int64) {
 	n := len(c.ports)
 	for i := 0; i < n; i++ {
 		p := c.ports[(c.rrNext+i)%n]
-		if len(p.pending) > 0 {
-			c.active = p
-			c.cur = p.pending[0]
-			p.pending = p.pending[1:]
-			c.beatsDone = 0
-			c.rrNext = (c.rrNext + i + 1) % n
-			// First beat: burst-open overhead plus the beat itself.
-			c.cooldown = c.timing.BurstOverhead + c.timing.BeatCycles - 1
+		if len(p.pending) == 0 {
+			continue
+		}
+		req := p.pending[0]
+		p.pending = p.pending[1:]
+		c.rrNext = (c.rrNext + i + 1) % n
+		if !req.write && c.inj.LoseGrant(cycle, p.name, req.addr) {
+			// The granted transaction vanishes: no data, no response. The
+			// client's outstanding-beat accounting is now wrong and only the
+			// watchdog or a reset clears it. Writes are exempt so the data
+			// queue stays aligned with the surviving transactions.
 			return
 		}
+		if c.inj.TransactionError(cycle, p.name, req.addr, req.write) {
+			// SLVERR/DECERR-style response: the transaction completes with
+			// an error and transfers nothing.
+			if req.write {
+				p.dropWriteBeats(req.beats)
+			}
+			p.faults = append(p.faults, BusFault{Addr: req.addr, Write: req.write})
+			return
+		}
+		c.active = p
+		c.cur = req
+		c.beatsDone = 0
+		// First beat: burst-open overhead plus the beat itself.
+		c.cooldown = c.timing.BurstOverhead + c.timing.BeatCycles - 1
+		c.cooldown += c.inj.ExtraBeatLatency(cycle, p.name, req.addr)
+		return
 	}
 }
 
-func (c *Controller) completeBeat() {
+func (c *Controller) completeBeat(cycle int64) {
 	p := c.active
 	addr := c.cur.addr + int64(c.beatsDone)*BeatBytes
 	if c.cur.write {
@@ -231,6 +366,7 @@ func (c *Controller) completeBeat() {
 		var b Beat
 		b.Addr = addr
 		c.mem.ReadBeat(addr, &b.Data)
+		c.inj.CorruptDataBeat(cycle, p.name, addr, b.Data[:])
 		p.delivered = append(p.delivered, b)
 		p.BeatsRead++
 	}
@@ -244,4 +380,5 @@ func (c *Controller) completeBeat() {
 	if c.beatsDone%c.timing.BurstBeats == 0 {
 		c.cooldown += c.timing.BurstOverhead
 	}
+	c.cooldown += c.inj.ExtraBeatLatency(cycle, p.name, addr+BeatBytes)
 }

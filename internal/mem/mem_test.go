@@ -3,6 +3,9 @@ package mem
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/invariant"
 )
 
 func TestMemoryReadWrite(t *testing.T) {
@@ -212,5 +215,228 @@ func TestControllerWriteStallsWithoutData(t *testing.T) {
 	}
 	if p.BeatsWritten != 1 || m.Read(0, 1)[0] != 9 {
 		t.Fatal("write did not complete after data arrived")
+	}
+}
+
+// expectViolation runs f and requires it to panic with an invariant.Violation
+// from the given module.
+func expectViolation(t *testing.T, module string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no invariant violation raised")
+		}
+		v, ok := r.(invariant.Violation)
+		if !ok {
+			t.Fatalf("panicked with %v, not an invariant.Violation", r)
+		}
+		if v.Module != module {
+			t.Fatalf("violation from module %q, want %q", v.Module, module)
+		}
+	}()
+	f()
+}
+
+// The WFAsic AXI engines own one transfer direction each, so mixing
+// directions on one port while the other direction is in flight is a client
+// bug the busy guard must trip on.
+func TestPortDirectionGuards(t *testing.T) {
+	t.Run("read-while-write-queued", func(t *testing.T) {
+		c := NewController(NewMemory(1<<12), DefaultTiming)
+		p := c.NewPort("dma")
+		p.PushWriteBeat(Beat{})
+		p.RequestWrite(0, 1)
+		expectViolation(t, "mem", func() { p.RequestRead(64, 1) })
+	})
+	t.Run("write-while-read-queued", func(t *testing.T) {
+		c := NewController(NewMemory(1<<12), DefaultTiming)
+		p := c.NewPort("dma")
+		p.RequestRead(0, 1)
+		expectViolation(t, "mem", func() { p.RequestWrite(64, 1) })
+	})
+	t.Run("read-while-write-granted", func(t *testing.T) {
+		c := NewController(NewMemory(1<<12), DefaultTiming)
+		p := c.NewPort("dma")
+		p.RequestWrite(0, 2)
+		c.Tick() // grant the write; data not yet supplied, so it stays active
+		expectViolation(t, "mem", func() { p.RequestRead(64, 1) })
+	})
+	t.Run("same-direction-is-legal", func(t *testing.T) {
+		c := NewController(NewMemory(1<<12), DefaultTiming)
+		p := c.NewPort("dma")
+		p.RequestRead(0, 2)
+		p.RequestRead(64, 2) // back-to-back reads are the DMA's normal shape
+		p2 := c.NewPort("dma2")
+		p2.PushWriteBeat(Beat{})
+		p2.PushWriteBeat(Beat{})
+		p2.RequestWrite(0, 1)
+		p2.RequestWrite(64, 1)
+	})
+}
+
+// faultInjector builds an injector for controller fault tests.
+func faultInjector(t *testing.T, cfg fault.Config) *fault.Injector {
+	t.Helper()
+	j, err := fault.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestControllerReadErrorLatchesFault(t *testing.T) {
+	m := NewMemory(1 << 12)
+	c := NewController(m, DefaultTiming)
+	p := c.NewPort("dma")
+	c.AttachInjector(faultInjector(t, fault.Config{Seed: 3, ReadErrorProb: 1}))
+	p.RequestRead(256, 4)
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if _, ok := p.NextBeat(); ok {
+		t.Fatal("errored read delivered data")
+	}
+	f, ok := p.TakeFault()
+	if !ok {
+		t.Fatal("no bus fault latched")
+	}
+	if f.Addr != 256 || f.Write {
+		t.Fatalf("fault %+v, want read at 256", f)
+	}
+	if _, again := p.TakeFault(); again {
+		t.Fatal("fault delivered twice")
+	}
+	if !c.Idle() || !p.Idle() {
+		t.Fatal("controller busy after an errored transaction")
+	}
+}
+
+func TestControllerWriteErrorDropsBeats(t *testing.T) {
+	m := NewMemory(1 << 12)
+	c := NewController(m, DefaultTiming)
+	p := c.NewPort("dma")
+	c.AttachInjector(faultInjector(t, fault.Config{Seed: 3, WriteErrorProb: 1}))
+	var b Beat
+	b.Data[0] = 0xEE
+	p.PushWriteBeat(b)
+	p.PushWriteBeat(b)
+	p.RequestWrite(512, 2)
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if f, ok := p.TakeFault(); !ok || !f.Write || f.Addr != 512 {
+		t.Fatalf("fault %+v ok=%v, want write at 512", f, ok)
+	}
+	if m.Read(512, 1)[0] != 0 {
+		t.Fatal("errored write reached memory")
+	}
+	if p.BeatsWritten != 0 {
+		t.Fatalf("BeatsWritten=%d for an errored write", p.BeatsWritten)
+	}
+}
+
+func TestControllerLostGrantHangsRead(t *testing.T) {
+	m := NewMemory(1 << 12)
+	c := NewController(m, DefaultTiming)
+	p := c.NewPort("dma")
+	c.AttachInjector(faultInjector(t, fault.Config{Seed: 3, LostGrantProb: 1}))
+	p.RequestRead(0, 2)
+	for i := 0; i < 200; i++ {
+		c.Tick()
+	}
+	if _, ok := p.NextBeat(); ok {
+		t.Fatal("lost grant delivered data")
+	}
+	if _, ok := p.TakeFault(); ok {
+		t.Fatal("lost grant produced an error response; it must vanish silently")
+	}
+	if p.BeatsRead != 0 {
+		t.Fatal("lost grant counted beats")
+	}
+}
+
+func TestControllerStallStormFreezesService(t *testing.T) {
+	run := func(storms bool) int {
+		m := NewMemory(1 << 12)
+		c := NewController(m, DefaultTiming)
+		p := c.NewPort("dma")
+		if storms {
+			c.AttachInjector(faultInjector(t, fault.Config{Seed: 9, StallStormProb: 0.2, StallStormMax: 25}))
+		}
+		p.RequestRead(0, 8)
+		cycles := 0
+		for !c.Idle() || !p.Idle() {
+			c.Tick()
+			cycles++
+			for {
+				if _, ok := p.NextBeat(); !ok {
+					break
+				}
+			}
+			if cycles > 100000 {
+				t.Fatal("controller never finished")
+			}
+		}
+		return cycles
+	}
+	calm := run(false)
+	stormy := run(true)
+	if stormy <= calm {
+		t.Fatalf("storms did not slow the read: %d <= %d cycles", stormy, calm)
+	}
+}
+
+func TestControllerDataFlipIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		m := NewMemory(1 << 12)
+		m.Write(0, bytes.Repeat([]byte{0x55}, 64))
+		c := NewController(m, DefaultTiming)
+		p := c.NewPort("dma")
+		c.AttachInjector(faultInjector(t, fault.Config{Seed: 77, DataFlipProb: 0.5}))
+		p.RequestRead(0, 4)
+		var got []byte
+		for guard := 0; guard < 500 && len(got) < 64; guard++ {
+			c.Tick()
+			for {
+				b, ok := p.NextBeat()
+				if !ok {
+					break
+				}
+				got = append(got, b.Data[:]...)
+			}
+		}
+		return got
+	}
+	first := run()
+	second := run()
+	if bytes.Equal(first, bytes.Repeat([]byte{0x55}, 64)) {
+		t.Fatal("DataFlipProb=0.5 over 4 beats flipped nothing")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed produced different flip patterns")
+	}
+}
+
+func TestCancelPortAbortsActiveTransaction(t *testing.T) {
+	m := NewMemory(1 << 12)
+	c := NewController(m, DefaultTiming)
+	p := c.NewPort("dma")
+	p.RequestRead(0, 8)
+	for i := 0; i < 5; i++ {
+		c.Tick() // grant and begin the transaction
+	}
+	c.CancelPort(p)
+	if !c.Idle() || !p.Idle() {
+		t.Fatal("port still busy after CancelPort")
+	}
+	// The port must be immediately reusable, in either direction.
+	p.PushWriteBeat(Beat{})
+	p.RequestWrite(0, 1)
+	for guard := 0; !c.Idle() && guard < 50; guard++ {
+		c.Tick()
+	}
+	if p.BeatsWritten != 1 {
+		t.Fatal("port unusable after CancelPort")
 	}
 }

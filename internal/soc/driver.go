@@ -5,9 +5,27 @@
 package soc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
+)
+
+// Sentinel errors the driver's completion paths return; callers classify
+// failures with errors.Is and choose a recovery (reject is deterministic and
+// not worth retrying, hang and bus errors warrant reset-and-resubmit).
+var (
+	// ErrJobRejected: the accelerator refused the job configuration (the
+	// Error status bit with RegErrCode == ErrCodeConfig).
+	ErrJobRejected = errors.New("soc: accelerator rejected the job configuration")
+	// ErrHang: the job made no forward progress (watchdog) or exceeded the
+	// polling budget.
+	ErrHang = errors.New("soc: accelerator hang")
+	// ErrBusFault: the job died on an AXI error response; RegErrCode and
+	// RegErrAddr identify the engine and address.
+	ErrBusFault = errors.New("soc: accelerator bus fault")
+	// ErrIRQMissing: the job finished but no interrupt is pending.
+	ErrIRQMissing = errors.New("soc: job finished but no interrupt is pending")
 )
 
 // JobConfig is what the driver writes into the accelerator's memory-mapped
@@ -74,32 +92,45 @@ func (d *Driver) Start() error {
 // PollIdle runs the accelerator until the Idle status bit sets, polling as
 // the CPU would (Section 3: "it checks the completion of the computation in
 // the accelerator by polling the Idle register"). It returns the cycles the
-// job took.
+// job took. Failures map onto the sentinel errors: a watchdog diagnosis or
+// an exhausted cycle budget wraps ErrHang, and the Error status bit wraps
+// ErrBusFault or ErrJobRejected according to RegErrCode.
 func (d *Driver) PollIdle(maxCycles int64) (int64, error) {
 	cycles, err := d.m.Run(maxCycles)
 	if err != nil {
-		return cycles, err
+		return cycles, fmt.Errorf("%w: %w", ErrHang, err)
 	}
 	status, err := d.m.Regs.Read(core.RegStatus)
 	if err != nil {
 		return cycles, err
 	}
 	if status&core.StatusError != 0 {
-		return cycles, fmt.Errorf("soc: accelerator rejected the job configuration")
+		code, addr, err := d.ErrInfo()
+		if err != nil {
+			return cycles, err
+		}
+		switch code {
+		case core.ErrCodeAXIRead, core.ErrCodeAXIWrite:
+			return cycles, fmt.Errorf("%w: code=%d addr=%#x", ErrBusFault, code, addr)
+		default:
+			return cycles, fmt.Errorf("%w (code=%d)", ErrJobRejected, code)
+		}
 	}
 	return cycles, nil
 }
 
 // WaitIRQ behaves like PollIdle but completes through the interrupt path
 // ("A dedicated interrupt could also be enabled to signal the job
-// completion"), clearing the IRQ before returning.
+// completion"), clearing the IRQ before returning. A finished job with no
+// pending interrupt wraps ErrIRQMissing — the caller can still inspect the
+// Idle/Error status bits to salvage the job (a lost-IRQ recovery).
 func (d *Driver) WaitIRQ(maxCycles int64) (int64, error) {
 	cycles, err := d.PollIdle(maxCycles)
 	if err != nil {
 		return cycles, err
 	}
 	if !d.m.Regs.IRQPending() {
-		return cycles, fmt.Errorf("soc: job finished but no interrupt is pending (IRQ not enabled?)")
+		return cycles, fmt.Errorf("%w (IRQ not enabled or dropped)", ErrIRQMissing)
 	}
 	if err := d.m.Regs.Write(core.RegStatus, core.StatusIRQ); err != nil {
 		return cycles, err
@@ -108,6 +139,42 @@ func (d *Driver) WaitIRQ(maxCycles int64) (int64, error) {
 		return cycles, fmt.Errorf("soc: interrupt did not clear")
 	}
 	return cycles, nil
+}
+
+// Reset soft-resets the accelerator through the CtrlReset bit and ticks the
+// machine once so the reset latches, leaving it idle and reconfigurable.
+func (d *Driver) Reset() error {
+	if err := d.m.Regs.Write(core.RegCtrl, core.CtrlReset); err != nil {
+		return err
+	}
+	d.m.Tick()
+	if !d.m.Regs.Idle() {
+		return fmt.Errorf("soc: accelerator not idle after soft reset")
+	}
+	return nil
+}
+
+// ErrInfo reads the error-reporting registers: the last error code
+// (core.ErrCode*) and, for bus faults, the faulting address.
+func (d *Driver) ErrInfo() (code uint32, addr uint64, err error) {
+	code, err = d.m.Regs.Read(core.RegErrCode)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, err := d.m.Regs.Read(core.RegErrAddrLo)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := d.m.Regs.Read(core.RegErrAddrHi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return code, uint64(hi)<<32 | uint64(lo), nil
+}
+
+// ClearError acknowledges the latched error (W1C on RegErrCode).
+func (d *Driver) ClearError() error {
+	return d.m.Regs.Write(core.RegErrCode, 1)
 }
 
 // OutCount reads back how many 16-byte transactions the job wrote.

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -70,4 +71,69 @@ func TestCrossEngineFuzz(t *testing.T) {
 			t.Fatalf("trial %d (%v): CIGAR mismatch\n hw=%s\n sw=%s", trial, pen, hw.CIGAR, sw.CIGAR)
 		}
 	}
+}
+
+// FuzzJobConfig throws arbitrary register-level job parameters at the
+// driver: zero and negative pair counts, misaligned and out-of-range
+// addresses, MAX_READ_LEN extremes. Configure/Start must never panic, and
+// any parameter set the hardware cannot serve must surface as a
+// register-level rejection (ErrJobRejected), never as a hang or a crash.
+func FuzzJobConfig(f *testing.F) {
+	f.Add(int32(1), int32(112), uint64(0), uint64(1<<19), false)
+	f.Add(int32(0), int32(112), uint64(0), uint64(1<<19), false)          // zero pairs
+	f.Add(int32(-5), int32(112), uint64(0), uint64(1<<19), true)          // negative pairs
+	f.Add(int32(2), int32(0), uint64(0), uint64(1<<19), false)            // zero read len
+	f.Add(int32(2), int32(-16), uint64(0), uint64(1<<19), false)          // negative read len
+	f.Add(int32(2), int32(100), uint64(0), uint64(1<<19), true)           // misaligned read len
+	f.Add(int32(2), int32(1<<30), uint64(0), uint64(1<<19), false)        // read len over cap
+	f.Add(int32(1), int32(112), uint64(7), uint64(1<<19), false)          // misaligned input
+	f.Add(int32(1), int32(112), uint64(0), uint64(1<<19|9), true)         // misaligned output
+	f.Add(int32(1), int32(112), uint64(1<<40), uint64(1<<19), false)      // input beyond memory
+	f.Add(int32(1), int32(112), uint64(0), uint64(1<<40), false)          // output beyond memory
+	f.Add(int32(1), int32(112), ^uint64(0)&^uint64(15), uint64(0), false) // input near 2^64
+	f.Add(int32(1<<24), int32(2048), uint64(0), uint64(1<<19), false)     // region overflows memory
+	const memBytes = 1 << 20
+	f.Fuzz(func(t *testing.T, numPairs, maxReadLen int32, inAddr, outAddr uint64, bt bool) {
+		cfg := testConfig()
+		s, err := New(cfg, memBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := JobConfig{
+			InputAddr:  inAddr,
+			OutputAddr: outAddr,
+			NumPairs:   int(numPairs),
+			MaxReadLen: int(maxReadLen),
+			Backtrace:  bt,
+		}
+		if err := s.Driver.Configure(job); err != nil {
+			t.Fatalf("Configure must accept any register values, got %v", err)
+		}
+		if err := s.Driver.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var pollErr error
+		if err := s.protectOOM(func() error {
+			_, pollErr = s.Driver.PollIdle(300_000)
+			return nil
+		}); err != nil {
+			// A mid-job output overflow is caught by the memory model; the
+			// production path (RunResilient) recovers from it the same way.
+			return
+		}
+		// Mirror the machine's acceptance predicate: anything outside it must
+		// have been rejected at the register level.
+		mrl, np := int(maxReadLen), int(numPairs)
+		valid := mrl >= 16 && mrl%16 == 0 && mrl <= cfg.MaxReadLenCap &&
+			np > 0 && np <= 1<<24 &&
+			inAddr%16 == 0 && outAddr%16 == 0 &&
+			inAddr < memBytes && outAddr < memBytes
+		if valid {
+			valid = int64(inAddr)+int64(np)*int64(seqio.PairSections(mrl))*16 <= memBytes
+		}
+		if !valid && !errors.Is(pollErr, ErrJobRejected) {
+			t.Fatalf("invalid job (pairs=%d mrl=%d in=%#x out=%#x) not rejected: %v",
+				np, mrl, inAddr, outAddr, pollErr)
+		}
+	})
 }

@@ -1,0 +1,431 @@
+package soc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/bt"
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/seqio"
+	"repro/internal/wfa"
+)
+
+// ResilientOptions configures RunResilient.
+type ResilientOptions struct {
+	// Backtrace enables the backtrace stream and the CPU decode step.
+	Backtrace bool
+	// SeparateData forces the multi-Aligner data-separation method.
+	SeparateData bool
+	// MaxCycles bounds each hardware attempt; 0 means a large default.
+	MaxCycles int64
+	// MaxAttempts bounds the reset-and-resubmit loop; 0 means 3.
+	MaxAttempts int
+	// UseIRQ completes attempts through the interrupt path instead of
+	// polling, exercising the lost-IRQ recovery.
+	UseIRQ bool
+	// VerifyScores cross-checks every hardware result against the software
+	// WFA (the Scrooge-style CPU oracle). Required for fault schedules that
+	// can corrupt data silently (bit flips, dropped output beats): structural
+	// validation alone cannot detect a plausible-but-wrong score or a
+	// false failure flag.
+	VerifyScores bool
+}
+
+// ResilientReport records what RunResilient did: the final per-pair
+// outcomes (input order) plus fault, recovery and fallback accounting.
+type ResilientReport struct {
+	Outcomes []PairOutcome
+
+	Attempts          int // hardware submissions, including the first
+	Retries           int // resubmissions after a failed attempt
+	Resets            int // soft resets issued
+	HangErrors        int // attempts ended by the watchdog or cycle budget
+	BusErrors         int // attempts ended by an AXI error response
+	ConfigRejects     int // attempts rejected at Start
+	IRQRecoveries     int // completions salvaged after a dropped interrupt
+	DecodeFailures    int // attempts whose output stream would not parse
+	ValidationRejects int // per-pair results rejected by sanity checks
+
+	HardwarePairs int // pairs whose accepted result came from the accelerator
+	FallbackPairs int // pairs aligned by the software WFA after retries
+
+	AccelCycles        int64 // accelerator cycles summed over every attempt
+	CPUBacktraceCycles int64 // modeled CPU cycles decoding backtrace streams
+	CPUFallbackCycles  int64 // modeled CPU cycles for software fallback
+	TotalCycles        int64 // AccelCycles + CPUBacktraceCycles + CPUFallbackCycles
+
+	// FaultEvents / FaultCounts describe the faults injected during this
+	// run (deltas over the SoC's injector, which accumulates across runs).
+	FaultEvents int64
+	FaultCounts map[fault.Kind]int64
+}
+
+// EnableFaults builds an injector from cfg and attaches it to the machine,
+// the memory controller and the aligners. A zero-probability config keeps
+// the SoC cycle-for-cycle identical to one without an injector.
+func (s *SoC) EnableFaults(cfg fault.Config) error {
+	j, err := fault.New(cfg)
+	if err != nil {
+		return err
+	}
+	s.Faults = j
+	s.Machine.AttachInjector(j)
+	return nil
+}
+
+// swResult caches one pair's software alignment (the oracle and the
+// fallback share it, so each pair is software-aligned at most once).
+type swResult struct {
+	res   align.Result
+	stats cpumodel.WFAStats
+	done  bool
+}
+
+// RunResilient is the fault-tolerant counterpart of RunAccelerated: it
+// submits the set to the accelerator, classifies failures through the
+// driver's sentinel errors, retries with reset-and-resubmit up to
+// MaxAttempts, validates every per-pair result against the Config penalty
+// bounds (and the software oracle when VerifyScores is set), and finally
+// degrades to the pure-software WFA for any pair the hardware could not
+// deliver. The returned report always covers every input pair.
+func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*ResilientReport, error) {
+	if len(set.Pairs) == 0 {
+		return nil, fmt.Errorf("soc: empty input set")
+	}
+	idMask := uint32(0xFFFF)
+	if opts.Backtrace {
+		idMask = core.BTIDMask
+	}
+	byID := make(map[uint32]int, len(set.Pairs))
+	for i, p := range set.Pairs {
+		if prev, dup := byID[p.ID&idMask]; dup {
+			return nil, fmt.Errorf("soc: pair IDs %d and %d collide in the result stream's truncated ID field (mask %#x)",
+				set.Pairs[prev].ID, p.ID, idMask)
+		}
+		byID[p.ID&idMask] = i
+	}
+
+	rep := &ResilientReport{Outcomes: make([]PairOutcome, len(set.Pairs))}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 100_000_000_000
+	}
+	faultBase := s.Faults.Total()
+	countBase := s.Faults.Counts()
+
+	sw := make([]swResult, len(set.Pairs))
+	accepted := make([]bool, len(set.Pairs))
+	acceptedCount := 0
+
+	img, err := set.BuildImage()
+	if err != nil {
+		return nil, err
+	}
+	maxReadLen := set.EffectiveMaxReadLen()
+	outputAddr := (inputBase + uint64(len(img)) + 15) &^ 15
+	hwViable := maxReadLen <= s.Cfg.MaxReadLenCap && int(outputAddr) < s.Memory.Size()
+
+	if hwViable {
+		s.Memory.Write(inputBase, img)
+		job := JobConfig{
+			InputAddr:  inputBase,
+			OutputAddr: outputAddr,
+			NumPairs:   len(set.Pairs),
+			MaxReadLen: maxReadLen,
+			Backtrace:  opts.Backtrace,
+			EnableIRQ:  opts.UseIRQ,
+		}
+		for attempt := 1; attempt <= maxAttempts && acceptedCount < len(set.Pairs); attempt++ {
+			if attempt > 1 {
+				rep.Retries++
+			}
+			rep.Attempts++
+			// Kill stale bytes from earlier attempts so a truncated stream
+			// reads as padding, never as a previous attempt's records.
+			s.zeroFrom(int64(outputAddr))
+			ok, fatal := s.runAttempt(set, job, opts, maxCycles, byID, sw, accepted, &acceptedCount, rep)
+			if fatal != nil {
+				return nil, fatal
+			}
+			if acceptedCount == len(set.Pairs) {
+				break
+			}
+			if !ok {
+				// Deterministic rejection: resubmitting cannot help.
+				break
+			}
+			if err := s.Driver.Reset(); err != nil {
+				return nil, err
+			}
+			rep.Resets++
+		}
+	}
+
+	// Graceful degradation: the software WFA aligns whatever the hardware
+	// could not deliver.
+	for i, p := range set.Pairs {
+		if accepted[i] {
+			rep.HardwarePairs++
+			continue
+		}
+		r := s.software(i, p, opts.Backtrace, sw)
+		rep.Outcomes[i] = PairOutcome{ID: p.ID, Result: r.res}
+		rep.CPUFallbackCycles += s.Costs.ScalarWFACycles(r.stats)
+		rep.FallbackPairs++
+	}
+
+	rep.TotalCycles = rep.AccelCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles
+	rep.FaultEvents = s.Faults.Total() - faultBase
+	rep.FaultCounts = map[fault.Kind]int64{}
+	for k, n := range s.Faults.Counts() {
+		if d := n - countBase[k]; d > 0 {
+			rep.FaultCounts[k] = d
+		}
+	}
+	return rep, nil
+}
+
+// runAttempt performs one configure/start/wait/parse/validate round.
+// ok=false means the failure is deterministic and retrying is pointless;
+// fatal is a driver-level error that should abort RunResilient itself.
+func (s *SoC) runAttempt(set *seqio.InputSet, job JobConfig, opts ResilientOptions,
+	maxCycles int64, byID map[uint32]int, sw []swResult,
+	accepted []bool, acceptedCount *int, rep *ResilientReport) (ok bool, fatal error) {
+
+	if err := s.Driver.Configure(job); err != nil {
+		return false, err
+	}
+	if err := s.Driver.Start(); err != nil {
+		return false, err
+	}
+	var cycles int64
+	err := s.protectOOM(func() error {
+		var runErr error
+		if opts.UseIRQ {
+			cycles, runErr = s.Driver.WaitIRQ(maxCycles)
+		} else {
+			cycles, runErr = s.Driver.PollIdle(maxCycles)
+		}
+		return runErr
+	})
+	rep.AccelCycles += cycles
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrIRQMissing):
+		// The job itself completed (PollIdle inside WaitIRQ saw Idle without
+		// Error) — only the interrupt was lost. Salvage the results.
+		rep.IRQRecoveries++
+	case errors.Is(err, ErrJobRejected):
+		rep.ConfigRejects++
+		return false, nil
+	case errors.Is(err, ErrBusFault):
+		rep.BusErrors++
+		if clearErr := s.Driver.ClearError(); clearErr != nil {
+			return false, clearErr
+		}
+		return true, nil
+	case errors.Is(err, ErrHang):
+		rep.HangErrors++
+		return true, nil
+	default:
+		// Memory-model panics (output overflow) and any unclassified
+		// failure: worth one more try after a reset.
+		rep.DecodeFailures++
+		return true, nil
+	}
+
+	candidates, decodeOK := s.parseOutput(set, job, opts, byID, rep)
+	if !decodeOK {
+		rep.DecodeFailures++
+		return true, nil
+	}
+	for id, cand := range candidates {
+		i := byID[id]
+		if accepted[i] {
+			// An earlier attempt already delivered this pair; keep it.
+			continue
+		}
+		if !cand.valid || !s.validateOutcome(i, set.Pairs[i], cand.out, opts, sw) {
+			rep.ValidationRejects++
+			continue
+		}
+		accepted[i] = true
+		*acceptedCount++
+		rep.Outcomes[i] = cand.out
+	}
+	return true, nil
+}
+
+// candidate is one decoded result; valid=false marks duplicates within the
+// same stream (two records claiming one ID means the stream is corrupt).
+type candidate struct {
+	out   PairOutcome
+	valid bool
+}
+
+// parseOutput decodes the output region of a completed attempt into
+// per-pair candidates. decodeOK=false means the stream as a whole was
+// unusable. Decoder panics on corrupt streams are converted to decode
+// failures.
+func (s *SoC) parseOutput(set *seqio.InputSet, job JobConfig, opts ResilientOptions,
+	byID map[uint32]int, rep *ResilientReport) (out map[uint32]candidate, decodeOK bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, decodeOK = nil, false
+		}
+	}()
+	count, err := s.Driver.OutCount()
+	if err != nil {
+		return nil, false
+	}
+	if avail := (s.Memory.Size() - int(job.OutputAddr)) / mem.BeatBytes; count > avail {
+		count = avail
+	}
+	raw := s.Memory.Read(int64(job.OutputAddr), count*mem.BeatBytes)
+	candidates := map[uint32]candidate{}
+	add := func(id uint32, res align.Result) {
+		if _, dup := candidates[id]; dup {
+			candidates[id] = candidate{valid: false}
+			return
+		}
+		candidates[id] = candidate{out: PairOutcome{ID: set.Pairs[byID[id]].ID, Result: res}, valid: true}
+	}
+
+	if !opts.Backtrace {
+		// Scan every record slot: with dropped beats the stream shifts, so
+		// record position is meaningless — only the embedded IDs count.
+		// Unknown IDs are padding or corruption and are skipped.
+		for i := 0; i < count*core.NBTPerTransaction; i++ {
+			rec, err := core.UnpackNBTRecord(raw[i*core.NBTRecordBytes:])
+			if err != nil {
+				continue
+			}
+			if _, known := byID[uint32(rec.ID)]; !known {
+				continue
+			}
+			add(uint32(rec.ID), align.Result{Score: int(rec.Score), Success: rec.Success})
+		}
+		return candidates, true
+	}
+
+	separate := opts.SeparateData || s.Cfg.NumAligners > 1
+	pairs := map[uint32]seqio.Pair{}
+	for _, p := range set.Pairs {
+		pairs[p.ID&core.BTIDMask] = p
+	}
+	dec := bt.NewDecoder(s.Cfg)
+	alignments, btStats, err := dec.DecodeRegion(raw, count, pairs, separate)
+	if err != nil {
+		return nil, false
+	}
+	rep.CPUBacktraceCycles += s.Costs.BacktraceCycles(cpumodel.BTStats{
+		TransactionsScanned: btStats.TransactionsScanned,
+		SeparatedBytes:      btStats.SeparatedBytes,
+		RangeSteps:          btStats.RangeSteps,
+		WalkSteps:           btStats.WalkSteps,
+		MatchesInserted:     btStats.MatchesInserted,
+	}, separate)
+	for _, al := range alignments {
+		if _, known := byID[al.ID&core.BTIDMask]; !known {
+			continue
+		}
+		add(al.ID&core.BTIDMask, al.Result)
+	}
+	return candidates, true
+}
+
+// validateOutcome is the per-pair sanity gate. Structural checks bound the
+// score by the Config penalties; with VerifyScores the software oracle
+// additionally requires an exact success/score (and CIGAR, under backtrace)
+// match.
+func (s *SoC) validateOutcome(i int, p seqio.Pair, out PairOutcome, opts ResilientOptions, sw []swResult) bool {
+	res := out.Result
+	if res.Success {
+		pen := s.Cfg.Penalties
+		if res.Score < 0 || res.Score > s.Cfg.ScoreMax() {
+			return false
+		}
+		d := len(p.A) - len(p.B)
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 && res.Score < pen.GapOpen+d*pen.GapExtend {
+			// Any alignment of length-mismatched reads opens at least one
+			// gap and extends it d times.
+			return false
+		}
+		if res.Score == 0 && !bytes.Equal(p.A, p.B) {
+			return false
+		}
+		if opts.Backtrace {
+			// The CIGAR is its own witness: it must replay over the pair and
+			// re-price to the reported score.
+			if res.CIGAR.Validate(p.A, p.B) != nil || res.CIGAR.Score(pen) != res.Score {
+				return false
+			}
+		}
+	}
+	if opts.VerifyScores {
+		r := s.software(i, p, opts.Backtrace, sw)
+		if r.res.Success != res.Success {
+			return false
+		}
+		if res.Success && r.res.Score != res.Score {
+			return false
+		}
+	}
+	return true
+}
+
+// software returns pair i's software alignment, computing and caching it on
+// first use (the oracle and the fallback share the cache).
+func (s *SoC) software(i int, p seqio.Pair, withCIGAR bool, sw []swResult) swResult {
+	if !sw[i].done {
+		sw[i] = s.alignSoftware(p, withCIGAR)
+		sw[i].done = true
+	}
+	return sw[i]
+}
+
+// alignSoftware reproduces the accelerator's semantics in software:
+// unsupported reads (over the hardware cap or containing unknown bases)
+// fail with Success = 0, everything else runs the WFA under the hardware's
+// k_max window.
+func (s *SoC) alignSoftware(p seqio.Pair, withCIGAR bool) swResult {
+	if len(p.A) > s.Cfg.MaxReadLenCap || len(p.B) > s.Cfg.MaxReadLenCap ||
+		seqio.ValidateSequence(p.A) != nil || seqio.ValidateSequence(p.B) != nil {
+		return swResult{res: align.Result{Success: false}}
+	}
+	res, st, err := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{WithCIGAR: withCIGAR, MaxK: s.Cfg.KMax})
+	if err != nil {
+		return swResult{res: align.Result{Success: false}}
+	}
+	return swResult{
+		res: res,
+		stats: cpumodel.WFAStats{
+			ScoreSteps:     st.ScoreSteps,
+			CellsComputed:  st.CellsComputed,
+			BasesCompared:  st.BasesCompared,
+			Blocks16:       st.Blocks16,
+			WavefrontBytes: st.WavefrontBytes,
+		},
+	}
+}
+
+// zeroFrom clears main memory from addr to the end.
+func (s *SoC) zeroFrom(addr int64) {
+	n := s.Memory.Size() - int(addr)
+	if n <= 0 {
+		return
+	}
+	s.Memory.Write(addr, make([]byte, n))
+}

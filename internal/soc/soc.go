@@ -7,6 +7,7 @@ import (
 	"repro/internal/bt"
 	"repro/internal/core"
 	"repro/internal/cpumodel"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/seqio"
 )
@@ -19,6 +20,9 @@ type SoC struct {
 	Machine *core.Machine
 	Driver  *Driver
 	Costs   cpumodel.Costs
+	// Faults is the fault injector attached via EnableFaults (nil when the
+	// fault layer is disabled; all uses are nil-safe).
+	Faults *fault.Injector
 }
 
 // inputBase leaves the bottom of memory for the "OS" (flavor only).

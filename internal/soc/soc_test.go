@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -237,5 +238,95 @@ func TestTooSmallMemoryIsAnErrorNotAPanic(t *testing.T) {
 	_, err := s.RunAccelerated(set, RunOptions{Backtrace: true})
 	if err == nil {
 		t.Fatal("overflowing run returned no error")
+	}
+}
+
+// The driver's completion paths classify failures through exported sentinel
+// errors so callers can pick a recovery with errors.Is.
+func TestSentinelJobRejected(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, 1<<20)
+	job := JobConfig{
+		InputAddr:  inputBase,
+		OutputAddr: 1 << 19,
+		NumPairs:   1,
+		MaxReadLen: 100, // not a multiple of 16: the machine must reject it
+	}
+	if err := s.Driver.Configure(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Driver.PollIdle(10_000)
+	if !errors.Is(err, ErrJobRejected) {
+		t.Fatalf("bad MAX_READ_LEN: got %v, want ErrJobRejected", err)
+	}
+	code, _, infoErr := s.Driver.ErrInfo()
+	if infoErr != nil || code != core.ErrCodeConfig {
+		t.Fatalf("error code %d (err %v), want ErrCodeConfig", code, infoErr)
+	}
+	if err := s.Driver.ClearError(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := s.Driver.ErrInfo(); code != core.ErrCodeNone {
+		t.Fatalf("error code %d after W1C clear", code)
+	}
+}
+
+func TestSentinelIRQMissing(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, 1<<22)
+	set := testSet(1, 100, 0.05)
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Memory.Write(inputBase, img)
+	job := JobConfig{
+		InputAddr:  inputBase,
+		OutputAddr: 1 << 20,
+		NumPairs:   1,
+		MaxReadLen: set.EffectiveMaxReadLen(),
+		// EnableIRQ deliberately left false: the job completes, but WaitIRQ
+		// finds no pending interrupt.
+	}
+	if err := s.Driver.Configure(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Driver.WaitIRQ(10_000_000)
+	if !errors.Is(err, ErrIRQMissing) {
+		t.Fatalf("IRQ-less completion: got %v, want ErrIRQMissing", err)
+	}
+}
+
+func TestSentinelHang(t *testing.T) {
+	cfg := testConfig()
+	s, _ := New(cfg, 1<<22)
+	set := testSet(1, 200, 0.05)
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Memory.Write(inputBase, img)
+	job := JobConfig{
+		InputAddr:  inputBase,
+		OutputAddr: 1 << 20,
+		NumPairs:   1,
+		MaxReadLen: set.EffectiveMaxReadLen(),
+	}
+	if err := s.Driver.Configure(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Driver.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A 10-cycle budget cannot finish any job: the exhausted budget must
+	// surface as ErrHang.
+	if _, err := s.Driver.PollIdle(10); !errors.Is(err, ErrHang) {
+		t.Fatalf("exhausted budget: got %v, want ErrHang", err)
 	}
 }

@@ -40,4 +40,16 @@ else
     go test -race ./...
 fi
 
+# The seeded chaos campaign (internal/soc/chaos_test.go) re-runs explicitly
+# with -count=1 so a cached pass can never mask a schedule regression: every
+# campaign is pinned to a fault seed and must reproduce byte-identical fault
+# schedules, bit-identical outcomes and identical cycle counts on every run.
+# The quick pass uses the -short campaign; CI runs the full one under -race.
+echo "== chaos campaign (pinned fault seeds) =="
+if [[ "${SKIP_RACE:-0}" == "1" ]]; then
+    go test -short -count=1 -run 'TestChaos' ./internal/soc/
+else
+    go test -count=1 -run 'TestChaos' ./internal/soc/
+fi
+
 echo "all checks passed"
