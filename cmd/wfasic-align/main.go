@@ -9,6 +9,12 @@
 // memory, the accelerator aligns via DMA, and — with -backtrace — the CPU
 // reconstructs the CIGARs from the backtrace stream. -engine scalar/vector/
 // swg run the software baselines with modeled Sargantana cycle counts.
+//
+// Observability: -trace logs datapath events to stderr, -perf prints the
+// hardware perf counter attribution for the job, and -trace-chrome FILE
+// writes a Chrome trace_event timeline (open in chrome://tracing or
+// Perfetto). All three are behavior-neutral — the job's cycle counts and
+// outputs are bit-identical with or without them.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/perf"
 	"repro/internal/seqio"
 	"repro/internal/soc"
 )
@@ -33,6 +40,8 @@ func main() {
 	memMB := flag.Int("mem", 256, "main memory size in MiB")
 	showCIGAR := flag.Bool("cigar", false, "print CIGARs (requires -backtrace on accel)")
 	trace := flag.Bool("trace", false, "log accelerator datapath events to stderr")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event timeline of the accelerator run to this file")
+	perfSummary := flag.Bool("perf", false, "print the hardware perf counter attribution after an accel run")
 	flag.Parse()
 
 	var set *seqio.InputSet
@@ -87,10 +96,22 @@ func main() {
 		fatal(err)
 	}
 
-	if *trace {
+	var events []core.TraceEvent
+	switch {
+	case *trace && *traceChrome != "":
+		s.Machine.SetTracer(func(e core.TraceEvent) {
+			fmt.Fprintln(os.Stderr, e)
+			events = append(events, e)
+		})
+	case *trace:
 		s.Machine.SetTracer(func(e core.TraceEvent) {
 			fmt.Fprintln(os.Stderr, e)
 		})
+	case *traceChrome != "":
+		s.Machine.SetTracer(core.CollectTrace(&events))
+	}
+	if *traceChrome != "" {
+		s.Machine.EnablePerfSampling(64)
 	}
 
 	switch *engine {
@@ -105,6 +126,24 @@ func main() {
 			fmt.Printf("# CPU backtrace cycles: %d (method: %s)\n",
 				rep.CPUBacktraceCycles, method(*separate || *aligners > 1))
 			fmt.Printf("# total pipeline cycles: %d\n", rep.TotalCycles)
+		}
+		if *perfSummary {
+			fmt.Print(perf.Summary(rep.Perf, rep.AccelCycles))
+		}
+		if *traceChrome != "" {
+			tr := core.BuildTrace(events, s.Machine.Timings, s.Machine.OccSamples())
+			out, err := os.Create(*traceChrome)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.WriteChrome(out); err != nil {
+				out.Close()
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wfasic-align: Chrome trace written to %s\n", *traceChrome)
 		}
 	case "scalar", "vector", "swg":
 		mode := soc.CPUScalar

@@ -9,14 +9,20 @@
 //	wfasic-bench -exp table2        # Table 2: GCUPS and area
 //	wfasic-bench -exp asic          # Section 5.2 physical summary
 //	wfasic-bench -exp ablations     # design-parameter ablations
+//	wfasic-bench -exp perf          # cycle attribution (hardware perf counters)
 //
 // -pairs scales the number of synthetic pairs per input set; -quick selects
-// a minimal smoke-test configuration.
+// a minimal smoke-test configuration. The perf experiment additionally
+// writes machine-readable artifacts: -perf-json emits the counter windows
+// as JSON (the BENCH_*.json format) and -trace-chrome emits a Chrome
+// trace_event timeline (open in chrome://tracing or Perfetto) for the
+// profile chosen by -trace-profile.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,10 +31,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig9, fig10, fig11, table2, asic, heuristics, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig9, fig10, fig11, table2, asic, heuristics, ablations, perf, all")
 	pairs := flag.Int("pairs", 0, "pairs per input set (0 = default)")
 	maxAligners := flag.Int("aligners", 0, "Figure 10 sweep bound (0 = default)")
 	quick := flag.Bool("quick", false, "minimal smoke-test scale")
+	perfJSON := flag.String("perf-json", "", "write the perf counter windows to this file (BENCH_*.json format)")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event timeline to this file")
+	traceProfile := flag.String("trace-profile", "1K-10%", "input profile the -trace-chrome timeline covers")
 	flag.Parse()
 
 	params := bench.DefaultParams()
@@ -144,8 +153,47 @@ func main() {
 		fmt.Print("\n" + bench.RenderDistribution(dist))
 		return nil
 	})
+	run("perf", func() error {
+		rows, err := bench.PerfAttribution(params)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderPerfAttribution(rows))
+		if *perfJSON != "" {
+			if err := writeFile(*perfJSON, func(w io.Writer) error {
+				return bench.WritePerfJSON(rows, w)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("\nperf counters written to %s\n", *perfJSON)
+		}
+		if *traceChrome != "" {
+			tr, err := bench.TraceForProfile(rows, *traceProfile)
+			if err != nil {
+				return err
+			}
+			if err := writeFile(*traceChrome, tr.WriteChrome); err != nil {
+				return err
+			}
+			fmt.Printf("Chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *traceChrome)
+		}
+		return nil
+	})
 	if !ran {
 		fmt.Fprintf(os.Stderr, "wfasic-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeFile creates path and streams f into it, surfacing the first error.
+func writeFile(path string, f func(w io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// PerfRow is one paper profile's cycle-attribution window: the job's perf
+// counter delta, the wall cycles it attributes, the FIFO occupancy
+// distributions and a Chrome-exportable activity timeline.
+type PerfRow struct {
+	Profile    string
+	Pairs      int
+	JobCycles  int64
+	Perf       perf.Snapshot
+	Histograms []perf.Histogram
+	Trace      perf.Trace
+}
+
+// perfSampleEvery is the FIFO occupancy sampling period in cycles — frequent
+// enough for stable quantiles on the 100-base sets, cheap enough for the 10K
+// sets.
+const perfSampleEvery = 64
+
+// PerfAttribution runs the standard workload (the six Table 1 profiles) on
+// the chip configuration with the full observability layer armed — event
+// tracer, occupancy sampling and the RegPerf* counter window — and returns
+// one attribution row per profile. This is the experiment behind the
+// BENCH_*.json perf trajectory.
+func PerfAttribution(params Params) ([]PerfRow, error) {
+	cfg := core.ChipConfig()
+	var rows []PerfRow
+	for _, profile := range seqgen.PaperSets(1) {
+		profile.NumPairs = params.pairsFor(profile)
+		set := InputSetFor(profile, cfg.MaxReadLenCap)
+
+		s, err := newSoC(cfg, set, false)
+		if err != nil {
+			return nil, err
+		}
+		var events []core.TraceEvent
+		s.Machine.SetTracer(core.CollectTrace(&events))
+		s.Machine.EnablePerfSampling(perfSampleEvery)
+		rep, err := s.RunAccelerated(set, soc.RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: perf %s: %w", profile.Name, err)
+		}
+		tr := core.BuildTrace(events, s.Machine.Timings, s.Machine.OccSamples())
+		tr.Process = "wfasic " + profile.Name
+		rows = append(rows, PerfRow{
+			Profile:    profile.Name,
+			Pairs:      len(set.Pairs),
+			JobCycles:  rep.AccelCycles,
+			Perf:       rep.Perf,
+			Histograms: s.Machine.OccupancyHistograms(),
+			Trace:      tr,
+		})
+	}
+	return rows, nil
+}
+
+// RenderPerfAttribution formats the stall-attribution tables: per profile,
+// every counter grouped by module with *_cycles shares of the job, plus the
+// FIFO occupancy quantiles.
+func RenderPerfAttribution(rows []PerfRow) string {
+	var b strings.Builder
+	b.WriteString("Cycle attribution over the paper's input sets (Section 5 workload)\n")
+	b.WriteString("===================================================================\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "\n## %s (%d pairs)\n", row.Profile, row.Pairs)
+		b.WriteString(perf.Summary(row.Perf, row.JobCycles))
+		for _, h := range row.Histograms {
+			b.WriteString(perf.RenderHistogram(h))
+		}
+	}
+	return b.String()
+}
+
+// perfJSONDoc is the BENCH_*.json perf artifact: one counter window per
+// profile of the standard workload, in a schema future sessions append to.
+type perfJSONDoc struct {
+	Schema   string            `json:"schema"`
+	Workload string            `json:"workload"`
+	Profiles []perfJSONProfile `json:"profiles"`
+}
+
+type perfJSONProfile struct {
+	Name      string          `json:"name"`
+	Pairs     int             `json:"pairs"`
+	JobCycles int64           `json:"job_cycles"`
+	Counters  json.RawMessage `json:"counters"`
+}
+
+// WritePerfJSON writes the machine-readable perf artifact for the rows:
+// counters in hardware index order, byte-stable across same-seed runs (the
+// property that lets BENCH_*.json snapshots diff meaningfully over time).
+func WritePerfJSON(rows []PerfRow, w io.Writer) error {
+	doc := perfJSONDoc{Schema: "wfasic-perf-v1", Workload: "paper-sets"}
+	for _, row := range rows {
+		counters, err := row.Perf.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		doc.Profiles = append(doc.Profiles, perfJSONProfile{
+			Name:      row.Profile,
+			Pairs:     row.Pairs,
+			JobCycles: row.JobCycles,
+			Counters:  counters,
+		})
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// TraceForProfile picks the row whose Chrome trace the caller wants to
+// export (empty name selects the first row).
+func TraceForProfile(rows []PerfRow, name string) (perf.Trace, error) {
+	if name == "" && len(rows) > 0 {
+		return rows[0].Trace, nil
+	}
+	for _, row := range rows {
+		if row.Profile == name {
+			return row.Trace, nil
+		}
+	}
+	return perf.Trace{}, fmt.Errorf("bench: no perf row for profile %q", name)
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func TestPerfAttributionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf attribution runs 10K simulations")
+	}
+	rows, err := PerfAttribution(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.JobCycles <= 0 {
+			t.Errorf("%s: job cycles %d", row.Profile, row.JobCycles)
+		}
+		if len(row.Perf.Entries) == 0 {
+			t.Errorf("%s: empty counter window", row.Profile)
+		}
+		if pairs, _ := row.Perf.Get("extractor.pairs"); pairs != int64(row.Pairs) {
+			t.Errorf("%s: extractor.pairs=%d, want %d", row.Profile, pairs, row.Pairs)
+		}
+		if len(row.Trace.Spans) == 0 {
+			t.Errorf("%s: trace has no spans", row.Profile)
+		}
+	}
+	rendered := RenderPerfAttribution(rows)
+	for _, want := range []string{"100-5%", "10K-10%", "-- dma", "-- aligner0", "fifo_in.occupancy"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("attribution table lacks %q:\n%s", want, rendered)
+		}
+	}
+
+	// The JSON artifact round-trips and preserves counter order.
+	var buf bytes.Buffer
+	if err := WritePerfJSON(rows, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Profiles []struct {
+			Name     string        `json:"name"`
+			Counters perf.Snapshot `json:"counters"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perf JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != "wfasic-perf-v1" || len(doc.Profiles) != 6 {
+		t.Fatalf("schema=%q profiles=%d", doc.Schema, len(doc.Profiles))
+	}
+	if !doc.Profiles[0].Counters.Equal(rows[0].Perf) {
+		t.Fatal("counters did not survive the JSON round trip")
+	}
+
+	// The exported Chrome trace is loadable.
+	tr, err := TraceForProfile(rows, "1K-10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.ValidateChrome(chrome.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceForProfile(rows, "no-such-profile"); err == nil {
+		t.Fatal("unknown profile did not error")
+	}
+}

@@ -51,6 +51,13 @@ type AlignerStats struct {
 	BTBlocks      int64
 	StallCycles   int64 // cycles stalled on a full outbox
 	BusyCycles    int64
+
+	// Cycle attribution (the paper's extend-vs-compute split, Section 5).
+	ComputeCycles int64 // Compute sub-modules: step overhead, issue, latency
+	ExtendCycles  int64 // Extend critical path: pipeline fill + comparator blocks
+	LoadCycles    int64 // cycles in Loading (the Extractor streaming the pair in)
+	DrainCycles   int64 // cycles in Draining (outbox emptying into the Collector)
+	BankConflicts int64 // window-edge accesses absorbed by the duplicated RAMs
 }
 
 // AlignerHW is one Aligner module (Section 4.3): ParallelSections pairs of
@@ -170,6 +177,7 @@ func (a *AlignerHW) Start(id uint32, seqA, seqB *SeqRAM, unsupported, btEnabled 
 	m0.Set(0, int32(ext.Matches), wfa.MTagNone)
 	a.Stats.CellsExtended++
 	a.Stats.ExtendBlocks += int64(ext.Blocks)
+	a.Stats.ExtendCycles += int64(a.cfg.Timing.ExtendFill + ext.Blocks)
 	a.ring.put(0, nil, nil, m0)
 	a.busy = int64(a.cfg.Timing.StartupCycles + a.cfg.Timing.ExtendFill + ext.Blocks)
 	if a.isDone(m0) {
@@ -201,9 +209,13 @@ func (a *AlignerHW) HasOutput() bool { return len(a.outbox) > 0 }
 // Tick advances the Aligner one cycle.
 func (a *AlignerHW) Tick(cycle int64) {
 	switch a.state {
-	case alignerIdle, alignerLoading:
+	case alignerIdle:
+		return
+	case alignerLoading:
+		a.Stats.LoadCycles++
 		return
 	case alignerDraining:
+		a.Stats.DrainCycles++
 		if len(a.outbox) == 0 {
 			a.state = alignerIdle
 		}
@@ -375,6 +387,8 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	batches := a.bank.NumBatches(mR.Lo, mR.Hi)
 	t := a.cfg.Timing
 	cycles := int64(t.StepOverhead + t.ComputeLatency + t.ExtendFill)
+	a.Stats.ComputeCycles += int64(t.StepOverhead + t.ComputeLatency)
+	a.Stats.ExtendCycles += int64(t.ExtendFill)
 	for b := 0; b < batches; b++ {
 		base := kStart + b*P
 		maxBlocks := 0
@@ -401,6 +415,18 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 		cycles += int64(t.ComputeIssue + maxBlocks)
 		a.Stats.Batches++
 		a.Stats.MaxBlocksSum += int64(maxBlocks)
+		a.Stats.ComputeCycles += int64(t.ComputeIssue)
+		a.Stats.ExtendCycles += int64(maxBlocks)
+		// The ±1-shifted gap-source reads (rows r0-1 and r0+P) would conflict
+		// with the aligned window reads on banks P-1 and 0; the duplicated
+		// RAMs 1'/N' absorb them, and we count each absorbed access.
+		r0 := a.bank.RowOf(base)
+		if r0-1 >= 0 {
+			a.Stats.BankConflicts++
+		}
+		if r0+P < a.bank.Rows() {
+			a.Stats.BankConflicts++
+		}
 		if a.btEnabled {
 			a.outbox = append(a.outbox, obEntry{
 				kind:  obBlock,

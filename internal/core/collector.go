@@ -36,6 +36,12 @@ type Collector struct {
 	onResult func(id uint32, rec ScoreRecord, a *AlignerHW)
 
 	Transactions int64
+
+	// Emitted and BackpressureCycles are monotone over the machine's lifetime
+	// (they survive Reset/Configure, unlike Transactions, which feeds the
+	// per-job RegOutCount register) — the perf layer windows them by delta.
+	Emitted            int64
+	BackpressureCycles int64 // collector ticks blocked by a full output FIFO
 }
 
 // NewCollector wires the collector between the Aligners and the output FIFO.
@@ -78,6 +84,7 @@ func (c *Collector) Done() bool {
 // Tick advances the collector: at most one output transaction per cycle.
 func (c *Collector) Tick() {
 	if c.outFIFO.Full() {
+		c.BackpressureCycles++
 		return
 	}
 	// Continue chunking the current BT block.
@@ -174,4 +181,5 @@ func (c *Collector) push(beat [mem.BeatBytes]byte) {
 		invariant.Failf("core", "collector pushed into a full FIFO") // guarded by Tick
 	}
 	c.Transactions++
+	c.Emitted++
 }

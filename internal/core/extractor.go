@@ -44,6 +44,22 @@ type Extractor struct {
 
 	// onDispatch, when set, observes each pair handoff (tracing).
 	onDispatch func(id uint32, reading int64, unsupported bool, aligner int)
+
+	// Stats are monotone over the machine's lifetime (they survive Reset and
+	// Configure), so the perf layer can window them with snapshot deltas.
+	Stats ExtractorStats
+}
+
+// ExtractorStats attributes the Extractor's cycles: streaming beats in,
+// stalled on the DMA, stalled on busy Aligners, or burning the fixed
+// dispatch overhead.
+type ExtractorStats struct {
+	StreamCycles       int64 // cycles a beat was consumed from the input FIFO
+	WaitDataCycles     int64 // cycles stalled mid-pair on an empty input FIFO
+	WaitAlignerCycles  int64 // cycles with pairs left but no idle Aligner
+	DispatchWaitCycles int64 // cycles spent in the per-pair dispatch overhead
+	PairsDispatched    int64
+	Unsupported        int64 // pairs dispatched with the unsupported flag
 }
 
 // NewExtractor wires the extractor to the input FIFO and the Aligners.
@@ -98,14 +114,17 @@ func (e *Extractor) Tick(cycle int64) {
 			}
 		}
 		if !e.loading {
+			e.Stats.WaitAlignerCycles++
 			return
 		}
 	}
 	if e.beatIdx < e.pairBeats {
 		beat, ok := e.inFIFO.Pop()
 		if !ok {
+			e.Stats.WaitDataCycles++
 			return // wait for the DMA
 		}
+		e.Stats.StreamCycles++
 		e.consumeBeat(beat)
 		beatIdx := e.beatIdx + 1
 		e.beatIdx = beatIdx
@@ -116,6 +135,7 @@ func (e *Extractor) Tick(cycle int64) {
 		return
 	}
 	if e.dispatchWait > 0 {
+		e.Stats.DispatchWaitCycles++
 		wait := e.dispatchWait - 1
 		e.dispatchWait = wait
 		if wait == 0 {
@@ -186,4 +206,8 @@ func (e *Extractor) dispatch(cycle int64) {
 	e.loading = false
 	e.target = nil
 	e.pairsDispatched++
+	e.Stats.PairsDispatched++
+	if e.unsupported {
+		e.Stats.Unsupported++
+	}
 }

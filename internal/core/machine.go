@@ -19,6 +19,12 @@ type PairTiming struct {
 	Score         int
 	ReadingCycles int64
 	AlignCycles   int64
+	// Aligner, StartCycle and FinishCycle place the pair on the activity
+	// timeline (the Chrome-trace export): which Aligner ran it and the
+	// absolute machine cycles its alignment spanned.
+	Aligner     int
+	StartCycle  int64
+	FinishCycle int64
 }
 
 // Machine is the WFAsic accelerator attached to the memory system — the full
@@ -64,6 +70,25 @@ type Machine struct {
 	Timings []PairTiming
 
 	tracer Tracer
+
+	// Machine-level perf counters, monotone over the machine's lifetime (the
+	// perf layer windows them with snapshot deltas). Pure observation: no
+	// Tick decision ever reads them.
+	perfJobs         int64
+	perfRejects      int64
+	perfAborts       int64
+	perfSoftResets   int64
+	rdThrottleCycles int64 // running cycles with input left but no FIFO room for a burst
+	wrBacklogCycles  int64 // running cycles with staged write beats awaiting a burst
+
+	// FIFO occupancy sampling (EnablePerfSampling; off by default).
+	sampleEvery int64
+	occIn       []int64
+	occOut      []int64
+	occSamples  []OccSample
+
+	// probes is the hardware perf counter index space (see perf.go).
+	probes []perfProbe
 }
 
 // NewMachine builds the accelerator over an existing memory and controller
@@ -87,6 +112,8 @@ func NewMachine(cfg Config, memory *mem.Memory, ctl *mem.Controller) (*Machine, 
 	}
 	m.extractor = NewExtractor(cfg, m.inFIFO, m.aligners)
 	m.collector = NewCollector(cfg, m.outFIFO, m.aligners)
+	m.buildProbes()
+	m.Regs.AttachPerf(m)
 	// In -tags invariantdebug builds, core invariant Violations carry the
 	// machine's cycle counter (no-op and free in release builds).
 	invariant.RegisterContext("core", func() string {
@@ -160,6 +187,7 @@ func (m *Machine) startJob() {
 	if !ok {
 		m.trace("machine", "job-error", "rejected: maxReadLen=%d pairs=%d in=%#x out=%#x",
 			maxReadLen, numPairs, r.InputAddr, r.OutputAddr)
+		m.perfRejects++
 		r.errored = true
 		r.ErrCode = ErrCodeConfig
 		r.idle = true
@@ -172,6 +200,7 @@ func (m *Machine) startJob() {
 		numPairs, maxReadLen, r.BTEnable, r.InputAddr, r.OutputAddr)
 
 	m.running = true
+	m.perfJobs++
 	r.idle = false
 	r.JobCycles = 0
 	m.jobStart = m.cycle
@@ -180,8 +209,8 @@ func (m *Machine) startJob() {
 	m.outstanding = 0
 	m.writeAddr = int64(r.OutputAddr)
 	m.writeBuf = m.writeBuf[:0]
-	m.inFIFO.Reset()
-	m.outFIFO.Reset()
+	m.inFIFO.Clear()
+	m.outFIFO.Clear()
 	m.Timings = m.Timings[:0]
 
 	m.extractor.Configure(maxReadLen, numPairs, r.BTEnable)
@@ -201,6 +230,9 @@ func (m *Machine) recordResult(id uint32, rec ScoreRecord, a *AlignerHW) {
 		Score:         int(rec.Score),
 		ReadingCycles: m.extractor.ReadingCycles(id),
 		AlignCycles:   a.finishCycle - a.startCycle,
+		Aligner:       a.idx,
+		StartCycle:    a.startCycle,
+		FinishCycle:   a.finishCycle,
 	})
 }
 
@@ -232,6 +264,9 @@ func (m *Machine) Tick() {
 	m.outFIFO.Tick()
 	m.Regs.OutCount = uint32(m.collector.Transactions)
 	m.Regs.JobCycles = uint64(cycle - m.jobStart)
+	if m.sampleEvery > 0 && cycle%m.sampleEvery == 0 {
+		m.samplePerf(cycle)
+	}
 
 	if m.pendingAbort {
 		m.pendingAbort = false
@@ -271,6 +306,7 @@ func (m *Machine) requestAbort(code uint32, addr uint64) {
 func (m *Machine) abortJob(cycle int64) {
 	m.trace("machine", "job-abort", "code=%d addr=%#x cycles=%d",
 		m.abortCode, m.abortAddr, cycle-m.jobStart)
+	m.perfAborts++
 	m.scrub()
 	m.running = false
 	r := m.Regs
@@ -289,8 +325,8 @@ func (m *Machine) abortJob(cycle int64) {
 func (m *Machine) scrub() {
 	m.ctl.CancelPort(m.rdPort)
 	m.ctl.CancelPort(m.wrPort)
-	m.inFIFO.Reset()
-	m.outFIFO.Reset()
+	m.inFIFO.Clear()
+	m.outFIFO.Clear()
 	m.extractor.Reset()
 	m.collector.Reset()
 	for _, a := range m.aligners {
@@ -308,6 +344,7 @@ func (m *Machine) scrub() {
 // re-Start without reprogramming addresses.
 func (m *Machine) softReset() {
 	m.trace("machine", "soft-reset", "running=%v", m.running)
+	m.perfSoftResets++
 	m.scrub()
 	m.ctl.ResetArbitration()
 	m.running = false
@@ -344,6 +381,9 @@ func (m *Machine) dmaRead(cycle int64) {
 	}
 	room := m.inFIFO.Depth() - m.inFIFO.Occupancy() - m.outstanding
 	burst := m.cfg.Timing.Mem.BurstBeats
+	if m.readBeatsLeft > 0 && room < burst {
+		m.rdThrottleCycles++
+	}
 	for m.readBeatsLeft > 0 && room >= burst {
 		n := burst
 		if n > m.readBeatsLeft {
@@ -367,6 +407,9 @@ func (m *Machine) dmaWrite(cycle int64) {
 		m.trace("machine", "axi-error", "wr addr=%#x cycle=%d", f.Addr, cycle)
 		m.requestAbort(ErrCodeAXIWrite, uint64(f.Addr))
 		return
+	}
+	if len(m.writeBuf) > 0 {
+		m.wrBacklogCycles++
 	}
 	if beat, ok := m.outFIFO.Pop(); ok {
 		if m.inj.DropOutputBeat(cycle) {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// perfProbe is one hardware performance counter: a stable dotted name and a
+// read function over the module's monotone counter. Probes are pure
+// observation — reading one never changes datapath state.
+type perfProbe struct {
+	name string
+	read func() int64
+}
+
+// buildProbes lays out the hardware counter index space. The order is part
+// of the register contract (RegPerfSelect selects by this index), so probes
+// are only ever appended, never reordered.
+func (m *Machine) buildProbes() {
+	add := func(name string, read func() int64) {
+		m.probes = append(m.probes, perfProbe{name: name, read: read})
+	}
+	add("machine.jobs", func() int64 { return m.perfJobs })
+	add("machine.rejects", func() int64 { return m.perfRejects })
+	add("machine.aborts", func() int64 { return m.perfAborts })
+	add("machine.soft_resets", func() int64 { return m.perfSoftResets })
+	add("machine.cycles", func() int64 { return m.cycle })
+
+	add("dma.rd_beats", func() int64 { return m.rdPort.BeatsRead })
+	add("dma.rd_wait_cycles", func() int64 { return m.rdPort.WaitCycles })
+	add("dma.rd_throttle_cycles", func() int64 { return m.rdThrottleCycles })
+	add("dma.wr_beats", func() int64 { return m.wrPort.BeatsWritten })
+	add("dma.wr_wait_cycles", func() int64 { return m.wrPort.WaitCycles })
+	add("dma.wr_backlog_cycles", func() int64 { return m.wrBacklogCycles })
+
+	add("bus.busy_cycles", func() int64 { return m.ctl.BusyCycles })
+	add("bus.idle_cycles", func() int64 { return m.ctl.IdleCycles })
+	add("bus.storm_cycles", func() int64 { return m.ctl.StormCycles })
+
+	add("fifo_in.pushes", func() int64 { return m.inFIFO.Pushes })
+	add("fifo_in.pops", func() int64 { return m.inFIFO.Pops })
+	add("fifo_in.stall_full", func() int64 { return m.inFIFO.StallFull })
+	add("fifo_out.pushes", func() int64 { return m.outFIFO.Pushes })
+	add("fifo_out.pops", func() int64 { return m.outFIFO.Pops })
+	add("fifo_out.stall_full", func() int64 { return m.outFIFO.StallFull })
+
+	add("extractor.stream_cycles", func() int64 { return m.extractor.Stats.StreamCycles })
+	add("extractor.wait_data_cycles", func() int64 { return m.extractor.Stats.WaitDataCycles })
+	add("extractor.wait_aligner_cycles", func() int64 { return m.extractor.Stats.WaitAlignerCycles })
+	add("extractor.dispatch_wait_cycles", func() int64 { return m.extractor.Stats.DispatchWaitCycles })
+	add("extractor.pairs", func() int64 { return m.extractor.Stats.PairsDispatched })
+	add("extractor.unsupported", func() int64 { return m.extractor.Stats.Unsupported })
+
+	add("collector.transactions", func() int64 { return m.collector.Emitted })
+	add("collector.backpressure_cycles", func() int64 { return m.collector.BackpressureCycles })
+
+	for i, a := range m.aligners {
+		a := a
+		pre := fmt.Sprintf("aligner%d.", i)
+		add(pre+"pairs", func() int64 { return a.Stats.Pairs })
+		add(pre+"steps", func() int64 { return a.Stats.Steps })
+		add(pre+"empty_steps", func() int64 { return a.Stats.EmptySteps })
+		add(pre+"batches", func() int64 { return a.Stats.Batches })
+		add(pre+"busy_cycles", func() int64 { return a.Stats.BusyCycles })
+		add(pre+"compute_cycles", func() int64 { return a.Stats.ComputeCycles })
+		add(pre+"extend_cycles", func() int64 { return a.Stats.ExtendCycles })
+		add(pre+"stall_cycles", func() int64 { return a.Stats.StallCycles })
+		add(pre+"load_cycles", func() int64 { return a.Stats.LoadCycles })
+		add(pre+"drain_cycles", func() int64 { return a.Stats.DrainCycles })
+		add(pre+"bank_conflicts", func() int64 { return a.Stats.BankConflicts })
+		add(pre+"bt_blocks", func() int64 { return a.Stats.BTBlocks })
+		add(pre+"cells_computed", func() int64 { return a.Stats.CellsComputed })
+		add(pre+"cells_extended", func() int64 { return a.Stats.CellsExtended })
+	}
+}
+
+// PerfCount returns the number of hardware perf counters (RegPerfCount).
+func (m *Machine) PerfCount() int { return len(m.probes) }
+
+// PerfValue reads counter i (the RegPerfSelect index space); out-of-range
+// indices read zero, as unimplemented counters do on hardware.
+func (m *Machine) PerfValue(i int) int64 {
+	if i < 0 || i >= len(m.probes) {
+		return 0
+	}
+	return m.probes[i].read()
+}
+
+// PerfName returns the stable dotted name of counter i.
+func (m *Machine) PerfName(i int) string {
+	if i < 0 || i >= len(m.probes) {
+		return ""
+	}
+	return m.probes[i].name
+}
+
+// PerfSnapshot reads every counter into an ordered snapshot. Counters are
+// monotone over the machine's lifetime; window a run with Snapshot.Delta.
+func (m *Machine) PerfSnapshot() perf.Snapshot {
+	s := perf.Snapshot{Entries: make([]perf.Entry, 0, len(m.probes))}
+	for _, p := range m.probes {
+		s.Entries = append(s.Entries, perf.Entry{Name: p.name, Value: p.read()})
+	}
+	return s
+}
+
+// OccSample is one FIFO occupancy observation from EnablePerfSampling.
+type OccSample struct {
+	Cycle int64
+	In    int // input FIFO occupancy
+	Out   int // output FIFO occupancy
+}
+
+// EnablePerfSampling samples the input/output FIFO occupancy every `every`
+// cycles into histograms and a sample log (0 disables). Sampling is pure
+// observation and leaves the datapath bit-identical; the golden tests prove
+// it.
+func (m *Machine) EnablePerfSampling(every int64) {
+	m.sampleEvery = every
+	if every > 0 && m.occIn == nil {
+		m.occIn = make([]int64, m.inFIFO.Depth()+1)
+		m.occOut = make([]int64, m.outFIFO.Depth()+1)
+	}
+}
+
+// samplePerf records one occupancy observation (called from Tick on the
+// sampling grid).
+func (m *Machine) samplePerf(cycle int64) {
+	in, out := m.inFIFO.Occupancy(), m.outFIFO.Occupancy()
+	m.occIn[in]++
+	m.occOut[out]++
+	m.occSamples = append(m.occSamples, OccSample{Cycle: cycle, In: in, Out: out})
+}
+
+// OccupancyHistograms returns the sampled FIFO occupancy distributions
+// (empty histograms when sampling was never enabled).
+func (m *Machine) OccupancyHistograms() []perf.Histogram {
+	return []perf.Histogram{
+		{Name: "fifo_in.occupancy", Counts: append([]int64(nil), m.occIn...)},
+		{Name: "fifo_out.occupancy", Counts: append([]int64(nil), m.occOut...)},
+	}
+}
+
+// OccSamples returns the occupancy sample log (for the Chrome-trace export).
+func (m *Machine) OccSamples() []OccSample { return m.occSamples }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// BuildTrace assembles a Chrome-exportable activity timeline from one run's
+// event log, per-pair timings and (optional) FIFO occupancy samples. Job
+// lifetimes and fault events land on the "machine" track, each Aligner gets
+// its own track carrying one span per pair it aligned, and occupancy samples
+// become a stacked counter chart. The output is deterministic for a given
+// input, so same-seed runs export byte-identical traces.
+func BuildTrace(events []TraceEvent, timings []PairTiming, samples []OccSample) perf.Trace {
+	t := perf.Trace{Process: "wfasic"}
+
+	var jobStart int64
+	var inJob bool
+	for _, e := range events {
+		switch e.Event {
+		case "job-start":
+			jobStart = e.Cycle
+			inJob = true
+		case "job-done", "job-abort":
+			if inJob {
+				t.Spans = append(t.Spans, perf.Span{
+					Track: "machine",
+					Name:  "job",
+					Start: jobStart,
+					End:   e.Cycle,
+					Args:  map[string]any{"end": e.Event, "detail": e.Detail},
+				})
+				inJob = false
+			}
+		case "job-error", "axi-error", "soft-reset", "out-drop", "pair-start":
+			track := "machine"
+			if e.Event == "pair-start" {
+				track = "extractor"
+			}
+			t.Instants = append(t.Instants, perf.Instant{
+				Track: track,
+				Name:  e.Event,
+				Cycle: e.Cycle,
+				Args:  map[string]any{"detail": e.Detail},
+			})
+		}
+	}
+
+	// Pair spans grouped per Aligner, ordered by start cycle so track IDs
+	// and span order are stable regardless of completion interleaving.
+	pairs := append([]PairTiming(nil), timings...)
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].Aligner != pairs[j].Aligner {
+			return pairs[i].Aligner < pairs[j].Aligner
+		}
+		return pairs[i].StartCycle < pairs[j].StartCycle
+	})
+	for _, p := range pairs {
+		t.Spans = append(t.Spans, perf.Span{
+			Track: fmt.Sprintf("aligner%d", p.Aligner),
+			Name:  fmt.Sprintf("pair %d", p.ID),
+			Start: p.StartCycle,
+			End:   p.FinishCycle,
+			Args: map[string]any{
+				"score":          p.Score,
+				"success":        p.Success,
+				"reading_cycles": p.ReadingCycles,
+			},
+		})
+	}
+
+	for _, s := range samples {
+		t.Samples = append(t.Samples, perf.Sample{
+			Name:  "fifo occupancy",
+			Cycle: s.Cycle,
+			Values: map[string]int64{
+				"in":  int64(s.In),
+				"out": int64(s.Out),
+			},
+		})
+	}
+	return t
+}

@@ -21,6 +21,10 @@ const (
 	RegErrCode      = 0x30 // RW: last error code (ErrCode*); any write clears code+addr (W1C)
 	RegErrAddrLo    = 0x34 // R: faulting bus address (low 32 bits), 0 for config errors
 	RegErrAddrHi    = 0x38 // R: faulting bus address (high 32 bits)
+	RegPerfSelect   = 0x3C // W: index of the hardware perf counter exposed by RegPerfLo/Hi
+	RegPerfCount    = 0x40 // R: number of hardware perf counters implemented
+	RegPerfLo       = 0x44 // R: selected perf counter, low 32 bits (latches the 64-bit value)
+	RegPerfHi       = 0x48 // R: selected perf counter, high 32 bits as latched by RegPerfLo
 )
 
 // Control/status bits.
@@ -72,7 +76,25 @@ type RegFile struct {
 	// startRequested and resetRequested are consumed by the Machine.
 	startRequested bool
 	resetRequested bool
+
+	// Perf counter window (RegPerfSelect/Count/Lo/Hi). perfSrc is the
+	// machine's counter index space (nil-safe: an unattached window reads
+	// zero); perfLatch holds the 64-bit value captured by a RegPerfLo read so
+	// the following RegPerfHi read is coherent even if the counter moves.
+	perfSrc    PerfSource
+	perfSelect uint32
+	perfLatch  uint64
 }
+
+// PerfSource is the hardware counter index space behind the RegPerf* window
+// (implemented by core.Machine). Reading a counter is pure observation.
+type PerfSource interface {
+	PerfCount() int
+	PerfValue(i int) int64
+}
+
+// AttachPerf connects the perf counter window to its source (nil detaches).
+func (r *RegFile) AttachPerf(src PerfSource) { r.perfSrc = src }
 
 // NewRegFile returns a register file in the idle reset state.
 func NewRegFile() *RegFile {
@@ -114,6 +136,8 @@ func (r *RegFile) Write(offset, value uint32) error {
 		// together so the driver never sees a half-updated pair.
 		r.ErrCode = ErrCodeNone
 		r.ErrAddr = 0
+	case RegPerfSelect:
+		r.perfSelect = value
 	default:
 		return fmt.Errorf("core: write to unknown register offset %#x", offset)
 	}
@@ -170,6 +194,19 @@ func (r *RegFile) Read(offset uint32) (uint32, error) {
 		return uint32(r.ErrAddr), nil
 	case RegErrAddrHi:
 		return uint32(r.ErrAddr >> 32), nil
+	case RegPerfCount:
+		if r.perfSrc == nil {
+			return 0, nil
+		}
+		return uint32(r.perfSrc.PerfCount()), nil
+	case RegPerfLo:
+		r.perfLatch = 0
+		if r.perfSrc != nil {
+			r.perfLatch = uint64(r.perfSrc.PerfValue(int(r.perfSelect)))
+		}
+		return uint32(r.perfLatch), nil
+	case RegPerfHi:
+		return uint32(r.perfLatch >> 32), nil
 	default:
 		return 0, fmt.Errorf("core: read of unknown register offset %#x", offset)
 	}

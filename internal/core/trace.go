@@ -12,9 +12,11 @@ type TraceEvent struct {
 	Detail    string
 }
 
-// String renders the event as one log line.
+// String renders the event as one log line. The component column fits
+// "aligner999" — two-digit-and-beyond Aligner counts must not break the
+// column alignment of interleaved logs.
 func (e TraceEvent) String() string {
-	return fmt.Sprintf("[%10d] %-10s %-12s %s", e.Cycle, e.Component, e.Event, e.Detail)
+	return fmt.Sprintf("[%10d] %-12s %-12s %s", e.Cycle, e.Component, e.Event, e.Detail)
 }
 
 // Tracer receives machine events as they happen.

@@ -55,6 +55,29 @@ func TestTraceEventSequence(t *testing.T) {
 	}
 }
 
+// TestTraceEventColumnAlignment pins the log column layout: component names
+// up to "aligner999" (machines with 10+ Aligners, three digits of index)
+// must keep the event column aligned with short names like "machine", so
+// interleaved multi-Aligner logs stay scannable.
+func TestTraceEventColumnAlignment(t *testing.T) {
+	components := []string{"machine", "extractor", "collector", "aligner0", "aligner9", "aligner10", "aligner999"}
+	var col int
+	for _, c := range components {
+		line := TraceEvent{Cycle: 123, Component: c, Event: "pair-done", Detail: "x"}.String()
+		idx := strings.Index(line, "pair-done")
+		if idx < 0 {
+			t.Fatalf("event missing from line %q", line)
+		}
+		if col == 0 {
+			col = idx
+			continue
+		}
+		if idx != col {
+			t.Errorf("component %q shifts the event column to %d (want %d): %q", c, idx, col, line)
+		}
+	}
+}
+
 func TestTraceJobError(t *testing.T) {
 	cfg := testConfig()
 	m, _, err := NewStandaloneMachine(cfg, 1<<20)

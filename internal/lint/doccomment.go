@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocComment requires every package to carry a package doc comment on at
+// least one of its files. The repo is grown session-by-session with no
+// shared memory between sessions, so the package doc is the only durable
+// statement of what a package is *for* — which paper section it implements,
+// which contracts it upholds. An undocumented package is a finding, reported
+// once at the package clause of its first file (lexicographic, so the
+// position is byte-stable across runs).
+func DocComment() *Analyzer {
+	return &Analyzer{
+		Name: "doccomment",
+		Doc:  "every package must have a package doc comment",
+		Run:  runDocComment,
+	}
+}
+
+func runDocComment(p *Package) []Diagnostic {
+	if len(p.Files) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		if docText(f) != "" {
+			return nil
+		}
+	}
+	first := p.Files[0]
+	for _, f := range p.Files[1:] {
+		if p.Fset.Position(f.Package).Filename < p.Fset.Position(first.Package).Filename {
+			first = f
+		}
+	}
+	d := p.diag(first.Name,
+		"package %s has no package doc comment: document what it models and which paper section it implements", p.Name)
+	d.Pos = p.Fset.Position(first.Package)
+	return []Diagnostic{d}
+}
+
+// docText returns the file's package doc comment text with directive-only
+// comments (//go:build, //go:generate) stripped: a file whose "doc" is only
+// build constraints is still undocumented.
+func docText(f *ast.File) string {
+	if f.Doc == nil {
+		return ""
+	}
+	var lines []string
+	for _, c := range f.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+		if strings.HasPrefix(text, "go:") {
+			continue
+		}
+		lines = append(lines, text)
+	}
+	return strings.TrimSpace(strings.Join(lines, "\n"))
+}

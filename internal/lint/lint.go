@@ -20,6 +20,8 @@
 //     enforced by the def-use dataflow engine in dataflow.go.
 //   - regmap: the Reg* constants, their // W:/R: annotations, the RegFile
 //     switch arms and the internal/soc driver must agree (module-level).
+//   - doccomment: every package carries a package doc comment — the durable
+//     statement of what it models and which paper section it implements.
 //   - suppress: every //vet:allow comment must still mask a finding; stale
 //     suppressions fail the build.
 //
@@ -65,6 +67,7 @@ func All() []*Analyzer {
 		ErrPath(),
 		TickPhase(),
 		RegMap(),
+		DocComment(),
 		Suppress(),
 	}
 }

@@ -254,3 +254,22 @@ func TestCrossPackageTypes(t *testing.T) {
 	}
 	t.Fatal("internal/soc not loaded")
 }
+
+// TestDocCommentFindings: the undocumented fixture package yields exactly
+// one doccomment finding, anchored at its package clause; every documented
+// fixture yields none.
+func TestDocCommentFindings(t *testing.T) {
+	ds := dirDiags(t, "doccomment")["doccomment"]
+	if len(ds) != 1 {
+		t.Fatalf("got %d doccomment findings, want 1: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, "package nodoc has no package doc comment")
+	if !strings.HasSuffix(ds[0].Pos.Filename, "nodoc.go") {
+		t.Errorf("finding anchored at %s, want nodoc.go", ds[0].Pos.Filename)
+	}
+	for _, dir := range []string{"fixture", "regmap", "suppress", "tickphase", "typeerror"} {
+		if got := dirDiags(t, dir)["doccomment"]; len(got) != 0 {
+			t.Errorf("documented fixture %s has doccomment findings: %q", dir, messages(got))
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package nodoc
+
+// Deliberately no package doc comment above the package clause: the
+// doccomment analyzer must report exactly one finding here. (This comment
+// is inside the package, not attached to it.)
+
+// Documented is itself documented, so the only finding is the package's.
+func Documented() int { return 1 }

@@ -226,7 +226,9 @@ type Controller struct {
 	inj   *fault.Injector // nil-safe; nil means no fault injection
 	storm int             // remaining stall-storm cycles
 
-	BusyCycles int64
+	BusyCycles  int64
+	IdleCycles  int64 // ticks with no transaction active and none granted
+	StormCycles int64 // ticks frozen by an injected stall storm
 }
 
 // NewController builds a controller over the memory with the given timing.
@@ -286,15 +288,18 @@ func (c *Controller) Tick() {
 		// A stall storm freezes the whole controller: no arbitration, no
 		// beat completion, no wait accounting.
 		c.storm--
+		c.StormCycles++
 		return
 	}
 	if n := c.inj.StallStorm(cycle); n > 0 {
 		c.storm = n - 1 // this cycle is the first frozen one
+		c.StormCycles++
 		return
 	}
 	if c.active == nil {
 		c.arbitrate(cycle)
 		if c.active == nil {
+			c.IdleCycles++
 			return
 		}
 	}

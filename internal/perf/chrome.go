@@ -1,0 +1,177 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace is a cycle-accurate activity timeline ready for Chrome trace_event
+// export: spans (complete events with a duration), instants (point events)
+// and counter samples (stacked counter charts), each on a named track.
+// Cycles map 1:1 onto trace microseconds, so "1 ms" in the viewer is 1000
+// accelerator cycles.
+type Trace struct {
+	// Process labels the whole trace (the pid row in the viewer).
+	Process string
+
+	Spans    []Span
+	Instants []Instant
+	Samples  []Sample
+}
+
+// Span is one duration event on a track (Chrome ph="X").
+type Span struct {
+	Track string
+	Name  string
+	Start int64 // cycle
+	End   int64 // cycle (inclusive window end; zero-length spans render 1 wide)
+	Args  map[string]any
+}
+
+// Instant is one point event on a track (Chrome ph="i").
+type Instant struct {
+	Track string
+	Name  string
+	Cycle int64
+	Args  map[string]any
+}
+
+// Sample is one counter observation (Chrome ph="C"): every series name in
+// Values becomes a line of the counter chart called Name.
+type Sample struct {
+	Name   string
+	Cycle  int64
+	Values map[string]int64
+}
+
+// chromeEvent is the on-the-wire trace_event record. Field order and the
+// sorted-key map encoding of encoding/json keep the output byte-stable.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON (the object form
+// with a traceEvents array), loadable in chrome://tracing and Perfetto.
+// Tracks become named threads; output is deterministic for a given Trace.
+func (t Trace) WriteChrome(w io.Writer) error {
+	tids := t.trackIDs()
+	var events []chromeEvent
+
+	process := t.Process
+	if process == "" {
+		process = "wfasic"
+	}
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": process},
+	})
+	for _, track := range sortedTracks(tids) {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	for _, s := range t.Spans {
+		dur := s.End - s.Start
+		if dur < 1 {
+			dur = 1
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "X", TS: s.Start, Dur: &dur,
+			PID: 1, TID: tids[s.Track], Args: s.Args,
+		})
+	}
+	for _, i := range t.Instants {
+		events = append(events, chromeEvent{
+			Name: i.Name, Phase: "i", TS: i.Cycle, Scope: "t",
+			PID: 1, TID: tids[i.Track], Args: i.Args,
+		})
+	}
+	for _, s := range t.Samples {
+		args := make(map[string]any, len(s.Values))
+		for k, v := range s.Values {
+			args[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "C", TS: s.Cycle, PID: 1, Args: args,
+		})
+	}
+
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, e := range events {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		b.Write(raw)
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// trackIDs assigns thread IDs to tracks in first-appearance order across
+// spans then instants (stable for a given Trace).
+func (t Trace) trackIDs() map[string]int {
+	tids := map[string]int{}
+	next := 1
+	claim := func(track string) {
+		if _, ok := tids[track]; !ok {
+			tids[track] = next
+			next++
+		}
+	}
+	for _, s := range t.Spans {
+		claim(s.Track)
+	}
+	for _, i := range t.Instants {
+		claim(i.Track)
+	}
+	return tids
+}
+
+func sortedTracks(tids map[string]int) []string {
+	out := make([]string, 0, len(tids))
+	for track := range tids {
+		out = append(out, track)
+	}
+	sort.Slice(out, func(i, j int) bool { return tids[out[i]] < tids[out[j]] })
+	return out
+}
+
+// ValidateChrome is a test helper: it re-parses a written trace and checks
+// the required structure (a traceEvents array of objects with name/ph/ts).
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("perf: chrome trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("perf: chrome trace has no events")
+	}
+	for i, e := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts"} {
+			if _, ok := e[key]; !ok {
+				return fmt.Errorf("perf: trace event %d lacks %q", i, key)
+			}
+		}
+	}
+	return nil
+}

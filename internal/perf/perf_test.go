@@ -1,0 +1,135 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() Snapshot {
+	return Snapshot{Entries: []Entry{
+		{Name: "dma.rd.beats", Value: 128},
+		{Name: "dma.rd.wait_cycles", Value: 7},
+		{Name: "aligner0.extend_cycles", Value: 512},
+		{Name: "aligner0.steps", Value: 9},
+	}}
+}
+
+func TestSnapshotJSONRoundTripPreservesOrder(t *testing.T) {
+	s := sample()
+	raw, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys must appear in entry (counter-index) order, not sorted.
+	if string(raw) != `{"dma.rd.beats":128,"dma.rd.wait_cycles":7,"aligner0.extend_cycles":512,"aligner0.steps":9}` {
+		t.Fatalf("unexpected encoding: %s", raw)
+	}
+	var back Snapshot
+	if err := back.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip drifted: %+v vs %+v", back, s)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	base := sample()
+	after := sample()
+	after.Entries[0].Value = 200
+	after.Entries[3].Value = 11
+	d := after.Delta(base)
+	if v, _ := d.Get("dma.rd.beats"); v != 72 {
+		t.Fatalf("delta beats = %d", v)
+	}
+	if v, _ := d.Get("aligner0.steps"); v != 2 {
+		t.Fatalf("delta steps = %d", v)
+	}
+	if v, _ := d.Get("dma.rd.wait_cycles"); v != 0 {
+		t.Fatalf("delta wait = %d", v)
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	a, b := sample(), sample()
+	if !a.Equal(b) {
+		t.Fatal("identical snapshots unequal")
+	}
+	b.Entries[1].Value++
+	if a.Equal(b) {
+		t.Fatal("differing snapshots equal")
+	}
+	b = sample()
+	b.Entries = b.Entries[:3]
+	if a.Equal(b) {
+		t.Fatal("shorter snapshot equal")
+	}
+}
+
+func TestSummaryGroupsAndPercentages(t *testing.T) {
+	out := Summary(sample(), 1024)
+	for _, want := range []string{"-- dma", "-- aligner0", "dma.rd.beats", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, out)
+		}
+	}
+	// Zero total suppresses percentages without dividing by zero.
+	if strings.Contains(Summary(sample(), 0), "%!") {
+		t.Fatal("bad formatting with zero total")
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	h := Histogram{Name: "fifo.out", Counts: []int64{10, 80, 10}}
+	out := RenderHistogram(h)
+	if !strings.Contains(out, "p50=1") || !strings.Contains(out, "max=2") {
+		t.Fatalf("histogram render: %s", out)
+	}
+	if !strings.Contains(RenderHistogram(Histogram{Name: "x"}), "no samples") {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestWriteChromeDeterministicAndValid(t *testing.T) {
+	tr := Trace{
+		Process: "wfasic-test",
+		Spans: []Span{
+			{Track: "machine", Name: "job", Start: 0, End: 100, Args: map[string]any{"pairs": 2}},
+			{Track: "aligner0", Name: "pair 1", Start: 10, End: 60},
+		},
+		Instants: []Instant{{Track: "machine", Name: "axi-error", Cycle: 42}},
+		Samples:  []Sample{{Name: "fifo", Cycle: 5, Values: map[string]int64{"in": 3, "out": 1}}},
+	}
+	var a, b bytes.Buffer
+	if err := tr.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of one trace differ")
+	}
+	if err := ValidateChrome(a.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	for _, want := range []string{`"thread_name"`, `"ph":"X"`, `"ph":"i"`, `"ph":"C"`, "wfasic-test"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateChromeRejectsGarbage(t *testing.T) {
+	if err := ValidateChrome([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := ValidateChrome([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if err := ValidateChrome([]byte(`{"traceEvents":[{"name":"x"}]}`)); err == nil {
+		t.Fatal("event without ph/ts accepted")
+	}
+}

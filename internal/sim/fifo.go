@@ -98,3 +98,11 @@ func (f *FIFO[T]) Reset() {
 	f.Pushes, f.Pops, f.StallFull = 0, 0, 0
 	f.MaxOccupancy = 0
 }
+
+// Clear discards all contents but keeps the statistics counters — the
+// hardware flush used between jobs, where the perf counters are monotone
+// over the machine's lifetime and only the data path is scrubbed.
+func (f *FIFO[T]) Clear() {
+	f.queue = f.queue[:0]
+	f.staged = f.staged[:0]
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/perf"
 )
 
 // Sentinel errors the driver's completion paths return; callers classify
@@ -195,4 +196,49 @@ func (d *Driver) JobCycles() (int64, error) {
 		return 0, err
 	}
 	return int64(uint64(hi)<<32 | uint64(lo)), nil
+}
+
+// PerfCounterCount reads how many hardware perf counters the accelerator
+// implements (RegPerfCount).
+func (d *Driver) PerfCounterCount() (int, error) {
+	v, err := d.m.Regs.Read(core.RegPerfCount)
+	return int(v), err
+}
+
+// ReadPerfCounter selects counter i through RegPerfSelect and reads its
+// 64-bit value through the RegPerfLo/Hi window (Lo latches the value, so the
+// pair is coherent even while the counter advances).
+func (d *Driver) ReadPerfCounter(i int) (int64, error) {
+	if err := d.m.Regs.Write(core.RegPerfSelect, uint32(i)); err != nil {
+		return 0, err
+	}
+	lo, err := d.m.Regs.Read(core.RegPerfLo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := d.m.Regs.Read(core.RegPerfHi)
+	if err != nil {
+		return 0, err
+	}
+	return int64(uint64(hi)<<32 | uint64(lo)), nil
+}
+
+// PerfSnapshot walks the whole counter window register-by-register, pairing
+// each value with its stable name (the driver's counter map, analogous to a
+// device tree). Counters are monotone over the machine's lifetime; window a
+// job by taking a snapshot before and after and calling Delta.
+func (d *Driver) PerfSnapshot() (perf.Snapshot, error) {
+	n, err := d.PerfCounterCount()
+	if err != nil {
+		return perf.Snapshot{}, err
+	}
+	s := perf.Snapshot{Entries: make([]perf.Entry, 0, n)}
+	for i := 0; i < n; i++ {
+		v, err := d.ReadPerfCounter(i)
+		if err != nil {
+			return perf.Snapshot{}, err
+		}
+		s.Entries = append(s.Entries, perf.Entry{Name: d.m.PerfName(i), Value: v})
+	}
+	return s, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/perf"
 	"repro/internal/seqio"
 	"repro/internal/wfa"
 )
@@ -63,6 +64,11 @@ type ResilientReport struct {
 	// run (deltas over the SoC's injector, which accumulates across runs).
 	FaultEvents int64
 	FaultCounts map[fault.Kind]int64
+
+	// Perf is the run's hardware perf counter window (the delta over the
+	// machine's monotone counters, summed over every attempt), read back
+	// through the RegPerf* registers.
+	Perf perf.Snapshot
 }
 
 // EnableFaults builds an injector from cfg and attaches it to the machine,
@@ -121,6 +127,10 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 	}
 	faultBase := s.Faults.Total()
 	countBase := s.Faults.Counts()
+	perfBase, err := s.Driver.PerfSnapshot()
+	if err != nil {
+		return nil, err
+	}
 
 	sw := make([]swResult, len(set.Pairs))
 	accepted := make([]bool, len(set.Pairs))
@@ -184,6 +194,11 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 	}
 
 	rep.TotalCycles = rep.AccelCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles
+	perfNow, err := s.Driver.PerfSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	rep.Perf = perfNow.Delta(perfBase)
 	rep.FaultEvents = s.Faults.Total() - faultBase
 	rep.FaultCounts = map[fault.Kind]int64{}
 	for k, n := range s.Faults.Counts() {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/perf"
 	"repro/internal/seqio"
 )
 
@@ -67,6 +68,9 @@ type Report struct {
 	OutTransactions int
 	// BTStats is the decoder's work counting (backtrace runs only).
 	BTStats bt.Stats
+	// Perf is the job's hardware perf counter window (the delta over the
+	// machine's monotone counters), read back through the RegPerf* registers.
+	Perf perf.Snapshot
 }
 
 // RunOptions selects the accelerated execution mode.
@@ -111,6 +115,10 @@ func (s *SoC) RunAccelerated(set *seqio.InputSet, opts RunOptions) (*Report, err
 	if err := s.Driver.Configure(job); err != nil {
 		return nil, err
 	}
+	perfBase, err := s.Driver.PerfSnapshot()
+	if err != nil {
+		return nil, err
+	}
 	if err := s.Driver.Start(); err != nil {
 		return nil, err
 	}
@@ -129,6 +137,11 @@ func (s *SoC) RunAccelerated(set *seqio.InputSet, opts RunOptions) (*Report, err
 
 	rep := &Report{AccelCycles: cycles}
 	rep.PairTimings = append(rep.PairTimings, s.Machine.Timings...)
+	perfNow, err := s.Driver.PerfSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	rep.Perf = perfNow.Delta(perfBase)
 	count, err := s.Driver.OutCount()
 	if err != nil {
 		return nil, err

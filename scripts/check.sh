@@ -5,9 +5,10 @@
 #   1. gofmt        formatting drift
 #   2. go vet       the stock toolchain analyzers
 #   3. wfasic-vet   the project-specific analyzers (determinism, panicpolicy,
-#                   magicoffset, errpath, tickphase, regmap, suppress — see
-#                   internal/lint), ratcheted against vet-baseline.json: new
-#                   findings and stale baseline entries fail
+#                   magicoffset, errpath, tickphase, regmap, doccomment,
+#                   suppress — see internal/lint), ratcheted against
+#                   vet-baseline.json: new findings and stale baseline
+#                   entries fail
 #   4. go build     everything compiles, including examples
 #   5. go test -race  the full suite under the race detector (the bench
 #                     package takes a few minutes under -race; use
