@@ -247,7 +247,7 @@ func (m *Machine) Tick() {
 		m.startJob()
 	}
 	cycle := m.cycle + 1
-	m.cycle = cycle
+	m.cycle++
 	if !m.running {
 		return
 	}

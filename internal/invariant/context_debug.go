@@ -19,14 +19,17 @@ func RegisterContext(module string, fn func() string) {
 	ctxMu.Lock()
 	defer ctxMu.Unlock()
 	if fn == nil {
+		//vet:allow isolation debug-build-only registry, ctxMu-guarded; compiled out of fleet builds
 		delete(ctxProviders, module)
 		return
 	}
+	//vet:allow isolation debug-build-only registry, ctxMu-guarded; compiled out of fleet builds
 	ctxProviders[module] = fn
 }
 
 func contextFor(module string) string {
 	ctxMu.Lock()
+	//vet:allow isolation debug-build-only registry, ctxMu-guarded; compiled out of fleet builds
 	fn := ctxProviders[module]
 	ctxMu.Unlock()
 	if fn == nil {

@@ -105,6 +105,31 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return &b, nil
 }
 
+// Validate hardens the ratchet beyond the per-entry checks of LoadBaseline:
+// duplicate (file, analyzer, message) entries are config errors (a duplicate
+// silently matches the same finding twice and survives pruning forever), and
+// entries naming an analyzer that does not exist can never match and would
+// only ever surface indirectly as stale. knownAnalyzers comes from All().
+func (b *Baseline) Validate(knownAnalyzers []string) error {
+	known := map[string]bool{}
+	for _, name := range knownAnalyzers {
+		known[name] = true
+	}
+	type key struct{ file, analyzer, message string }
+	seen := map[key]int{}
+	for i, e := range b.Findings {
+		if !known[e.Analyzer] {
+			return fmt.Errorf("lint: baseline entry %d names unknown analyzer %q (file %s)", i, e.Analyzer, e.File)
+		}
+		k := key{e.File, e.Analyzer, e.Message}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("lint: baseline entries %d and %d are duplicates (%s in %s)", prev, i, e.Analyzer, e.File)
+		}
+		seen[k] = i
+	}
+	return nil
+}
+
 // BuildReport splits findings against an optional baseline. With a nil
 // baseline every finding is a regression (strict mode).
 func BuildReport(findings []JSONFinding, b *Baseline) *Report {

@@ -97,3 +97,41 @@ func TestWriteBaselineRoundTrip(t *testing.T) {
 		t.Fatalf("freshly written baseline must match its own findings: %+v", r)
 	}
 }
+
+// TestBaselineValidate pins the hygiene rules: duplicate entries and
+// unknown-analyzer entries are config errors, not silently tolerated debt.
+func TestBaselineValidate(t *testing.T) {
+	known := []string{"tickphase", "regmap"}
+	ok := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "tickphase", Message: "m", Justification: "j"},
+		{File: "a.go", Analyzer: "regmap", Message: "m", Justification: "j"},
+	}}
+	if err := ok.Validate(known); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	dup := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "tickphase", Message: "m", Justification: "j"},
+		{File: "a.go", Analyzer: "tickphase", Message: "m", Justification: "other j"},
+	}}
+	if err := dup.Validate(known); err == nil {
+		t.Fatal("duplicate entries must be rejected")
+	}
+	unknown := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "no-such-analyzer", Message: "m", Justification: "j"},
+	}}
+	if err := unknown.Validate(known); err == nil {
+		t.Fatal("unknown analyzer must be rejected")
+	}
+}
+
+// TestStaleBaselineFailsRun pins the ratchet contract end to end: an entry
+// whose finding no longer occurs makes the report not clean.
+func TestStaleBaselineFailsRun(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "gone.go", Analyzer: "tickphase", Message: "fixed long ago", Justification: "j"},
+	}}
+	r := BuildReport(nil, b)
+	if len(r.Stale) != 1 || r.Clean() {
+		t.Fatalf("stale entry must fail the run: stale=%+v clean=%v", r.Stale, r.Clean())
+	}
+}

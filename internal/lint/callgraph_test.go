@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadCallGraphFixture(t *testing.T) (*Package, *CallGraph) {
+	t.Helper()
+	p, err := LoadDir(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return p, BuildCallGraph([]*Package{p})
+}
+
+// edgeKinds returns the kinds of every edge from the node whose ID has the
+// given suffix to the node whose ID has the other suffix.
+func edgeKinds(t *testing.T, g *CallGraph, fromSuffix, toSuffix string) []EdgeKind {
+	t.Helper()
+	from := nodeBySuffix(t, g, fromSuffix)
+	var kinds []EdgeKind
+	for _, e := range from.Calls {
+		if strings.HasSuffix(e.Callee.ID, toSuffix) {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+func nodeBySuffix(t *testing.T, g *CallGraph, suffix string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range g.SortedNodes() {
+		if strings.HasSuffix(n.ID, suffix) {
+			if found != nil {
+				t.Fatalf("suffix %q matches both %s and %s", suffix, found.ID, n.ID)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with suffix %q; have %d nodes", suffix, len(g.Nodes))
+	}
+	return found
+}
+
+func wantKind(t *testing.T, kinds []EdgeKind, want EdgeKind) {
+	t.Helper()
+	for _, k := range kinds {
+		if k == want {
+			return
+		}
+	}
+	t.Errorf("edge kinds %v do not include %q", kinds, want)
+}
+
+// TestCallGraphIfaceDispatch: Drive's interface call fans out to both Step
+// implementations via CHA.
+func TestCallGraphIfaceDispatch(t *testing.T) {
+	_, g := loadCallGraphFixture(t)
+	wantKind(t, edgeKinds(t, g, ".Drive", "(*Even).Step"), EdgeIface)
+	wantKind(t, edgeKinds(t, g, ".Drive", "(*Odd).Step"), EdgeIface)
+}
+
+// TestCallGraphFieldStore: Run's call through the stage field resolves to
+// double, via the keyed composite-literal store in NewPipeline.
+func TestCallGraphFieldStore(t *testing.T) {
+	_, g := loadCallGraphFixture(t)
+	wantKind(t, edgeKinds(t, g, "(*Pipeline).Run", ".double"), EdgeDyn)
+}
+
+// TestCallGraphMethodValue: Apply references s.add as a method value (ref
+// edge) and the call through the local f resolves back to add (dyn edge).
+func TestCallGraphMethodValue(t *testing.T) {
+	_, g := loadCallGraphFixture(t)
+	kinds := edgeKinds(t, g, ".Apply", "(*Sink).add")
+	wantKind(t, kinds, EdgeRef)
+	wantKind(t, kinds, EdgeDyn)
+}
+
+// TestCallGraphClosure: Bump owns its receiver-capturing literal as $1.
+func TestCallGraphClosure(t *testing.T) {
+	_, g := loadCallGraphFixture(t)
+	wantKind(t, edgeKinds(t, g, "(*Box).Bump", "Bump$1"), EdgeClosure)
+	n := nodeBySuffix(t, g, "Bump$1")
+	if n.Parent == nil || !strings.HasSuffix(n.Parent.ID, "(*Box).Bump") {
+		t.Errorf("closure parent = %v, want (*Box).Bump", n.Parent)
+	}
+}
+
+// TestCallGraphDumpStable builds the graph twice from scratch and requires
+// byte-identical dumps — the property CI relies on to diff callgraph.json.
+func TestCallGraphDumpStable(t *testing.T) {
+	_, g1 := loadCallGraphFixture(t)
+	_, g2 := loadCallGraphFixture(t)
+	d1, err := g1.DumpJSON("")
+	if err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+	d2, err := g2.DumpJSON("")
+	if err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("two dumps differ:\n%s\nvs\n%s", d1, d2)
+	}
+	if !bytes.Contains(d1, []byte(`"schema": "wfasic-callgraph-v1"`)) {
+		t.Errorf("dump lacks the schema marker:\n%.200s", d1)
+	}
+	if !bytes.Contains(d1, []byte(`"kind": "iface"`)) {
+		t.Errorf("dump lacks iface edges")
+	}
+}
+
+// TestCallGraphModule builds the graph over the real tree and spot-checks
+// the load-bearing resolutions: Machine.Tick reaches the extractor tick
+// statically, the probe registry's closures hang off buildProbes, and the
+// PerfSource interface dispatch from the register file reaches
+// Machine.PerfValue.
+func TestCallGraphModule(t *testing.T) {
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+	if len(g.Nodes) < 200 {
+		t.Fatalf("module graph has only %d nodes; build is missing functions", len(g.Nodes))
+	}
+	tick := g.Nodes["repro/internal/core.(*Machine).Tick"]
+	if tick == nil {
+		t.Fatal("no node for core.(*Machine).Tick")
+	}
+	reach := Reach([]*FuncNode{tick})
+	for _, want := range []string{
+		"repro/internal/core.(*Extractor).Tick",
+		"repro/internal/sim.(*FIFO).Tick",
+		"repro/internal/mem.(*Controller).Tick",
+	} {
+		if n := g.Nodes[want]; n == nil {
+			t.Errorf("no node %s", want)
+		} else if !reach.Contains(n) {
+			t.Errorf("%s not reachable from Machine.Tick", want)
+		}
+	}
+	// PerfSource dispatch: the RegFile read path must fan out to the
+	// Machine implementation via CHA.
+	pv := g.Nodes["repro/internal/core.(*Machine).PerfValue"]
+	if pv == nil {
+		t.Fatal("no node for core.(*Machine).PerfValue")
+	}
+	found := false
+	for _, n := range g.SortedNodes() {
+		for _, e := range n.Calls {
+			if e.Callee == pv && e.Kind == EdgeIface {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no iface edge into Machine.PerfValue (PerfSource CHA dispatch missing)")
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+// The deepdeterminism analyzer propagates the determinism bans transitively:
+// wall-clock time, global math/rand, goroutine launches and state-mutating
+// map iteration are flagged in ANY function reachable from a Tick/Step
+// method or a cycle-stepped Run entry point — not just in the cycle-stepped
+// packages the direct determinism analyzer covers. A helper in internal/wfa
+// that calls time.Now() two hops below Machine.Tick was previously
+// invisible; now it carries a witness chain back to the root.
+//
+// To keep each offense reported exactly once, sites the direct analyzer
+// already covers are skipped here: functions declared in cycle-stepped
+// packages, and Step/Tick methods themselves.
+
+// DeepDeterminism returns the transitive determinism analyzer.
+func DeepDeterminism() *Analyzer {
+	return &Analyzer{
+		Name:     "deepdeterminism",
+		Doc:      "determinism bans (time, global rand, goroutines, mutating map ranges) propagated to everything reachable from Tick/Step/Run",
+		RunGraph: runDeepDeterminism,
+	}
+}
+
+// deepDetRoots selects the per-cycle entry points: every Step/Tick method
+// anywhere in the module, plus exported Run functions and methods of the
+// cycle-stepped packages (the batch drivers that own the simulation loop).
+func deepDetRoots(g *CallGraph) []*FuncNode {
+	var roots []*FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.Decl == nil {
+			continue
+		}
+		if isStepMethod(n.Decl) {
+			roots = append(roots, n)
+			continue
+		}
+		if n.Name == "Run" && n.Exported && isCycleSteppedPath(n.Pkg.ImportPath) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// directlyCovered reports whether the direct determinism analyzer already
+// inspects this node's body (so deepdeterminism stays silent there).
+func directlyCovered(n *FuncNode) bool {
+	rd := n.rootDecl()
+	if rd == nil {
+		return false
+	}
+	return isCycleSteppedPath(n.Pkg.ImportPath) || isStepMethod(rd)
+}
+
+// isStepDecl reports whether the node's enclosing declaration is a Step/Tick
+// method (closures inside one count as inside it).
+func isStepDecl(n *FuncNode) bool {
+	rd := n.rootDecl()
+	return rd != nil && isStepMethod(rd)
+}
+
+func runDeepDeterminism(g *CallGraph, pkgs []*Package) []Diagnostic {
+	reach := Reach(deepDetRoots(g))
+	var out []Diagnostic
+	for _, n := range reach.Sorted() {
+		covered := directlyCovered(n)
+		chain := reach.Witness(n)
+		if !covered {
+			for _, pos := range n.Effects.Goroutines {
+				out = append(out, diagAt(n.Pkg, pos,
+					"goroutine launched on a Tick/Step path: cycle-stepped execution must be single-threaded (reached via %s)", chain))
+			}
+			for _, pos := range n.Effects.MapRangeMuts {
+				out = append(out, diagAt(n.Pkg, pos,
+					"map iteration mutating state on a Tick/Step path: iteration order is nondeterministic (reached via %s)", chain))
+			}
+		}
+		for _, ec := range n.Effects.External {
+			switch ec.Path {
+			case "time":
+				if !covered && timeNondet[ec.Name] {
+					out = append(out, diagAt(n.Pkg, ec.Pos,
+						"time.%s on a Tick/Step path: simulated cycles must not depend on the wall clock (reached via %s)", ec.Name, chain))
+				}
+			case "math/rand", "math/rand/v2":
+				switch {
+				case !randConstructors[ec.Name]:
+					if !covered {
+						out = append(out, diagAt(n.Pkg, ec.Pos,
+							"global rand.%s on a Tick/Step path: use the seeded PRNG owned by internal/fault (reached via %s)", ec.Name, chain))
+					}
+				case !isFaultPkg(n.Pkg) && !isStepDecl(n):
+					// The direct analyzer flags constructors only inside
+					// Step/Tick method bodies; every other reachable site —
+					// including non-Step helpers inside cycle-stepped
+					// packages — is this analyzer's to report.
+					out = append(out, diagAt(n.Pkg, ec.Pos,
+						"rand.%s constructed on a Tick/Step path: internal/fault owns the only sanctioned randomness stream on a cycle path (reached via %s)", ec.Name, chain))
+				}
+			}
+		}
+	}
+	return out
+}

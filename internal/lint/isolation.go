@@ -1,0 +1,121 @@
+package lint
+
+// The isolation analyzer proves the static precondition for fleet-parallel
+// simulation (ROADMAP: N Machines on a goroutine pool with zero locks):
+// starting from the exported API of the cycle-stepped packages, no reachable
+// function may write a package-level variable, or read one that any non-init
+// function in the module mutates. Reads of effectively-immutable globals
+// (sentinel errors, lookup tables — written only at initialization) stay
+// legal, otherwise nothing could return a named error.
+//
+// Every diagnostic carries the call chain from a root, so a violation three
+// calls deep is actionable without rerunning the analysis. Messages contain
+// names only (no line numbers), keeping baseline entries stable across
+// unrelated edits.
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Isolation returns the fleet-isolation analyzer.
+func Isolation() *Analyzer {
+	return &Analyzer{
+		Name:     "isolation",
+		Doc:      "no function reachable from the cycle-stepped simulator API may touch package-level mutable state",
+		RunGraph: runIsolation,
+	}
+}
+
+// isolationRoots selects the entry points of the proof: every exported
+// function and method of the cycle-stepped packages, plus every exported
+// method of a type named Machine in any package (so fixtures, which load
+// under testdata-relative import paths, exercise the same root logic as the
+// real core.Machine).
+func isolationRoots(g *CallGraph) []*FuncNode {
+	var roots []*FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.Decl == nil || !n.Exported {
+			continue
+		}
+		if isCycleSteppedPath(n.Pkg.ImportPath) || isMachineRecv(n.RecvType) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+func isCycleSteppedPath(importPath string) bool {
+	for _, suffix := range cycleSteppedSuffixes {
+		if importPath == suffix || hasPathSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix)+1 && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+func isMachineRecv(recv string) bool {
+	return recv == "Machine" || recv == "*Machine"
+}
+
+func runIsolation(g *CallGraph, pkgs []*Package) []Diagnostic {
+	reach := Reach(isolationRoots(g))
+	var out []Diagnostic
+	for _, n := range reach.Sorted() {
+		chain := reach.Witness(n)
+		written := map[token.Pos]bool{}
+		for _, gw := range dedupeUses(n.Effects.GlobalWrites) {
+			written[gw.Pos] = true
+			out = append(out, diagAt(n.Pkg, gw.Pos,
+				"write to package-level %s breaks Machine fleet isolation (reached via %s)",
+				GlobalName(gw.Var), chain))
+		}
+		for _, gr := range dedupeUses(n.Effects.GlobalReads) {
+			if !g.MutatedGlobal(gr.Var) {
+				continue // immutable after init: lookup table or sentinel
+			}
+			if written[gr.Pos] {
+				continue // hits++ is read+write at one site; one finding is enough
+			}
+			out = append(out, diagAt(n.Pkg, gr.Pos,
+				"read of mutable package-level %s breaks Machine fleet isolation (reached via %s)",
+				GlobalName(gr.Var), chain))
+		}
+	}
+	return out
+}
+
+// dedupeUses collapses repeated uses of one variable at one position (a
+// compound assignment records both a read and a write there) while keeping
+// distinct sites separate, so every site can carry its own //vet:allow.
+func dedupeUses(uses []GlobalUse) []GlobalUse {
+	type site struct {
+		name string
+		pos  token.Pos
+	}
+	seen := map[site]bool{}
+	var out []GlobalUse
+	for _, u := range uses {
+		key := site{GlobalName(u.Var), u.Pos}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+// diagAt builds a Diagnostic at an explicit position (graph effects carry
+// token.Pos, not nodes).
+func diagAt(p *Package, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	}
+}

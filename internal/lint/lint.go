@@ -22,6 +22,14 @@
 //     switch arms and the internal/soc driver must agree (module-level).
 //   - doccomment: every package carries a package doc comment — the durable
 //     statement of what it models and which paper section it implements.
+//   - isolation: no function reachable from the cycle-stepped simulator API
+//     reads or writes package-level mutable state — the static precondition
+//     for running fleets of Machines with zero locks (callgraph.go).
+//   - deepdeterminism: the determinism bans, propagated transitively through
+//     the call graph to everything reachable from Tick/Step/Run.
+//   - perfmono: writes to perf-registered counter fields reachable from the
+//     simulator are monotone (+=/++ with non-negative operands) outside the
+//     annotated reset paths.
 //   - suppress: every //vet:allow comment must still mask a finding; stale
 //     suppressions fail the build.
 //
@@ -48,14 +56,18 @@ type Diagnostic struct {
 }
 
 // Analyzer is one named check. Run inspects a single package; RunModule (for
-// cross-artifact checks like regmap) sees every loaded package at once. The
-// suppress analyzer has neither: it is evaluated by CheckModule itself, after
-// all other findings exist.
+// cross-artifact checks like regmap) sees every loaded package at once;
+// RunGraph (for the interprocedural checks: isolation, deepdeterminism,
+// perfmono) additionally receives the package-set call graph, built once per
+// CheckModule invocation and shared. The suppress analyzer has none of the
+// three: it is evaluated by CheckModule itself, after all other findings
+// exist.
 type Analyzer struct {
 	Name      string
 	Doc       string
 	Run       func(p *Package) []Diagnostic
 	RunModule func(pkgs []*Package) []Diagnostic
+	RunGraph  func(g *CallGraph, pkgs []*Package) []Diagnostic
 }
 
 // All returns every analyzer in the suite, in reporting order.
@@ -68,6 +80,9 @@ func All() []*Analyzer {
 		TickPhase(),
 		RegMap(),
 		DocComment(),
+		Isolation(),
+		DeepDeterminism(),
+		PerfMono(),
 		Suppress(),
 	}
 }
@@ -87,6 +102,16 @@ func CheckModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	allows := collectAllows(pkgs)
 	suppressActive := false
 
+	// The call graph is built lazily: only when an active analyzer needs it,
+	// and at most once per CheckModule call.
+	var graph *CallGraph
+	lazyGraph := func() *CallGraph {
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		return graph
+	}
+
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		if a.Name == suppressName {
@@ -101,6 +126,9 @@ func CheckModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		if a.RunModule != nil {
 			ds = append(ds, a.RunModule(pkgs)...)
+		}
+		if a.RunGraph != nil {
+			ds = append(ds, a.RunGraph(lazyGraph(), pkgs)...)
 		}
 		for _, d := range ds {
 			d.Analyzer = a.Name

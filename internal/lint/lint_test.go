@@ -85,17 +85,23 @@ func TestTickPhaseFindings(t *testing.T) {
 }
 
 // TestRegMapFindings pins the regmap fixture: missing Write arm, duplicate
-// offset, missing annotation; the //vet:allow'd RegF stays quiet.
+// offset, missing annotation, plus the perf-window gaps (RegPerfLo has no
+// Read arm, RegPerfHi no annotation); the //vet:allow'd RegF and the fully
+// wired RegPerfSelect/RegPerfCount stay quiet.
 func TestRegMapFindings(t *testing.T) {
 	byName := dirDiags(t, "regmap")
 	ds := byName["regmap"]
-	if len(ds) != 3 {
-		t.Fatalf("got %d regmap findings, want 3: %q", len(ds), messages(ds))
+	if len(ds) != 5 {
+		t.Fatalf("got %d regmap findings, want 5: %q", len(ds), messages(ds))
 	}
 	wantContains(t, ds, "RegC")
 	wantContains(t, ds, "duplicates offset")
 	wantContains(t, ds, "RegE")
+	wantContains(t, ds, "RegPerfLo")
+	wantContains(t, ds, "RegPerfHi")
 	wantNotContains(t, ds, "RegF ") // suppressed ("RegFile" would also match a bare "RegF")
+	wantNotContains(t, ds, "RegPerfSelect")
+	wantNotContains(t, ds, "RegPerfCount")
 	if stale := byName[suppressName]; len(stale) != 0 {
 		t.Errorf("the live //vet:allow regmap was reported stale: %q", messages(stale))
 	}

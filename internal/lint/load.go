@@ -206,10 +206,19 @@ func LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	return LoadTree(root, modPath)
+}
+
+// LoadTree loads every package under root as if root were the module root of
+// modPath, with the same dependency-ordered lenient checking as LoadModule
+// but without requiring a go.mod. Multi-package fixtures (for example the
+// regmapdrv tree under testdata, whose soc package must see the fixture's
+// core constants resolved for real) load through this entry point.
+func LoadTree(root, modPath string) ([]*Package, error) {
 	fset := token.NewFileSet()
 
 	srcs := map[string]*pkgSrc{} // keyed by import path
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}

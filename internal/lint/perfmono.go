@@ -1,0 +1,226 @@
+package lint
+
+// The perfmono analyzer turns the perf layer's "counters are monotone"
+// guarantee from a golden-test observation into a compile-time property.
+//
+// The counter set is derived from the probe registry itself: every integer
+// struct field read by a closure registered inside a buildProbes method
+// (core/perf.go in the real tree) is a perf counter — m.perfJobs,
+// m.rdPort.BeatsRead, a.Stats.Pairs, and so on. Any write to such a field
+// in a function reachable from the simulator's exported API must then be
+// monotone: ++ or += with an operand that is not provably negative. Plain
+// assignment, --, -=, and += of a negative constant are flagged.
+//
+// Reset paths are exempt by annotation: methods named Reset or Clear, and
+// functions whose doc comment carries a //vet:resetpath directive, may zero
+// counters (the software-visible soft-reset contract). Operands whose sign
+// the checker cannot prove (a variable, a call result) are accepted — the
+// lenient-loader rule that missing information never flags.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// resetPathDirective marks a function as a sanctioned counter-reset path.
+const resetPathDirective = "vet:resetpath"
+
+// PerfMono returns the counter-monotonicity analyzer.
+func PerfMono() *Analyzer {
+	return &Analyzer{
+		Name:     "perfmono",
+		Doc:      "writes to perf-registered counter fields reachable from the simulator must be monotone (+=/++, non-negative) outside annotated reset paths",
+		RunGraph: runPerfMono,
+	}
+}
+
+// collectCounterFields walks every buildProbes method in the module and
+// returns the Origin-normalized struct fields its registered closures read.
+// Only basic integer leaves count: intermediate struct/pointer fields on the
+// selector chain (m.rdPort in m.rdPort.BeatsRead) are not counters.
+func collectCounterFields(pkgs []*Package) map[*types.Var]bool {
+	counters := map[*types.Var]bool{}
+	for _, p := range pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "buildProbes" || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(nd ast.Node) bool {
+					lit, ok := nd.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					ast.Inspect(lit.Body, func(inner ast.Node) bool {
+						sel, ok := inner.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						fv := fieldOf(p, sel)
+						if fv == nil {
+							return true
+						}
+						if basic, ok := fv.Type().Underlying().(*types.Basic); ok &&
+							basic.Info()&types.IsInteger != 0 {
+							counters[fv.Origin()] = true
+						}
+						return true
+					})
+					return true // nested closures share the same scan
+				})
+			}
+		}
+	}
+	return counters
+}
+
+// fieldOf resolves a selector to the struct field it denotes, nil otherwise.
+func fieldOf(p *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if fv, ok := s.Obj().(*types.Var); ok {
+			return fv
+		}
+		return nil
+	}
+	if fv, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && fv.IsField() {
+		return fv
+	}
+	return nil
+}
+
+// perfMonoRoots selects everything "the simulator" can run: the exported
+// API of the cycle-stepped packages, Machine methods, and the exported API
+// of any package that registers probes (covers fixtures, which load outside
+// those import paths).
+func perfMonoRoots(g *CallGraph, probePkgs map[string]bool) []*FuncNode {
+	var roots []*FuncNode
+	for _, n := range g.SortedNodes() {
+		if n.Decl == nil || !n.Exported {
+			continue
+		}
+		if isCycleSteppedPath(n.Pkg.ImportPath) || isMachineRecv(n.RecvType) ||
+			probePkgs[n.Pkg.ImportPath] {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// isResetPath reports whether writes in this node are sanctioned counter
+// resets: the enclosing declaration is named Reset or Clear, or its doc
+// comment carries //vet:resetpath.
+func isResetPath(n *FuncNode) bool {
+	rd := n.rootDecl()
+	if rd == nil {
+		return false
+	}
+	if rd.Name.Name == "Reset" || rd.Name.Name == "Clear" {
+		return true
+	}
+	if rd.Doc != nil {
+		for _, c := range rd.Doc.List {
+			if strings.Contains(c.Text, resetPathDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runPerfMono(g *CallGraph, pkgs []*Package) []Diagnostic {
+	counters := collectCounterFields(pkgs)
+	if len(counters) == 0 {
+		return nil
+	}
+	probePkgs := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "buildProbes" {
+					probePkgs[p.ImportPath] = true
+				}
+			}
+		}
+	}
+	reach := Reach(perfMonoRoots(g, probePkgs))
+
+	var out []Diagnostic
+	for _, n := range reach.Sorted() {
+		if isResetPath(n) {
+			continue
+		}
+		chain := reach.Witness(n)
+		for _, fw := range n.Effects.FieldWrites {
+			if !counters[fw.Field] {
+				continue
+			}
+			switch fw.Op {
+			case "++":
+				continue
+			case "+=":
+				if !fw.Negative {
+					continue
+				}
+				out = append(out, diagAt(n.Pkg, fw.Pos,
+					"perf counter %s decremented via += with a negative operand: counters are monotone outside Reset/Clear (reached via %s)",
+					counterName(fw.Field), chain))
+			case "--", "-=":
+				out = append(out, diagAt(n.Pkg, fw.Pos,
+					"perf counter %s decremented with %s: counters are monotone outside Reset/Clear (reached via %s)",
+					counterName(fw.Field), fw.Op, chain))
+			default:
+				out = append(out, diagAt(n.Pkg, fw.Pos,
+					"perf counter %s overwritten with %s: only ++ and += keep the counter monotone — move resets into a Reset/Clear method or a //vet:resetpath function (reached via %s)",
+					counterName(fw.Field), fw.Op, chain))
+			}
+		}
+	}
+	return out
+}
+
+// counterName renders a counter field as Type.Field for diagnostics.
+func counterName(fv *types.Var) string {
+	name := fv.Name()
+	if owner := fieldOwner(fv); owner != "" {
+		name = owner + "." + name
+	}
+	return name
+}
+
+// fieldOwner finds the named struct type declaring a field, by scanning the
+// field's package scope (go/types has no direct field-to-owner link).
+func fieldOwner(fv *types.Var) string {
+	pkg := fv.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, tn := range names {
+		obj, ok := scope.Lookup(tn).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Origin() == fv.Origin() {
+				return obj.Name()
+			}
+		}
+	}
+	return ""
+}

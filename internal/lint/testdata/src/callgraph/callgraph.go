@@ -1,0 +1,72 @@
+// Package callgraph exercises the call-graph corner cases: interface
+// dispatch with multiple implementations (CHA fan-out), function-typed
+// struct fields, method values flowing through local variables, and
+// closures capturing their receiver. callgraph_test.go asserts the expected
+// edges in the built graph and pins the dumped JSON as byte-stable.
+package callgraph
+
+// Stepper is dispatched through Drive; both implementations must appear as
+// iface edges.
+type Stepper interface {
+	Step()
+}
+
+// Even steps by two.
+type Even struct{ n int }
+
+// Step advances the even counter.
+func (e *Even) Step() { e.n += 2 }
+
+// Odd steps by one.
+type Odd struct{ n int }
+
+// Step advances the odd counter.
+func (o *Odd) Step() { o.n++ }
+
+// Drive dispatches through the interface: want iface edges to both Step
+// implementations.
+func Drive(s Stepper) {
+	s.Step()
+}
+
+// Pipeline holds a function-typed field.
+type Pipeline struct {
+	stage func(int) int
+}
+
+func double(x int) int { return x * 2 }
+
+// NewPipeline stores double into the stage field via a keyed composite
+// literal; the store is what lets Run resolve.
+func NewPipeline() *Pipeline {
+	return &Pipeline{stage: double}
+}
+
+// Run calls through the field: want a dyn edge to double.
+func (p *Pipeline) Run(x int) int {
+	return p.stage(x)
+}
+
+// Sink collects method-value targets.
+type Sink struct{ total int }
+
+func (s *Sink) add(v int) { s.total += v }
+
+// Apply takes add as a method value (ref edge) and calls it through a local
+// function variable (dyn edge via signature matching).
+func Apply(vals []int) int {
+	s := &Sink{}
+	f := s.add
+	for _, v := range vals {
+		f(v)
+	}
+	return s.total
+}
+
+// Box demonstrates a closure capturing its receiver.
+type Box struct{ v int }
+
+// Bump returns a closure over the receiver: want a closure edge to Bump$1.
+func (b *Box) Bump() func() {
+	return func() { b.v++ }
+}

@@ -1,0 +1,57 @@
+// Package isolation seeds fleet-isolation violations for the isolation
+// analyzer tests. The analyzer roots at the exported methods of the Machine
+// type (fixtures load outside the cycle-stepped import paths) and must flag
+// the global write in record and the mutable-global read in lookup — both
+// one call below Tick — while leaving the read of the immutable Limits
+// table legal.
+package isolation
+
+// table is mutable: Seed (not reachable from the Machine API) writes it, so
+// any reachable read is a cross-Machine data race in a fleet.
+var table = map[string]int{"a": 1}
+
+// hits is written on a reachable path — the direct violation.
+var hits int
+
+// Limits is only ever read, so it is immutable after init and reads of it
+// must not flag.
+var Limits = [4]int{1, 2, 4, 8}
+
+// Machine mirrors the core.Machine shape the analyzer roots at.
+type Machine struct {
+	cycle int64
+	last  int
+}
+
+// Tick advances one cycle and fans out into the offending helpers.
+func (m *Machine) Tick() {
+	m.cycle++
+	m.record()
+	m.last = m.lookup("a")
+	m.scale(1)
+}
+
+// record writes a package-level counter: want an isolation finding with the
+// Tick -> record witness chain.
+func (m *Machine) record() {
+	hits++
+}
+
+// lookup reads the mutable table: want an isolation finding.
+func (m *Machine) lookup(k string) int {
+	return table[k]
+}
+
+// scale reads the immutable Limits array: must stay clean.
+func (m *Machine) scale(i int) {
+	if i >= 0 && i < len(Limits) {
+		m.last *= Limits[i]
+	}
+}
+
+// Seed mutates the table from outside the Machine API (test setup shape).
+// It is not reachable from a root, so the write itself is not flagged — but
+// it is what makes table mutable.
+func Seed(k string, v int) {
+	table[k] = v
+}

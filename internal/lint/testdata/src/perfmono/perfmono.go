@@ -1,0 +1,60 @@
+// Package perfmono seeds counter-monotonicity violations for the perfmono
+// analyzer tests. The counter set is derived from buildProbes exactly as in
+// the real tree: ticks and drops are perf counters because the registered
+// closures read them; level is deliberately unregistered, so writes to it
+// never flag. Reset (by name) and scrub (//vet:resetpath) are the sanctioned
+// reset paths.
+package perfmono
+
+// probe mirrors the core.perfProbe shape.
+type probe struct {
+	name string
+	read func() int64
+}
+
+// Machine owns the probe registry and the counters.
+type Machine struct {
+	probes []probe
+	ticks  int64
+	drops  int64
+	level  int64 // not probe-registered: writes are unconstrained
+}
+
+// buildProbes registers the counter set; the analyzer derives "counter"
+// from the fields these closures read.
+func (m *Machine) buildProbes() {
+	add := func(name string, read func() int64) {
+		m.probes = append(m.probes, probe{name: name, read: read})
+	}
+	add("machine.ticks", func() int64 { return m.ticks })
+	add("machine.drops", func() int64 { return m.drops })
+}
+
+// Tick performs only monotone counter updates plus a write to the
+// unregistered level field: all clean.
+func (m *Machine) Tick() {
+	m.ticks++
+	m.drops += 2
+	m.level = 0
+	m.slip()
+	m.scrub()
+}
+
+// slip holds the four violation shapes: decrement, plain overwrite,
+// negative compound add, compound subtract.
+func (m *Machine) slip() {
+	m.drops--     // want: decremented with --
+	m.ticks = 0   // want: overwritten with =
+	m.drops += -1 // want: negative operand
+	m.ticks -= 1  // want: decremented with -=
+}
+
+// Reset zeroes the counters — exempt by name.
+func (m *Machine) Reset() {
+	m.ticks, m.drops = 0, 0
+}
+
+//vet:resetpath scrub zeroes the counter window between campaigns.
+func (m *Machine) scrub() {
+	m.drops = 0
+}

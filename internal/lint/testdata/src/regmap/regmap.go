@@ -6,8 +6,10 @@
 package regmap
 
 // The register map under test. Expected findings: RegC (W-annotated but no
-// Write arm), RegD (duplicate offset), RegE (no annotation). RegF is the
-// suppressed case.
+// Write arm), RegD (duplicate offset), RegE (no annotation), RegPerfLo
+// (R-annotated but no Read arm), RegPerfHi (no annotation). RegF is the
+// suppressed case; RegPerfSelect and RegPerfCount are the fully wired perf
+// window registers and must stay clean.
 const (
 	RegA = 0x00 // W: command word
 	RegB = 0x04 // R: status word
@@ -16,18 +18,27 @@ const (
 	RegE = 0x10
 	//vet:allow regmap legacy register kept for ABI compatibility until PR 3
 	RegF = 0x14 // W: suppressed: annotated but deliberately unwired
+
+	RegPerfSelect = 0x20 // W: perf counter index select
+	RegPerfCount  = 0x24 // R: number of perf counters
+	RegPerfLo     = 0x28 // R: selected counter low word, missing from the Read switch
+	RegPerfHi     = 0x2C
 )
 
 // RegFile mirrors the shape the analyzer detects.
 type RegFile struct {
-	cmd    uint32
-	status uint32
+	cmd        uint32
+	status     uint32
+	perfSelect uint32
+	perfCount  uint32
 }
 
 func (r *RegFile) Write(offset, value uint32) {
 	switch offset {
 	case RegA:
 		r.cmd = value
+	case RegPerfSelect:
+		r.perfSelect = value
 	}
 }
 
@@ -35,6 +46,8 @@ func (r *RegFile) Read(offset uint32) uint32 {
 	switch offset {
 	case RegB, RegD, RegE:
 		return r.status
+	case RegPerfCount:
+		return r.perfCount
 	}
 	return 0
 }

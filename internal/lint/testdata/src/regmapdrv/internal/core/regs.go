@@ -1,0 +1,52 @@
+// Package core is the register-map half of the regmapdrv fixture: a RegFile
+// plus annotated Reg* constants, loaded together with the sibling soc
+// package via LoadTree so the driver-coverage check (regmap check 4) runs
+// with real cross-package resolution. Every annotation and switch arm is
+// consistent; the only expected finding is RegPerfHi, which the driver
+// never touches.
+package core
+
+// The fixture register map, including the perf window.
+const (
+	RegCmd        = 0x00 // W: command word
+	RegStatus     = 0x04 // R: status word
+	RegPerfSelect = 0x08 // W: perf counter index select
+	RegPerfCount  = 0x0C // R: number of perf counters
+	RegPerfLo     = 0x10 // R: selected counter, low word
+	RegPerfHi     = 0x14 // R: selected counter, high word (unused by the driver)
+)
+
+// RegFile mirrors the shape the analyzer detects.
+type RegFile struct {
+	cmd        uint32
+	status     uint32
+	perfSelect uint32
+	perfCount  uint32
+	perfLo     uint32
+	perfHi     uint32
+}
+
+// Write dispatches a CPU write.
+func (r *RegFile) Write(offset, value uint32) {
+	switch offset {
+	case RegCmd:
+		r.cmd = value
+	case RegPerfSelect:
+		r.perfSelect = value
+	}
+}
+
+// Read dispatches a CPU read.
+func (r *RegFile) Read(offset uint32) uint32 {
+	switch offset {
+	case RegStatus:
+		return r.status
+	case RegPerfCount:
+		return r.perfCount
+	case RegPerfLo:
+		return r.perfLo
+	case RegPerfHi:
+		return r.perfHi
+	}
+	return 0
+}

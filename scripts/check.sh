@@ -6,11 +6,14 @@
 #   2. go vet       the stock toolchain analyzers
 #   3. wfasic-vet   the project-specific analyzers (determinism, panicpolicy,
 #                   magicoffset, errpath, tickphase, regmap, doccomment,
-#                   suppress — see internal/lint), ratcheted against
-#                   vet-baseline.json: new findings and stale baseline
-#                   entries fail
-#   4. go build     everything compiles, including examples
-#   5. go test -race  the full suite under the race detector (the bench
+#                   isolation, deepdeterminism, perfmono, suppress — see
+#                   internal/lint), ratcheted against vet-baseline.json: new
+#                   findings and stale baseline entries fail
+#   4. callgraph    the interprocedural call graph dumps byte-identically
+#                   twice in a row (the CI artifact contract), and the
+#                   analyzer fixtures still load and fire
+#   5. go build     everything compiles, including examples
+#   6. go test -race  the full suite under the race detector (the bench
 #                     package takes a few minutes under -race; use
 #                     SKIP_RACE=1 for a quick non-race pass)
 set -euo pipefail
@@ -29,6 +32,15 @@ go vet ./...
 
 echo "== wfasic-vet =="
 go run ./cmd/wfasic-vet -baseline vet-baseline.json ./...
+
+echo "== callgraph dump (byte-stability) =="
+go run ./cmd/wfasic-vet -dump-callgraph callgraph.json
+go run ./cmd/wfasic-vet -dump-callgraph callgraph.json.2
+cmp callgraph.json callgraph.json.2
+rm -f callgraph.json.2
+
+echo "== wfasic-vet fixtures =="
+go run ./cmd/wfasic-vet -fixtures internal/lint/testdata/src > /dev/null
 
 echo "== go build =="
 go build ./...
