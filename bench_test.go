@@ -36,6 +36,7 @@ func benchParams() bench.Params {
 // BenchmarkTable1 regenerates Table 1 (per-pair reading and alignment
 // cycles, Equation 7 bound) and reports the 10K rows as metrics.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table1(benchParams())
 		if err != nil {
@@ -50,6 +51,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFigure9 regenerates the speedup study of Figure 9.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure9(benchParams())
 		if err != nil {
@@ -64,6 +66,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the multi-Aligner scalability study.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure10(benchParams())
 		if err != nil {
@@ -77,6 +80,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the configuration comparison.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure11(benchParams())
 		if err != nil {
@@ -89,6 +93,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkTable2 regenerates the GCUPS/area comparison.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table2(benchParams())
 		if err != nil {
@@ -129,8 +134,10 @@ func microPair(length int, rate float64) seqio.Pair {
 // BenchmarkWFAScore measures the software WFA in score-only (ring buffer)
 // mode.
 func BenchmarkWFAScore(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range microSets {
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := microPair(s.length, s.rate)
 			b.SetBytes(int64(len(p.A) + len(p.B)))
 			for i := 0; i < b.N; i++ {
@@ -145,11 +152,13 @@ func BenchmarkWFAScore(b *testing.B) {
 
 // BenchmarkWFABacktrace measures the software WFA with full CIGAR recovery.
 func BenchmarkWFABacktrace(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range microSets {
 		if s.length > 1000 {
 			continue // full wavefront retention is O(s^2) memory
 		}
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := microPair(s.length, s.rate)
 			for i := 0; i < b.N; i++ {
 				res, _, _ := wfa.Align(p.A, p.B, align.DefaultPenalties, wfa.Options{WithCIGAR: true})
@@ -163,11 +172,13 @@ func BenchmarkWFABacktrace(b *testing.B) {
 
 // BenchmarkSWGScore measures the full-DP baseline (Equation 2).
 func BenchmarkSWGScore(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range microSets {
 		if s.length > 1000 {
 			continue // O(n*m) cells
 		}
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := microPair(s.length, s.rate)
 			for i := 0; i < b.N; i++ {
 				swg.Score(p.A, p.B, align.DefaultPenalties)
@@ -179,8 +190,10 @@ func BenchmarkSWGScore(b *testing.B) {
 // BenchmarkMachineAlign measures the cycle-level accelerator simulation
 // end-to-end for one pair (image build, DMA, extract, align, collect).
 func BenchmarkMachineAlign(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range microSets {
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.ChipConfig()
 			p := microPair(s.length, s.rate)
 			if len(p.A) > cfg.MaxReadLenCap {
@@ -210,6 +223,7 @@ func BenchmarkMachineAlign(b *testing.B) {
 // BenchmarkBTDecode measures the CPU-side backtrace decoder on a
 // pre-generated stream.
 func BenchmarkBTDecode(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.ChipConfig()
 	p := microPair(1000, 0.10)
 	set := &seqio.InputSet{Pairs: []seqio.Pair{p}}
@@ -246,6 +260,7 @@ func BenchmarkBTDecode(b *testing.B) {
 			name = "sep"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(raw)))
 			for i := 0; i < b.N; i++ {
 				if _, _, err := dec.DecodeRegion(raw, count, pairs, sep); err != nil {
@@ -259,6 +274,7 @@ func BenchmarkBTDecode(b *testing.B) {
 // BenchmarkExtendUnit measures the hardware Extend comparator (16 bases per
 // block, Figure 7).
 func BenchmarkExtendUnit(b *testing.B) {
+	b.ReportAllocs()
 	g := seqgen.New(3, 3)
 	seq := g.RandomSequence(10000)
 	ramA, err := core.LoadSeqRAM(0, seq)
@@ -281,6 +297,7 @@ func BenchmarkExtendUnit(b *testing.B) {
 // BenchmarkImageBuild measures input-image serialization (the CPU's parse
 // step of Figure 4).
 func BenchmarkImageBuild(b *testing.B) {
+	b.ReportAllocs()
 	g := seqgen.New(5, 5)
 	set := &seqio.InputSet{}
 	for i := 0; i < 32; i++ {

@@ -9,7 +9,9 @@
 // (nothing reachable from the simulator API touches package-level mutable
 // state), deepdeterminism (the determinism bans propagated transitively
 // from Tick/Step/Run), perfmono (counter writes are monotone outside reset
-// paths) — and suppress (//vet:allow comments must still mask a finding).
+// paths), hotalloc (no allocation constructs reachable from the steady-state
+// roots outside annotated cold paths) — and suppress (//vet:allow comments
+// must still mask a finding).
 //
 // Usage:
 //
@@ -20,6 +22,7 @@
 //	go run ./cmd/wfasic-vet -baseline vet-baseline.json ./...
 //	go run ./cmd/wfasic-vet -write-baseline vet-baseline.json ./...
 //	go run ./cmd/wfasic-vet -dump-callgraph callgraph.json
+//	go run ./cmd/wfasic-vet -dump-allocs allocs.json
 //	go run ./cmd/wfasic-vet -fixtures internal/lint/testdata/src -json
 //	go run ./cmd/wfasic-vet -list
 //
@@ -30,7 +33,9 @@
 // baseline skeleton whose justifications must then be filled in by hand.
 // -analyzer runs a single analyzer (listing the valid names on bad input);
 // -dump-callgraph writes the interprocedural call graph as deterministic
-// JSON (byte-stable across runs, diffed in CI); -fixtures runs the suite
+// JSON (byte-stable across runs, diffed in CI); -dump-allocs does the same
+// for the hotalloc classifier's allocation sites and hot-set verdicts
+// (schema wfasic-allocs-v1); -fixtures runs the suite
 // over each analyzer fixture directory and reports the findings, so CI
 // catches fixture drift outside the go test process.
 //
@@ -60,6 +65,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "fail only on regressions against this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "snapshot current findings to this baseline file and exit")
 	dumpCallgraph := flag.String("dump-callgraph", "", "write the interprocedural call graph to this file as deterministic JSON and exit")
+	dumpAllocs := flag.String("dump-allocs", "", "write the classified allocation sites and hot-set verdicts to this file as deterministic JSON and exit")
 	fixtures := flag.String("fixtures", "", "run the suite over each fixture directory under this path and report findings")
 	flag.Parse()
 
@@ -125,6 +131,18 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wfasic-vet: wrote call graph (%d bytes) to %s\n", len(data), *dumpCallgraph)
+		return
+	}
+
+	if *dumpAllocs != "" {
+		data, err := lint.DumpAllocsJSON(lint.BuildCallGraph(pkgs), root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*dumpAllocs, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wfasic-vet: wrote allocation sites (%d bytes) to %s\n", len(data), *dumpAllocs)
 		return
 	}
 

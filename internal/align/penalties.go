@@ -44,7 +44,10 @@ var ErrInvalidPenalties = errors.New("align: invalid penalty set")
 // Validate checks that the penalty set is usable by both the SWG and WFA
 // implementations. The WFA recurrence requires strictly positive mismatch and
 // gap-extension penalties (a zero-cost operation would let a wavefront score
-// stall) and a non-negative gap-opening penalty.
+// stall) and a non-negative gap-opening penalty. Runs once per configuration,
+// before any steady-state loop starts.
+//
+//vet:coldpath
 func (p Penalties) Validate() error {
 	if p.Mismatch <= 0 {
 		return fmt.Errorf("%w: mismatch penalty %d must be > 0", ErrInvalidPenalties, p.Mismatch)

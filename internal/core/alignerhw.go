@@ -76,9 +76,13 @@ type AlignerHW struct {
 	unsupported bool
 	btEnabled   bool
 
-	// Run state.
+	// Run state. tracker and ring are caches that outlive a pair: both are
+	// reset, not reallocated, when the next pair starts, and dead wavefronts
+	// recycle through pool, so the steady state of a job stream allocates
+	// nothing per pair.
 	tracker  *RangeTracker
 	ring     *wfRing
+	pool     wfa.Pool
 	s        int
 	scoreMax int
 	busy     int64
@@ -87,6 +91,7 @@ type AlignerHW struct {
 	finalK   int
 
 	outbox []obEntry
+	obHead int // drained prefix of outbox (reset with the slice)
 
 	// inj is the machine-wide fault injector (nil-safe; set by
 	// Machine.AttachInjector).
@@ -100,6 +105,10 @@ type AlignerHW struct {
 
 	// Scratch buffers reused across steps.
 	originsBuf []uint8
+
+	// Retained Input_Seq RAM images the Extractor loads each pair into
+	// (seqA/seqB point at these while a supported pair is in flight).
+	seqABuf, seqBBuf SeqRAM
 }
 
 // NewAlignerHW builds one Aligner for the configuration.
@@ -124,24 +133,34 @@ func (a *AlignerHW) Reset() {
 	a.pairID = 0
 	a.unsupported = false
 	a.btEnabled = false
-	a.tracker, a.ring = nil, nil
+	// tracker and ring are kept as caches for the next pair; the ring's
+	// wavefronts go back to the pool.
+	if a.ring != nil {
+		a.ring.reset()
+	}
 	a.s = 0
 	a.busy = 0
 	a.finished = false
 	a.success = false
 	a.finalK = 0
-	a.outbox = nil
+	a.outbox = a.outbox[:0]
+	a.obHead = 0
 }
 
 // BeginLoad transitions to Loading; the Extractor streams the pair in.
 func (a *AlignerHW) BeginLoad() {
-	invariant.Checkf(a.state == alignerIdle, "core", "BeginLoad on non-idle Aligner (state %d)", a.state)
+	if a.state != alignerIdle {
+		// Guarded Failf keeps the ...any argument slice off the happy path.
+		invariant.Failf("core", "BeginLoad on non-idle Aligner (state %d)", a.state)
+	}
 	a.state = alignerLoading
 }
 
 // Start launches the alignment of the loaded pair at the given cycle.
 func (a *AlignerHW) Start(id uint32, seqA, seqB *SeqRAM, unsupported, btEnabled bool, cycle int64) {
-	invariant.Checkf(a.state == alignerLoading, "core", "Start on Aligner that is not loading (state %d)", a.state)
+	if a.state != alignerLoading {
+		invariant.Failf("core", "Start on Aligner that is not loading (state %d)", a.state)
+	}
 	a.pairID = id
 	a.seqA, a.seqB = seqA, seqB
 	a.unsupported = unsupported
@@ -163,15 +182,23 @@ func (a *AlignerHW) Start(id uint32, seqA, seqB *SeqRAM, unsupported, btEnabled 
 	}
 
 	n, m := seqA.Length, seqB.Length
-	a.tracker = NewRangeTracker(a.cfg.Penalties, n, m, a.cfg.KMax)
+	if a.tracker == nil {
+		a.tracker = NewRangeTracker(a.cfg.Penalties, n, m, a.cfg.KMax)
+	} else {
+		a.tracker.Reset(a.cfg.Penalties, n, m, a.cfg.KMax)
+	}
 	window := a.cfg.Penalties.GapOpen + a.cfg.Penalties.GapExtend
 	if a.cfg.Penalties.Mismatch > window {
 		window = a.cfg.Penalties.Mismatch
 	}
-	a.ring = newWFRing(window + 1)
+	if a.ring == nil || a.ring.window != window+1 {
+		a.ring = newWFRing(window+1, &a.pool)
+	} else {
+		a.ring.reset()
+	}
 
 	// Score 0: the initial cell M~(0,0) = 0, extended.
-	m0 := wfa.NewWavefront(0, 0)
+	m0 := a.pool.Acquire(0, 0)
 	m0.Set(0, 0, wfa.MTagNone)
 	ext := ExtendDiag(seqA, seqB, 0, 0)
 	m0.Set(0, int32(ext.Matches), wfa.MTagNone)
@@ -193,18 +220,24 @@ func (a *AlignerHW) isDone(mwf *wfa.Wavefront) bool {
 	return mwf.Valid(alignK) && mwf.At(alignK) >= int32(a.seqB.Length)
 }
 
-// TakeOutput pops the oldest outbox entry (Collector side).
+// TakeOutput pops the oldest outbox entry (Collector side). Draining
+// advances a head index rather than re-slicing, so the backing array is
+// truncate-reset — and its capacity reused — every time the outbox empties.
 func (a *AlignerHW) TakeOutput() (obEntry, bool) {
-	if len(a.outbox) == 0 {
+	if a.obHead >= len(a.outbox) {
 		return obEntry{}, false
 	}
-	e := a.outbox[0]
-	a.outbox = a.outbox[1:]
+	e := a.outbox[a.obHead]
+	a.obHead++
+	if a.obHead == len(a.outbox) {
+		a.outbox = a.outbox[:0]
+		a.obHead = 0
+	}
 	return e, true
 }
 
 // HasOutput reports whether outbox entries are pending.
-func (a *AlignerHW) HasOutput() bool { return len(a.outbox) > 0 }
+func (a *AlignerHW) HasOutput() bool { return len(a.outbox) > a.obHead }
 
 // Tick advances the Aligner one cycle.
 func (a *AlignerHW) Tick(cycle int64) {
@@ -216,7 +249,7 @@ func (a *AlignerHW) Tick(cycle int64) {
 		return
 	case alignerDraining:
 		a.Stats.DrainCycles++
-		if len(a.outbox) == 0 {
+		if !a.HasOutput() {
 			a.state = alignerIdle
 		}
 		return
@@ -231,7 +264,7 @@ func (a *AlignerHW) Tick(cycle int64) {
 		a.emitResult(cycle)
 		return
 	}
-	if len(a.outbox) >= outboxCap {
+	if len(a.outbox)-a.obHead >= outboxCap {
 		a.Stats.StallCycles++
 		return
 	}
@@ -259,7 +292,11 @@ func (a *AlignerHW) emitResult(cycle int64) {
 	a.finishCycle = cycle
 	a.state = alignerDraining
 	a.seqA, a.seqB = nil, nil
-	a.tracker, a.ring = nil, nil
+	// tracker and ring stay cached for the next pair; recycle the window.
+	// (ring is nil when the very first pair was unsupported.)
+	if a.ring != nil {
+		a.ring.reset()
+	}
 }
 
 // advanceScore processes the next candidate score.
@@ -300,20 +337,10 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	srcIe := a.ring.get(wfa.CompI, s-e)
 	srcDe := a.ring.get(wfa.CompD, s-e)
 
-	trim := func(off int32, k int) int32 {
-		if !wfa.ValidOffset(off) {
-			return wfa.Invalid
-		}
-		if off > int32(m) || off-int32(k) > int32(n) {
-			return wfa.Invalid
-		}
-		return off
-	}
-
 	// Compute I~(s).
 	var iwf *wfa.Wavefront
 	if !iR.Empty() {
-		iwf = wfa.NewWavefront(iR.Lo, iR.Hi)
+		iwf = a.pool.Acquire(iR.Lo, iR.Hi)
 		for k := iR.Lo; k <= iR.Hi; k++ {
 			open := srcMoe.At(k - 1)
 			ext := srcIe.At(k - 1)
@@ -322,7 +349,7 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 				v, tag = ext, wfa.GTagExt
 			}
 			if wfa.ValidOffset(v) {
-				v = trim(v+1, k)
+				v = trimOffset(v+1, k, n, m)
 			}
 			if wfa.ValidOffset(v) {
 				iwf.Set(k, v, tag)
@@ -333,7 +360,7 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	// Compute D~(s).
 	var dwf *wfa.Wavefront
 	if !dR.Empty() {
-		dwf = wfa.NewWavefront(dR.Lo, dR.Hi)
+		dwf = a.pool.Acquire(dR.Lo, dR.Hi)
 		for k := dR.Lo; k <= dR.Hi; k++ {
 			open := srcMoe.At(k + 1)
 			ext := srcDe.At(k + 1)
@@ -341,7 +368,7 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 			if ext > open {
 				v, tag = ext, wfa.GTagExt
 			}
-			v = trim(v, k)
+			v = trimOffset(v, k, n, m)
 			if wfa.ValidOffset(v) {
 				dwf.Set(k, v, tag)
 			}
@@ -349,7 +376,7 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	}
 
 	// Compute M~(s) — the frame column.
-	mwf := wfa.NewWavefront(mR.Lo, mR.Hi)
+	mwf := a.pool.Acquire(mR.Lo, mR.Hi)
 	for k := mR.Lo; k <= mR.Hi; k++ {
 		a.Stats.CellsComputed++
 		var sub int32 = wfa.Invalid
@@ -375,7 +402,7 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 				tag = wfa.MTagDExt
 			}
 		}
-		v = trim(v, k)
+		v = trimOffset(v, k, n, m)
 		if wfa.ValidOffset(v) {
 			mwf.Set(k, v, tag)
 		}
@@ -461,6 +488,19 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 	return cycles
 }
 
+// trimOffset clamps a computed offset to the DP grid of a pair with
+// |a| = n, |b| = m, turning out-of-grid cells invalid (hoisted out of
+// executeStep so the hot loop carries no closure).
+func trimOffset(off int32, k, n, m int) int32 {
+	if !wfa.ValidOffset(off) {
+		return wfa.Invalid
+	}
+	if off > int32(m) || off-int32(k) > int32(n) {
+		return wfa.Invalid
+	}
+	return off
+}
+
 // wfRing is the hardware wavefront window: only the dependency window of
 // scores is retained ("in the hardware, we only keep those necessary
 // wavefront vectors", Section 4.3.1).
@@ -468,20 +508,33 @@ type wfRing struct {
 	window  int
 	score   []int
 	m, i, d []*wfa.Wavefront
+	pool    *wfa.Pool
 }
 
-func newWFRing(window int) *wfRing {
+func newWFRing(window int, pool *wfa.Pool) *wfRing {
 	r := &wfRing{
 		window: window,
 		score:  make([]int, window),
 		m:      make([]*wfa.Wavefront, window),
 		i:      make([]*wfa.Wavefront, window),
 		d:      make([]*wfa.Wavefront, window),
+		pool:   pool,
 	}
 	for idx := range r.score {
 		r.score[idx] = -1
 	}
 	return r
+}
+
+// reset empties the ring for the next pair, recycling retained wavefronts.
+func (r *wfRing) reset() {
+	for idx := range r.score {
+		r.score[idx] = -1
+		r.pool.Release(r.m[idx])
+		r.pool.Release(r.i[idx])
+		r.pool.Release(r.d[idx])
+		r.m[idx], r.i[idx], r.d[idx] = nil, nil, nil
+	}
 }
 
 func (r *wfRing) get(c wfa.Component, s int) *wfa.Wavefront {
@@ -506,6 +559,11 @@ func (r *wfRing) get(c wfa.Component, s int) *wfa.Wavefront {
 
 func (r *wfRing) put(s int, iwf, dwf, mwf *wfa.Wavefront) {
 	slot := s % r.window
+	// The evicted score is window scores behind every recurrence dependency
+	// (deepest is s-window), so its wavefronts are dead: recycle them.
+	r.pool.Release(r.m[slot])
+	r.pool.Release(r.i[slot])
+	r.pool.Release(r.d[slot])
 	r.score[slot] = s
 	r.i[slot] = iwf
 	r.d[slot] = dwf

@@ -22,6 +22,7 @@ type Collector struct {
 	// BT chunking state.
 	chunkID      uint32
 	chunkPayload []byte // pending payload bytes of the current block
+	padBuf       []byte // retained scratch for zero-padding block payloads
 	counters     map[uint32]uint32
 
 	// NBT merge buffer.
@@ -54,7 +55,8 @@ func (c *Collector) Configure(numPairs int, btEnabled bool, onResult func(uint32
 	c.numPairs = numPairs
 	c.btEnabled = btEnabled
 	c.onResult = onResult
-	c.counters = map[uint32]uint32{}
+	// clear keeps the map's buckets, so repeat jobs insert without growing.
+	clear(c.counters)
 	c.chunkPayload = nil
 	c.nbtBuf = c.nbtBuf[:0]
 	c.resultsSeen = 0
@@ -68,7 +70,7 @@ func (c *Collector) Reset() {
 	c.rr = 0
 	c.chunkID = 0
 	c.chunkPayload = nil
-	c.counters = map[uint32]uint32{}
+	clear(c.counters)
 	c.nbtBuf = c.nbtBuf[:0]
 	c.resultsSeen = 0
 	c.numPairs = 0
@@ -116,9 +118,16 @@ func (c *Collector) handle(entry obEntry, a *AlignerHW) {
 	case obBlock:
 		// Zero-pad the block payload to a whole number of 10-byte chunks
 		// (a 40-byte block fills exactly four transactions, Section 4.4).
+		// padBuf is safe to reuse here: Tick drains chunkPayload completely
+		// before handle sees the next block.
 		payload := entry.block
 		if rem := len(payload) % BTPayloadBytes; rem != 0 {
-			payload = append(append([]byte(nil), payload...), make([]byte, BTPayloadBytes-rem)...)
+			c.padBuf = c.padBuf[:0]
+			c.padBuf = append(c.padBuf, payload...)
+			for i := rem; i < BTPayloadBytes; i++ {
+				c.padBuf = append(c.padBuf, 0)
+			}
+			payload = c.padBuf
 		}
 		c.chunkID = entry.id
 		c.chunkPayload = payload

@@ -19,11 +19,26 @@ type SeqRAM struct {
 // LoadSeqRAM packs a byte sequence into a SeqRAM. The caller must have
 // validated the alphabet (the Extractor rejects 'N' before loading).
 func LoadSeqRAM(id uint32, seq []byte) (*SeqRAM, error) {
-	words, err := seqio.PackSequence(seq)
-	if err != nil {
+	r := &SeqRAM{}
+	if err := LoadSeqRAMInto(r, id, seq); err != nil {
 		return nil, err
 	}
-	return &SeqRAM{ID: id, Length: len(seq), Words: words}, nil
+	return r, nil
+}
+
+// LoadSeqRAMInto packs a byte sequence into dst, reusing dst's word storage.
+// The Extractor loads each pair into its target Aligner's retained SeqRAMs
+// through this form, so dispatching allocates nothing once the buffers have
+// grown to the job's read length.
+func LoadSeqRAMInto(dst *SeqRAM, id uint32, seq []byte) error {
+	words, err := seqio.PackSequenceInto(dst.Words[:0], seq)
+	if err != nil {
+		return err
+	}
+	dst.ID = id
+	dst.Length = len(seq)
+	dst.Words = words
+	return nil
 }
 
 // Window16 assembles the 16-base window starting at base position pos, the

@@ -74,7 +74,8 @@ func (e *Extractor) Configure(maxReadLen, numPairs int, btEnabled bool) {
 	e.btEnabled = btEnabled
 	e.pairsDispatched = 0
 	e.loading = false
-	e.readingByID = map[uint32]int64{}
+	// clear keeps the map's buckets, so repeat jobs insert without growing.
+	clear(e.readingByID)
 }
 
 // Reset aborts any in-flight pair load and clears all job progress; the
@@ -92,7 +93,7 @@ func (e *Extractor) Reset() {
 	e.rawA = e.rawA[:0]
 	e.rawB = e.rawB[:0]
 	e.unsupported = false
-	e.readingByID = map[uint32]int64{}
+	clear(e.readingByID)
 }
 
 // Done reports whether every pair has been dispatched to an Aligner.
@@ -187,18 +188,20 @@ func (e *Extractor) dispatch(cycle int64) {
 		if seqio.ValidateSequence(a) != nil || seqio.ValidateSequence(b) != nil {
 			e.unsupported = true
 		} else {
-			var err error
-			seqA, err = LoadSeqRAM(e.id, a)
+			// Load into the target Aligner's retained RAM images so the
+			// steady state of a job stream allocates nothing per pair.
+			err := LoadSeqRAMInto(&e.target.seqABuf, e.id, a)
 			if err == nil {
-				seqB, err = LoadSeqRAM(e.id, b)
+				err = LoadSeqRAMInto(&e.target.seqBBuf, e.id, b)
 			}
 			if err != nil {
 				e.unsupported = true
-				seqA, seqB = nil, nil
+			} else {
+				seqA, seqB = &e.target.seqABuf, &e.target.seqBBuf
 			}
 		}
 	}
-	e.readingByID[e.id] = cycle - e.pairStartCycle
+	e.readingByID[e.id] = cycle - e.pairStartCycle //vet:allow hotalloc bounded per-job bookkeeping; bucket capacity reused via clear()
 	if e.onDispatch != nil {
 		e.onDispatch(e.id, cycle-e.pairStartCycle, e.unsupported, e.target.idx)
 	}

@@ -145,7 +145,11 @@ func UnpackScoreRecord(p [BTPayloadBytes]byte) ScoreRecord {
 // bytes in the chip). origins must have exactly PS entries; cell c occupies
 // bits [5c, 5c+5), LSB-first within the block.
 func PackOriginBlock(origins []uint8) []byte {
-	out := make([]byte, (5*len(origins)+7)/8)
+	// The block escapes into the Aligner->Collector outbox and lives until
+	// the Collector finishes chunking it, so it cannot be scratch. BT
+	// streaming is the accelerator's documented slow path; the zero-alloc
+	// steady-state guarantee covers BTEnable=false runs.
+	out := make([]byte, (5*len(origins)+7)/8) //vet:allow hotalloc per-block buffer, only allocated when backtrace streaming is enabled
 	for c, o := range origins {
 		bit := 5 * c
 		v := uint32(o&0x1F) << (bit % 8)

@@ -71,6 +71,10 @@ type Machine struct {
 
 	tracer Tracer
 
+	// onResult is m.recordResult bound once at construction, so job starts
+	// can hand it to the collector without allocating a method value.
+	onResult func(uint32, ScoreRecord, *AlignerHW)
+
 	// Machine-level perf counters, monotone over the machine's lifetime (the
 	// perf layer windows them with snapshot deltas). Pure observation: no
 	// Tick decision ever reads them.
@@ -112,6 +116,8 @@ func NewMachine(cfg Config, memory *mem.Memory, ctl *mem.Controller) (*Machine, 
 	}
 	m.extractor = NewExtractor(cfg, m.inFIFO, m.aligners)
 	m.collector = NewCollector(cfg, m.outFIFO, m.aligners)
+	m.extractor.onDispatch = m.onPairDispatch
+	m.onResult = m.recordResult
 	m.buildProbes()
 	m.Regs.AttachPerf(m)
 	// In -tags invariantdebug builds, core invariant Violations carry the
@@ -185,8 +191,13 @@ func (m *Machine) startJob() {
 		}
 	}
 	if !ok {
-		m.trace("machine", "job-error", "rejected: maxReadLen=%d pairs=%d in=%#x out=%#x",
-			maxReadLen, numPairs, r.InputAddr, r.OutputAddr)
+		// Every trace call site is guarded so the ...any argument boxing is
+		// skipped entirely when no tracer is attached (the nil-tracer steady
+		// state is proven allocation-free by the AllocsPerRun guard).
+		if m.tracer != nil {
+			m.trace("machine", "job-error", "rejected: maxReadLen=%d pairs=%d in=%#x out=%#x", //vet:allow hotalloc traced only when a tracer is attached
+				maxReadLen, numPairs, r.InputAddr, r.OutputAddr)
+		}
 		m.perfRejects++
 		r.errored = true
 		r.ErrCode = ErrCodeConfig
@@ -196,8 +207,10 @@ func (m *Machine) startJob() {
 		}
 		return
 	}
-	m.trace("machine", "job-start", "pairs=%d maxReadLen=%d bt=%v in=%#x out=%#x",
-		numPairs, maxReadLen, r.BTEnable, r.InputAddr, r.OutputAddr)
+	if m.tracer != nil {
+		m.trace("machine", "job-start", "pairs=%d maxReadLen=%d bt=%v in=%#x out=%#x", //vet:allow hotalloc traced only when a tracer is attached
+			numPairs, maxReadLen, r.BTEnable, r.InputAddr, r.OutputAddr)
+	}
 
 	m.running = true
 	m.perfJobs++
@@ -214,16 +227,25 @@ func (m *Machine) startJob() {
 	m.Timings = m.Timings[:0]
 
 	m.extractor.Configure(maxReadLen, numPairs, r.BTEnable)
-	m.extractor.onDispatch = func(id uint32, reading int64, unsupported bool, aligner int) {
-		m.trace("extractor", "pair-start", "id=%d reading=%d unsupported=%v -> aligner%d",
+	// Both callbacks are bound once in NewMachine (m.onResult); binding a
+	// closure or method value here would allocate on every job start.
+	m.collector.Configure(numPairs, r.BTEnable, m.onResult)
+}
+
+// onPairDispatch observes each pair handoff for tracing; it is installed on
+// the extractor once, at construction.
+func (m *Machine) onPairDispatch(id uint32, reading int64, unsupported bool, aligner int) {
+	if m.tracer != nil {
+		m.trace("extractor", "pair-start", "id=%d reading=%d unsupported=%v -> aligner%d", //vet:allow hotalloc traced only when a tracer is attached
 			id, reading, unsupported, aligner)
 	}
-	m.collector.Configure(numPairs, r.BTEnable, m.recordResult)
 }
 
 func (m *Machine) recordResult(id uint32, rec ScoreRecord, a *AlignerHW) {
-	m.trace("collector", "pair-done", "id=%d success=%v score=%d align=%d cycles",
-		id, rec.Success, rec.Score, a.finishCycle-a.startCycle)
+	if m.tracer != nil {
+		m.trace("collector", "pair-done", "id=%d success=%v score=%d align=%d cycles", //vet:allow hotalloc traced only when a tracer is attached
+			id, rec.Success, rec.Score, a.finishCycle-a.startCycle)
+	}
 	m.Timings = append(m.Timings, PairTiming{
 		ID:            id,
 		Success:       rec.Success,
@@ -274,8 +296,10 @@ func (m *Machine) Tick() {
 		return
 	}
 	if m.jobDone() {
-		m.trace("machine", "job-done", "cycles=%d transactions=%d",
-			cycle-m.jobStart, m.collector.Transactions)
+		if m.tracer != nil {
+			m.trace("machine", "job-done", "cycles=%d transactions=%d", //vet:allow hotalloc traced only when a tracer is attached
+				cycle-m.jobStart, m.collector.Transactions)
+		}
 		m.running = false
 		m.Regs.idle = true
 		if m.Regs.irqEnable && !m.inj.DropIRQ(cycle) {
@@ -304,8 +328,10 @@ func (m *Machine) requestAbort(code uint32, addr uint64) {
 // idle with the Error status bit set (raising the IRQ if enabled, exactly as
 // a rejected configuration does).
 func (m *Machine) abortJob(cycle int64) {
-	m.trace("machine", "job-abort", "code=%d addr=%#x cycles=%d",
-		m.abortCode, m.abortAddr, cycle-m.jobStart)
+	if m.tracer != nil {
+		m.trace("machine", "job-abort", "code=%d addr=%#x cycles=%d", //vet:allow hotalloc traced only when a tracer is attached
+			m.abortCode, m.abortAddr, cycle-m.jobStart)
+	}
 	m.perfAborts++
 	m.scrub()
 	m.running = false
@@ -343,7 +369,9 @@ func (m *Machine) scrub() {
 // reconfigurable idle. Configuration registers survive, so the driver can
 // re-Start without reprogramming addresses.
 func (m *Machine) softReset() {
-	m.trace("machine", "soft-reset", "running=%v", m.running)
+	if m.tracer != nil {
+		m.trace("machine", "soft-reset", "running=%v", m.running) //vet:allow hotalloc traced only when a tracer is attached
+	}
 	m.perfSoftResets++
 	m.scrub()
 	m.ctl.ResetArbitration()
@@ -365,7 +393,9 @@ func (m *Machine) softReset() {
 // response latched on the read port aborts the job.
 func (m *Machine) dmaRead(cycle int64) {
 	if f, ok := m.rdPort.TakeFault(); ok {
-		m.trace("machine", "axi-error", "rd addr=%#x cycle=%d", f.Addr, cycle)
+		if m.tracer != nil {
+			m.trace("machine", "axi-error", "rd addr=%#x cycle=%d", f.Addr, cycle) //vet:allow hotalloc traced only when a tracer is attached
+		}
 		m.requestAbort(ErrCodeAXIRead, uint64(f.Addr))
 		return
 	}
@@ -404,7 +434,9 @@ func (m *Machine) dmaRead(cycle int64) {
 // here, between the FIFO and the bus.
 func (m *Machine) dmaWrite(cycle int64) {
 	if f, ok := m.wrPort.TakeFault(); ok {
-		m.trace("machine", "axi-error", "wr addr=%#x cycle=%d", f.Addr, cycle)
+		if m.tracer != nil {
+			m.trace("machine", "axi-error", "wr addr=%#x cycle=%d", f.Addr, cycle) //vet:allow hotalloc traced only when a tracer is attached
+		}
 		m.requestAbort(ErrCodeAXIWrite, uint64(f.Addr))
 		return
 	}
@@ -413,7 +445,9 @@ func (m *Machine) dmaWrite(cycle int64) {
 	}
 	if beat, ok := m.outFIFO.Pop(); ok {
 		if m.inj.DropOutputBeat(cycle) {
-			m.trace("machine", "out-drop", "cycle=%d", cycle)
+			if m.tracer != nil {
+				m.trace("machine", "out-drop", "cycle=%d", cycle) //vet:allow hotalloc traced only when a tracer is attached
+			}
 		} else {
 			m.inj.CorruptOutputBeat(cycle, beat[:])
 			m.writeBuf = append(m.writeBuf, beat)

@@ -130,7 +130,7 @@ func (m *Machine) samplePerf(cycle int64) {
 	in, out := m.inFIFO.Occupancy(), m.outFIFO.Occupancy()
 	m.occIn[in]++
 	m.occOut[out]++
-	m.occSamples = append(m.occSamples, OccSample{Cycle: cycle, In: in, Out: out})
+	m.occSamples = append(m.occSamples, OccSample{Cycle: cycle, In: in, Out: out}) //vet:allow hotalloc sample log grows only when EnablePerfSampling is on (off by default)
 }
 
 // OccupancyHistograms returns the sampled FIFO occupancy distributions

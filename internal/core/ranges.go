@@ -43,11 +43,21 @@ type RangeTracker struct {
 // NewRangeTracker starts a tracker for a pair with |a| = n, |b| = m under
 // the given penalties and diagonal clamp (kmax <= 0 means unclamped).
 func NewRangeTracker(p align.Penalties, n, m, kmax int) *RangeTracker {
-	t := &RangeTracker{pen: p, n: n, m: m, kmax: kmax}
+	t := &RangeTracker{}
+	t.Reset(p, n, m, kmax)
+	return t
+}
+
+// Reset re-arms the tracker for a new pair, truncate-resetting the recorded
+// ranges so one tracker's capacity amortizes across a whole job stream.
+func (t *RangeTracker) Reset(p align.Penalties, n, m, kmax int) {
+	t.pen, t.n, t.m, t.kmax = p, n, m, kmax
+	t.mR = t.mR[:0]
+	t.iR = t.iR[:0]
+	t.dR = t.dR[:0]
 	t.mR = append(t.mR, Range{0, 0}) // M~(0,0)
 	t.iR = append(t.iR, emptyRange)
 	t.dR = append(t.dR, emptyRange)
-	return t
 }
 
 // clamp applies the structural diagonal bounds (matrix corners and k_max).

@@ -25,6 +25,12 @@ type Tracer func(TraceEvent)
 // SetTracer installs (or, with nil, removes) the event tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
+// trace emits one event to the attached tracer. Every call site guards with
+// m.tracer != nil first, so the formatting below — and the argument boxing at
+// the call sites — happens only when observability is explicitly enabled,
+// never in the nil-tracer steady state.
+//
+//vet:coldpath
 func (m *Machine) trace(component, event, format string, args ...any) {
 	if m.tracer == nil {
 		return

@@ -29,7 +29,7 @@ type Stats struct {
 // reachable from user input through the driver API — return an error.
 func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, error) {
 	if err := p.Validate(); err != nil {
-		return align.Result{}, Stats{}, fmt.Errorf("heuristic: %w", err)
+		return align.Result{}, Stats{}, fmt.Errorf("heuristic: %w", err) //vet:allow hotalloc error construction on the reject path only
 	}
 	if w < 1 {
 		w = 1
@@ -42,45 +42,35 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, er
 	width := 2*w + 1
 	x, o, e := int32(p.Mismatch), int32(p.GapOpen), int32(p.GapExtend)
 
-	// Banded storage: row i holds columns lo[i] .. lo[i]+width-1.
-	lo := make([]int, n+1)
-	M := make([][]int32, n+1)
-	I := make([][]int32, n+1)
-	D := make([][]int32, n+1)
-	tb := make([][]uint8, n+1) // packed: M origin (2b) | I ext (1b) | D ext (1b)
+	// Banded storage: row i holds columns lo[i] .. lo[i]+width-1, flattened
+	// into one slab per matrix (rather than one make per row, which dominated
+	// the allocation profile). O(n*w) per call is the design point of the
+	// heuristic, so the slab allocations themselves are waived.
+	bd := bandDP{
+		width: width,
+		lo:    make([]int, n+1),           //vet:allow hotalloc banded workspace allocated per call by design
+		M:     make([]int32, (n+1)*width), //vet:allow hotalloc banded workspace allocated per call by design
+		I:     make([]int32, (n+1)*width), //vet:allow hotalloc banded workspace allocated per call by design
+		D:     make([]int32, (n+1)*width), //vet:allow hotalloc banded workspace allocated per call by design
+		tb:    make([]uint8, (n+1)*width), //vet:allow hotalloc banded workspace allocated per call by design
+	}
 	const (
 		mDiag  = 0
 		mFromI = 1
 		mFromD = 2
 	)
 
-	alloc := func(i int) {
-		M[i] = make([]int32, width)
-		I[i] = make([]int32, width)
-		D[i] = make([]int32, width)
-		tb[i] = make([]uint8, width)
-		for j := range M[i] {
-			M[i][j], I[i][j], D[i][j] = inf, inf, inf
-		}
-	}
-	get := func(mat [][]int32, i, j int) int32 {
-		if i < 0 || j < lo[i] || j >= lo[i]+width {
-			return inf
-		}
-		return mat[i][j-lo[i]]
-	}
-
 	var st Stats
 	// Row 0: pure insertions.
-	lo[0] = 0
-	alloc(0)
+	bd.lo[0] = 0
+	bd.initRow(0)
 	for j := 0; j < width && j <= m; j++ {
 		if j == 0 {
-			M[0][0] = 0
+			bd.M[0] = 0
 		} else {
-			I[0][j] = o + int32(j)*e
-			M[0][j] = I[0][j]
-			tb[0][j] = mFromI | 4 // I chain
+			bd.I[j] = o + int32(j)*e
+			bd.M[j] = bd.I[j]
+			bd.tb[j] = mFromI | 4 // I chain
 		}
 	}
 
@@ -97,56 +87,57 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, er
 		if l < 0 {
 			l = 0
 		}
-		lo[i] = l
-		alloc(i)
+		bd.lo[i] = l
+		bd.initRow(i)
 		ai := a[i-1]
 		best := int32(inf)
+		row := i * width
 		for j := l; j < l+width && j <= m; j++ {
 			st.CellsComputed++
-			idx := j - l
+			idx := row + j - l
 			if j == 0 {
-				D[i][idx] = o + int32(i)*e
-				M[i][idx] = D[i][idx]
-				tb[i][idx] = mFromD | 8
-				if M[i][idx] < best {
-					best = M[i][idx]
+				bd.D[idx] = o + int32(i)*e
+				bd.M[idx] = bd.D[idx]
+				bd.tb[idx] = mFromD | 8
+				if bd.M[idx] < best {
+					best = bd.M[idx]
 					bestCol = j
 				}
 				continue
 			}
-			openI := get(M, i, j-1) + o + e
-			extI := get(I, i, j-1) + e
+			openI := bd.get(bd.M, i, j-1) + o + e
+			extI := bd.get(bd.I, i, j-1) + e
 			var iExt uint8
 			if extI < openI {
-				I[i][idx] = extI
+				bd.I[idx] = extI
 				iExt = 4
 			} else {
-				I[i][idx] = openI
+				bd.I[idx] = openI
 			}
-			openD := get(M, i-1, j) + o + e
-			extD := get(D, i-1, j) + e
+			openD := bd.get(bd.M, i-1, j) + o + e
+			extD := bd.get(bd.D, i-1, j) + e
 			var dExt uint8
 			if extD < openD {
-				D[i][idx] = extD
+				bd.D[idx] = extD
 				dExt = 8
 			} else {
-				D[i][idx] = openD
+				bd.D[idx] = openD
 			}
-			sub := get(M, i-1, j-1)
+			sub := bd.get(bd.M, i-1, j-1)
 			if sub < inf {
 				if ai != b[j-1] {
 					sub += x
 				}
 			}
 			v, from := sub, uint8(mDiag)
-			if I[i][idx] < v {
-				v, from = I[i][idx], mFromI
+			if bd.I[idx] < v {
+				v, from = bd.I[idx], mFromI
 			}
-			if D[i][idx] < v {
-				v, from = D[i][idx], mFromD
+			if bd.D[idx] < v {
+				v, from = bd.D[idx], mFromD
 			}
-			M[i][idx] = v
-			tb[i][idx] = from | iExt | dExt
+			bd.M[idx] = v
+			bd.tb[idx] = from | iExt | dExt
 			if v < best {
 				best = v
 				bestCol = j
@@ -154,21 +145,22 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, er
 		}
 	}
 
-	final := get(M, n, m)
+	final := bd.get(bd.M, n, m)
 	if final >= inf {
 		// The band drifted away from the corner: heuristic failure.
 		return align.Result{Success: false}, st, nil
 	}
 
-	// Traceback inside the band.
-	var rev []align.Op
+	// Traceback inside the band. Every op consumes at least one of i and j,
+	// so n+m bounds the path length and the appends below never grow.
+	rev := make([]align.Op, 0, n+m) //vet:allow hotalloc banded workspace allocated per call by design
 	i, j := n, m
 	mat := byte('M')
 	for i > 0 || j > 0 {
-		if j < lo[i] || j >= lo[i]+width {
+		if j < bd.lo[i] || j >= bd.lo[i]+width {
 			return align.Result{Success: false}, st, nil
 		}
-		cell := tb[i][j-lo[i]]
+		cell := bd.tb[i*width+j-bd.lo[i]]
 		switch mat {
 		case 'M':
 			switch cell & 3 {
@@ -205,16 +197,42 @@ func BandedAlign(a, b []byte, p align.Penalties, w int) (align.Result, Stats, er
 			}
 		}
 	}
-	cigar := make(align.CIGAR, len(rev))
+	cigar := make(align.CIGAR, len(rev)) //vet:allow hotalloc result buffer owned by the caller
 	for k, op := range rev {
 		cigar[len(rev)-1-k] = op
 	}
 	return align.Result{Score: int(final), CIGAR: cigar, Success: true}, st, nil
 }
 
+// bandDP is the banded DP workspace: one flat row-major slab per matrix,
+// with per-row column windows lo[i] .. lo[i]+width-1. The traceback slab
+// packs M origin (2b) | I ext (1b) | D ext (1b).
+type bandDP struct {
+	width   int
+	lo      []int
+	M, I, D []int32
+	tb      []uint8
+}
+
+// initRow marks every cell of row i unreachable.
+func (bd *bandDP) initRow(i int) {
+	row := i * bd.width
+	for j := row; j < row+bd.width; j++ {
+		bd.M[j], bd.I[j], bd.D[j] = inf, inf, inf
+	}
+}
+
+// get reads matrix cell (i, j) with out-of-band reads yielding inf.
+func (bd *bandDP) get(mat []int32, i, j int) int32 {
+	if i < 0 || j < bd.lo[i] || j >= bd.lo[i]+bd.width {
+		return inf
+	}
+	return mat[i*bd.width+j-bd.lo[i]]
+}
+
 // degenerate handles empty-sequence alignments exactly.
 func degenerate(a, b []byte, p align.Penalties) (align.Result, Stats) {
-	var cigar align.CIGAR
+	cigar := make(align.CIGAR, 0, len(a)+len(b)) //vet:allow hotalloc result buffer owned by the caller
 	for range a {
 		cigar = append(cigar, align.OpDelete)
 	}

@@ -75,6 +75,10 @@ func Failf(module, format string, args ...any) {
 	fail(module, format, args...)
 }
 
+// fail executes at most once per process — it always panics — so its
+// formatting allocations never touch the steady state.
+//
+//vet:coldpath
 func fail(module, format string, args ...any) {
 	panic(Violation{
 		Module:  module,

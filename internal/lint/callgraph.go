@@ -91,6 +91,9 @@ type Effects struct {
 	MapRangeMuts []token.Pos
 	External     []ExternalCall
 	FieldWrites  []FieldWrite
+	// Allocs are the function's potential heap-allocation sites, classified
+	// by allocsites.go for the hotalloc analyzer.
+	Allocs []AllocSite
 	// Unresolved counts call sites that produced no edge because type
 	// information was missing; an honesty figure for the dump.
 	Unresolved int
@@ -138,6 +141,10 @@ type CallGraph struct {
 	// state (sentinel errors, lookup tables) and stay legal.
 	mutatedGlobals map[*types.Var]bool
 	modulePaths    map[string]bool
+	// truncResetFields holds every struct field some function re-slices onto
+	// itself (f = f[:0]) — sanctioned reusable scratch, exempt from hotalloc's
+	// append-grow findings (allocsites.go).
+	truncResetFields map[*types.Var]bool
 }
 
 // SortedNodes returns the nodes in ID order.
@@ -165,11 +172,12 @@ func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
 // source text and the (sorted) package order.
 func BuildCallGraph(pkgs []*Package) *CallGraph {
 	g := &CallGraph{
-		Nodes:          map[string]*FuncNode{},
-		byFunc:         map[*types.Func]*FuncNode{},
-		pkgs:           pkgs,
-		mutatedGlobals: map[*types.Var]bool{},
-		modulePaths:    map[string]bool{},
+		Nodes:            map[string]*FuncNode{},
+		byFunc:           map[*types.Func]*FuncNode{},
+		pkgs:             pkgs,
+		mutatedGlobals:   map[*types.Var]bool{},
+		modulePaths:      map[string]bool{},
+		truncResetFields: map[*types.Var]bool{},
 	}
 	for _, p := range pkgs {
 		g.modulePaths[p.ImportPath] = true
@@ -474,12 +482,16 @@ type cgWalker struct {
 	file     *ast.File
 	callFuns map[ast.Expr]bool // expressions in call position (no ref edge)
 	writeIDs map[*ast.Ident]bool
+	// prealloc holds locals bound to capacity-bearing expressions (3-arg
+	// make, slice expressions); appends into them are not growth sites.
+	prealloc map[types.Object]bool
 }
 
 func (w *cgWalker) walkBody(n *FuncNode, body ast.Node) {
 	if w.writeIDs == nil {
 		w.writeIDs = map[*ast.Ident]bool{}
 	}
+	w.preallocScan(body)
 	ast.Inspect(body, func(nd ast.Node) bool {
 		switch x := nd.(type) {
 		case *ast.FuncLit:
@@ -487,6 +499,7 @@ func (w *cgWalker) walkBody(n *FuncNode, body ast.Node) {
 			if ln == nil {
 				return false
 			}
+			w.addAlloc(n, AllocClosure, "func literal", x.Pos())
 			w.b.addEdge(n, ln, EdgeClosure, x.Pos())
 			if t, ok := w.p.Info.Types[x]; ok {
 				w.b.registerEscapee(sigString(t.Type), ln)
@@ -518,11 +531,24 @@ func (w *cgWalker) walkBody(n *FuncNode, body ast.Node) {
 			}
 		case *ast.IncDecStmt:
 			w.incDec(n, x)
+		case *ast.CompositeLit:
+			w.allocCompositeLit(n, x)
 		case *ast.UnaryExpr:
 			if x.Op == token.AND {
 				if id, v := w.globalTarget(x.X); v != nil {
 					w.writeIDs[id] = true
 					n.Effects.GlobalWrites = append(n.Effects.GlobalWrites, GlobalUse{Var: v, Pos: id.Pos()})
+				}
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					w.allocAddrLit(n, cl)
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method value (x.M outside call position) allocates a bound
+			// closure; calls were registered in callFuns before descent.
+			if !w.callFuns[ast.Expr(x)] {
+				if sel, ok := w.p.Info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+					w.addAlloc(n, AllocClosure, "method value "+exprString(x), x.Pos())
 				}
 			}
 		case *ast.Ident:
@@ -542,8 +568,9 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 	case *ast.Ident:
 		switch obj := w.p.Info.Uses[f].(type) {
 		case *types.Func:
-			w.staticEdge(n, obj, call.Pos())
+			w.staticEdge(n, obj, call)
 		case *types.Builtin:
+			w.allocBuiltin(n, call, obj.Name())
 			// delete(m, k) and copy(dst, src) mutate their first argument.
 			if (obj.Name() == "delete" || obj.Name() == "copy") && len(call.Args) > 0 {
 				if id, v := w.globalTarget(call.Args[0]); v != nil {
@@ -553,6 +580,7 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 			}
 		case *types.TypeName:
 			// conversion, not a call
+			w.allocConversion(n, call)
 		case *types.Var:
 			w.b.pending = append(w.b.pending, pendingCall{from: n, pos: call.Pos(), sig: sigString(obj.Type())})
 		default:
@@ -573,9 +601,10 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 					for _, t := range w.b.chaTargets(iface, fn.Name()) {
 						w.b.addEdge(n, t, EdgeIface, call.Pos())
 					}
+					w.allocBoxing(n, call, fn)
 					return
 				}
-				w.staticEdge(n, fn, call.Pos())
+				w.staticEdge(n, fn, call)
 				w.globalRecvWrite(n, f, fn)
 			case types.FieldVal:
 				fv, _ := sel.Obj().(*types.Var)
@@ -590,9 +619,14 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 			return
 		}
 		// No selection: a package-qualified call (pkg.F), a promoted
-		// method through type info, or unresolvable.
+		// method through type info, a conversion (pkg.T(x)), or
+		// unresolvable.
 		if fn, ok := w.p.Info.Uses[f.Sel].(*types.Func); ok {
-			w.staticEdge(n, fn, call.Pos())
+			w.staticEdge(n, fn, call)
+			return
+		}
+		if _, ok := w.p.Info.Uses[f.Sel].(*types.TypeName); ok {
+			w.allocConversion(n, call)
 			return
 		}
 		if v, ok := w.p.Info.Uses[f.Sel].(*types.Var); ok {
@@ -603,14 +637,20 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 		if base, ok := f.X.(*ast.Ident); ok {
 			if path := w.p.pkgPathOf(w.file, base); path != "" && !w.b.g.modulePaths[path] {
 				n.Effects.External = append(n.Effects.External, ExternalCall{Path: path, Name: f.Sel.Name, Pos: call.Pos()})
+				w.allocExternal(n, path, f.Sel.Name, call.Pos())
 				return
 			}
 		}
 		n.Effects.Unresolved++
 	default:
-		// call of a call's result, index expression, etc.: a function value
-		// with only its type known.
+		// call of a call's result, index expression, etc.: a conversion via
+		// a type expression ([]byte(s)) or a function value with only its
+		// type known.
 		if tv, ok := w.p.Info.Types[fun]; ok {
+			if tv.IsType() {
+				w.allocConversion(n, call)
+				return
+			}
 			w.b.pending = append(w.b.pending, pendingCall{from: n, pos: call.Pos(), sig: sigString(tv.Type)})
 		} else {
 			n.Effects.Unresolved++
@@ -619,10 +659,13 @@ func (w *cgWalker) call(n *FuncNode, call *ast.CallExpr) {
 }
 
 // staticEdge adds an edge to a known function object; calls into packages
-// outside the module are recorded as external.
-func (w *cgWalker) staticEdge(n *FuncNode, fn *types.Func, pos token.Pos) {
+// outside the module are recorded as external. Module-internal targets with
+// a trusted signature additionally get their arguments checked for interface
+// boxing (allocsites.go).
+func (w *cgWalker) staticEdge(n *FuncNode, fn *types.Func, call *ast.CallExpr) {
 	if t := w.b.g.NodeOf(fn); t != nil {
-		w.b.addEdge(n, t, EdgeStatic, pos)
+		w.b.addEdge(n, t, EdgeStatic, call.Pos())
+		w.allocBoxing(n, call, fn)
 		return
 	}
 	path := ""
@@ -630,7 +673,8 @@ func (w *cgWalker) staticEdge(n *FuncNode, fn *types.Func, pos token.Pos) {
 		path = fn.Pkg().Path()
 	}
 	if path != "" && !w.b.g.modulePaths[path] {
-		n.Effects.External = append(n.Effects.External, ExternalCall{Path: path, Name: fn.Name(), Pos: pos})
+		n.Effects.External = append(n.Effects.External, ExternalCall{Path: path, Name: fn.Name(), Pos: call.Pos()})
+		w.allocExternal(n, path, fn.Name(), call.Pos())
 		return
 	}
 	n.Effects.Unresolved++
@@ -658,6 +702,7 @@ func (w *cgWalker) assign(n *FuncNode, as *ast.AssignStmt) {
 	op := as.Tok.String()
 	compound := as.Tok != token.ASSIGN && as.Tok != token.DEFINE
 	for i, lhs := range as.Lhs {
+		w.allocMapWrite(n, lhs)
 		if id, v := w.globalTarget(lhs); v != nil {
 			w.writeIDs[id] = true
 			n.Effects.GlobalWrites = append(n.Effects.GlobalWrites, GlobalUse{Var: v, Pos: id.Pos()})
@@ -676,6 +721,7 @@ func (w *cgWalker) assign(n *FuncNode, as *ast.AssignStmt) {
 			// Function stored into a function-typed field.
 			if !compound && i < len(as.Rhs) {
 				w.recordFieldStore(fv.Origin(), as.Rhs[i])
+				w.recordTruncReset(fv.Origin(), as.Rhs[i])
 			}
 		}
 	}

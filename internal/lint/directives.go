@@ -1,0 +1,69 @@
+package lint
+
+// Shared parsing for the suite's //vet:<name> directive comments. Before this
+// helper existed every consumer re-implemented the string surgery (the
+// //vet:allow parser in CheckModule, the //vet:resetpath scan in perfmono),
+// and the implementations had quietly diverged on whitespace handling. All
+// directive recognition now goes through ParseDirective so a new directive
+// (//vet:coldpath for the hotalloc analyzer) is one switch case, not a fourth
+// parser.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive is one parsed //vet:<name> comment.
+type Directive struct {
+	// Name is the directive keyword: "allow", "resetpath", "coldpath".
+	Name string
+	// Args are the whitespace-separated tokens after the keyword. For
+	// //vet:allow the first arg names the analyzer and the rest is the
+	// free-form reason.
+	Args []string
+}
+
+// ParseDirective parses one comment's text. It accepts only the exact
+// marker prefix "//vet:" (no space between // and vet, matching the
+// convention of go:build and go:generate); anything else returns ok=false.
+// A directive with no keyword ("//vet:") is not a directive.
+func ParseDirective(text string) (Directive, bool) {
+	rest, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return Directive{}, false
+	}
+	rest, ok = strings.CutPrefix(strings.TrimSpace(rest), "vet:")
+	if !ok {
+		return Directive{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:]}, true
+}
+
+// AllowTarget returns the analyzer name an //vet:allow directive suppresses,
+// or ok=false when d is not a well-formed allow ("//vet:allow" with no
+// analyzer masks nothing).
+func (d Directive) AllowTarget() (string, bool) {
+	if d.Name != "allow" || len(d.Args) == 0 {
+		return "", false
+	}
+	return d.Args[0], true
+}
+
+// HasDirective reports whether a doc comment group carries //vet:<name>.
+// Used for the function-level markers: //vet:resetpath (perfmono) and
+// //vet:coldpath (hotalloc).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := ParseDirective(c.Text); ok && d.Name == name {
+			return true
+		}
+	}
+	return false
+}

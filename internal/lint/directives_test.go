@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		name string
+		args []string
+	}{
+		{"//vet:allow determinism", true, "allow", []string{"determinism"}},
+		{"//vet:allow determinism seeded PRNG, see DESIGN.md", true, "allow",
+			[]string{"determinism", "seeded", "PRNG,", "see", "DESIGN.md"}},
+		{"// vet:allow hotalloc reason", true, "allow", []string{"hotalloc", "reason"}},
+		{"//vet:resetpath", true, "resetpath", nil},
+		{"//vet:coldpath", true, "coldpath", nil},
+		{"//vet:", false, "", nil},
+		{"//vet: ", false, "", nil},
+		{"// a comment mentioning //vet:allow mid-sentence", false, "", nil},
+		{"// plain comment", false, "", nil},
+		{"//novet:allow x", false, "", nil},
+		{"/*vet:allow x*/", false, "", nil},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != c.name {
+			t.Errorf("ParseDirective(%q) name = %q, want %q", c.text, d.Name, c.name)
+		}
+		if len(d.Args) != len(c.args) {
+			t.Errorf("ParseDirective(%q) args = %v, want %v", c.text, d.Args, c.args)
+			continue
+		}
+		for i := range d.Args {
+			if d.Args[i] != c.args[i] {
+				t.Errorf("ParseDirective(%q) args[%d] = %q, want %q", c.text, i, d.Args[i], c.args[i])
+			}
+		}
+	}
+}
+
+func TestAllowTarget(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		target string
+	}{
+		{"//vet:allow determinism", true, "determinism"},
+		{"//vet:allow * blanket waiver", true, "*"},
+		{"//vet:allow", false, ""},
+		{"//vet:resetpath", false, ""},
+		// The keyword is a whole field: "allowdeterminism" is not an allow.
+		{"//vet:allowdeterminism", false, ""},
+	}
+	for _, c := range cases {
+		d, dok := ParseDirective(c.text)
+		var target string
+		ok := false
+		if dok {
+			target, ok = d.AllowTarget()
+		}
+		if ok != c.ok || target != c.target {
+			t.Errorf("AllowTarget(%q) = %q, %v; want %q, %v", c.text, target, ok, c.target, c.ok)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// Reset clears counters for the soft-reset contract.
+//
+//vet:resetpath
+func Reset() {}
+
+// Cold rebuilds tables at configure time.
+//
+//vet:coldpath rebuilt once per job
+func Cold() {}
+
+// Plain has no directive; //vet:resetpath in prose does not count
+// because ParseDirective requires the comment to start with the marker.
+func Plain() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		switch fd.Name.Name {
+		case "Reset":
+			got["reset"] = HasDirective(fd.Doc, "resetpath")
+		case "Cold":
+			got["cold"] = HasDirective(fd.Doc, "coldpath")
+			got["cold-wrong"] = HasDirective(fd.Doc, "resetpath")
+		case "Plain":
+			got["plain"] = HasDirective(fd.Doc, "resetpath")
+		}
+	}
+	if !got["reset"] {
+		t.Error("Reset: //vet:resetpath not detected")
+	}
+	if !got["cold"] {
+		t.Error("Cold: //vet:coldpath not detected")
+	}
+	if got["cold-wrong"] {
+		t.Error("Cold: resetpath falsely detected")
+	}
+	if got["plain"] {
+		t.Error("Plain: directive mentioned mid-prose falsely detected")
+	}
+	if HasDirective(nil, "resetpath") {
+		t.Error("HasDirective(nil) = true")
+	}
+}

@@ -24,6 +24,15 @@ type Reachability struct {
 // deterministic) edge order of each node, and the frontier is processed in
 // insertion order, so predecessor assignment is stable across runs.
 func Reach(roots []*FuncNode) *Reachability {
+	return ReachWhere(roots, nil)
+}
+
+// ReachWhere is Reach with a node filter: when follow is non-nil, the BFS
+// never enters a node for which follow returns false — the node is excluded
+// from the reach set and nothing below it is explored (unless reachable some
+// other way). Roots are always included. The hotalloc analyzer uses this to
+// stop the hot set at cold construction/reset paths.
+func ReachWhere(roots []*FuncNode, follow func(*FuncNode) bool) *Reachability {
 	r := &Reachability{pred: map[*FuncNode]*FuncNode{}}
 	var frontier []*FuncNode
 	for _, n := range roots {
@@ -42,6 +51,9 @@ func Reach(roots []*FuncNode) *Reachability {
 		frontier = frontier[1:]
 		for _, e := range n.Calls {
 			if _, seen := r.pred[e.Callee]; seen {
+				continue
+			}
+			if follow != nil && !follow(e.Callee) {
 				continue
 			}
 			r.pred[e.Callee] = n
@@ -151,6 +163,89 @@ func (g *CallGraph) DumpJSON(root string) ([]byte, error) {
 			dn.GlobalWrites = append(dn.GlobalWrites, GlobalName(gu.Var))
 		}
 		dn.GlobalWrites = sortedSet(dn.GlobalWrites)
+		d.Nodes = append(d.Nodes, dn)
+	}
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// --- allocation dump -------------------------------------------------------
+
+// allocsDumpSchema versions the -dump-allocs artifact, separate from the
+// call-graph dump so either can evolve without breaking the other's CI diff.
+const allocsDumpSchema = "wfasic-allocs-v1"
+
+type allocSiteJSON struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Line   int    `json:"line"`
+	// Exempt marks sites the hotalloc analyzer does not report even when
+	// hot: growing appends into module-wide truncate-reset scratch fields.
+	Exempt bool `json:"exempt,omitempty"`
+}
+
+type allocNodeJSON struct {
+	ID      string          `json:"id"`
+	File    string          `json:"file"`
+	Line    int             `json:"line"`
+	Hot     bool            `json:"hot,omitempty"`
+	Witness string          `json:"witness,omitempty"`
+	Allocs  []allocSiteJSON `json:"allocs"`
+}
+
+type allocsDumpFile struct {
+	Schema string          `json:"schema"`
+	Roots  []string        `json:"roots"`
+	Nodes  []allocNodeJSON `json:"nodes"`
+}
+
+// DumpAllocsJSON renders every function with at least one classified
+// allocation site, plus the hot-set verdict (hot flag + witness chain) the
+// hotalloc analyzer derived for it. Node order is ID order, site order is
+// (line, kind, detail); paths are root-relative — byte-stable given
+// identical sources, the same contract as DumpJSON.
+func DumpAllocsJSON(g *CallGraph, root string) ([]byte, error) {
+	reach := hotSet(g)
+	d := allocsDumpFile{Schema: allocsDumpSchema}
+	for _, r := range reach.Roots {
+		d.Roots = append(d.Roots, r.ID)
+	}
+	d.Roots = sortedSet(d.Roots)
+	for _, n := range g.SortedNodes() {
+		if len(n.Effects.Allocs) == 0 {
+			continue
+		}
+		pos := n.Pkg.Fset.Position(n.Pos)
+		dn := allocNodeJSON{
+			ID:   n.ID,
+			File: relPath(root, pos.Filename),
+			Line: pos.Line,
+			Hot:  reach.Contains(n),
+		}
+		if dn.Hot {
+			dn.Witness = reach.Witness(n)
+		}
+		for _, a := range n.Effects.Allocs {
+			dn.Allocs = append(dn.Allocs, allocSiteJSON{
+				Kind:   a.Kind,
+				Detail: a.Detail,
+				Line:   n.Pkg.Fset.Position(a.Pos).Line,
+				Exempt: a.Kind == AllocAppendGrow && a.Field != nil && g.TruncReset(a.Field),
+			})
+		}
+		sort.Slice(dn.Allocs, func(i, j int) bool {
+			a, b := dn.Allocs[i], dn.Allocs[j]
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			return a.Detail < b.Detail
+		})
 		d.Nodes = append(d.Nodes, dn)
 	}
 	out, err := json.MarshalIndent(d, "", "  ")

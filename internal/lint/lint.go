@@ -30,6 +30,11 @@
 //   - perfmono: writes to perf-registered counter fields reachable from the
 //     simulator are monotone (+=/++ with non-negative operands) outside the
 //     annotated reset paths.
+//   - hotalloc: no allocation constructs (make/new, composite literals,
+//     growing appends, interface boxing, closures, string<->[]byte
+//     conversions, map writes, fmt calls) reachable from the steady-state
+//     roots outside init/New*/Reset*///vet:coldpath cold paths
+//     (allocsites.go, hotalloc.go).
 //   - suppress: every //vet:allow comment must still mask a finding; stale
 //     suppressions fail the build.
 //
@@ -45,7 +50,6 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one analyzer finding.
@@ -83,6 +87,7 @@ func All() []*Analyzer {
 		Isolation(),
 		DeepDeterminism(),
 		PerfMono(),
+		Hotalloc(),
 		Suppress(),
 	}
 }
@@ -240,17 +245,16 @@ func collectAllows(pkgs []*Package) *allowIndex {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-					rest, ok := strings.CutPrefix(text, "vet:allow")
+					d, ok := ParseDirective(c.Text)
 					if !ok {
 						continue
 					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
+					name, ok := d.AllowTarget()
+					if !ok {
 						continue
 					}
 					pos := p.Fset.Position(c.Pos())
-					ac := &allowComment{file: pos.Filename, line: pos.Line, col: pos.Column, name: fields[0]}
+					ac := &allowComment{file: pos.Filename, line: pos.Line, col: pos.Column, name: name}
 					ai.comments = append(ai.comments, ac)
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						key := allowKey(pos.Filename, line)

@@ -21,11 +21,11 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
-	"strings"
 )
 
-// resetPathDirective marks a function as a sanctioned counter-reset path.
-const resetPathDirective = "vet:resetpath"
+// resetPathDirective marks a function as a sanctioned counter-reset path
+// (the //vet:resetpath doc directive, parsed by directives.go).
+const resetPathDirective = "resetpath"
 
 // PerfMono returns the counter-monotonicity analyzer.
 func PerfMono() *Analyzer {
@@ -123,14 +123,7 @@ func isResetPath(n *FuncNode) bool {
 	if rd.Name.Name == "Reset" || rd.Name.Name == "Clear" {
 		return true
 	}
-	if rd.Doc != nil {
-		for _, c := range rd.Doc.List {
-			if strings.Contains(c.Text, resetPathDirective) {
-				return true
-			}
-		}
-	}
-	return false
+	return HasDirective(rd.Doc, resetPathDirective)
 }
 
 func runPerfMono(g *CallGraph, pkgs []*Package) []Diagnostic {

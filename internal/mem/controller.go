@@ -121,8 +121,11 @@ func (p *Port) RequestRead(addr int64, beats int) {
 	if beats <= 0 {
 		return
 	}
-	invariant.Checkf(!p.writeBusy(), "mem",
-		"port %q: read issued at cycle %d while a write is in flight", p.name, p.ctl.cycle)
+	if p.writeBusy() {
+		// Guarded Failf keeps the ...any argument slice off the happy path.
+		invariant.Failf("mem",
+			"port %q: read issued at cycle %d while a write is in flight", p.name, p.ctl.cycle)
+	}
 	p.pending = append(p.pending, request{addr: addr, beats: beats})
 }
 
@@ -135,8 +138,10 @@ func (p *Port) RequestWrite(addr int64, beats int) {
 	if beats <= 0 {
 		return
 	}
-	invariant.Checkf(!p.readBusy(), "mem",
-		"port %q: write issued at cycle %d while a read is in flight", p.name, p.ctl.cycle)
+	if p.readBusy() {
+		invariant.Failf("mem",
+			"port %q: write issued at cycle %d while a read is in flight", p.name, p.ctl.cycle)
+	}
 	p.pending = append(p.pending, request{addr: addr, beats: beats, write: true})
 }
 

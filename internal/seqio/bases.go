@@ -53,7 +53,7 @@ func Code2Bit(b byte) (uint8, error) {
 	case 'T', 't':
 		return 3, nil
 	}
-	return 0, fmt.Errorf("%w: %q", ErrUnsupportedBase, b)
+	return 0, fmt.Errorf("%w: %q", ErrUnsupportedBase, b) //vet:allow hotalloc error construction on the reject path only
 }
 
 // Base2Bit returns the base byte for a 2-bit code (only the low two bits are
@@ -67,7 +67,7 @@ func Base2Bit(code uint8) byte {
 func ValidateSequence(s []byte) error {
 	for i, b := range s {
 		if _, err := Code2Bit(b); err != nil {
-			return fmt.Errorf("seqio: position %d: %w", i, err)
+			return fmt.Errorf("seqio: position %d: %w", i, err) //vet:allow hotalloc error construction on the reject path only
 		}
 	}
 	return nil
@@ -78,7 +78,7 @@ func ValidateSequence(s []byte) error {
 // code 0.
 func PackWord(bases []byte) (uint32, error) {
 	if len(bases) > BasesPerWord {
-		return 0, fmt.Errorf("seqio: PackWord got %d bases, max %d", len(bases), BasesPerWord)
+		return 0, fmt.Errorf("seqio: PackWord got %d bases, max %d", len(bases), BasesPerWord) //vet:allow hotalloc error construction on the reject path only
 	}
 	var w uint32
 	for i, b := range bases {
@@ -107,6 +107,13 @@ func UnpackWord(w uint32, n int) []byte {
 // word, with the final word zero-padded.
 func PackSequence(s []byte) ([]uint32, error) {
 	words := make([]uint32, 0, (len(s)+BasesPerWord-1)/BasesPerWord)
+	return PackSequenceInto(words, s)
+}
+
+// PackSequenceInto is PackSequence appending into a caller-provided buffer
+// (typically buf[:0] of a retained slice), so the steady-state load path can
+// reuse one allocation across pairs.
+func PackSequenceInto(words []uint32, s []byte) ([]uint32, error) {
 	for i := 0; i < len(s); i += BasesPerWord {
 		end := i + BasesPerWord
 		if end > len(s) {
@@ -114,9 +121,9 @@ func PackSequence(s []byte) ([]uint32, error) {
 		}
 		w, err := PackWord(s[i:end])
 		if err != nil {
-			return nil, fmt.Errorf("seqio: word %d: %w", len(words), err)
+			return nil, fmt.Errorf("seqio: word %d: %w", len(words), err) //vet:allow hotalloc error construction on the reject path only
 		}
-		words = append(words, w)
+		words = append(words, w) //vet:allow hotalloc appends into the caller's buffer, amortized across pairs
 	}
 	return words, nil
 }

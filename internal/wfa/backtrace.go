@@ -15,7 +15,10 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 	oe := al.pen.GapOpen + al.pen.GapExtend
 	e := al.pen.GapExtend
 
-	var rev []align.Op
+	// The reversed-op scratch is owned by the Aligner and truncate-reset per
+	// pair, so backtrace allocates only while the deepest alignment seen so
+	// far is still growing the backing array.
+	rev := al.btScratch[:0]
 	s := finalScore
 	k := al.alignK
 	comp := CompM
@@ -55,6 +58,7 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 				if s != 0 || k != 0 || cur != 0 {
 					invariant.Failf("wfa", "backtrace ended at (s=%d,k=%d,off=%d)", s, k, cur)
 				}
+				al.btScratch = rev
 				return reverseOps(rev)
 			case MTagSub:
 				rev = append(rev, align.OpMismatch)
@@ -121,8 +125,10 @@ func (al *Aligner) backtrace(finalScore int) align.CIGAR {
 }
 
 // reverseOps reverses the accumulated backtrace into forward CIGAR order.
+// The result escapes to the caller as part of align.Result, so it cannot be
+// pooled.
 func reverseOps(rev []align.Op) align.CIGAR {
-	out := make(align.CIGAR, len(rev))
+	out := make(align.CIGAR, len(rev)) //vet:allow hotalloc result buffer owned by the caller
 	for i, op := range rev {
 		out[len(rev)-1-i] = op
 	}

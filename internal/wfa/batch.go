@@ -24,7 +24,7 @@ type BatchResult struct {
 // GOMAXPROCS. The penalties are validated once before the fan-out.
 func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int) ([]BatchResult, error) {
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("wfa: %w", err)
+		return nil, fmt.Errorf("wfa: %w", err) //vet:allow hotalloc error construction on the reject path only
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,7 +32,7 @@ func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
-	out := make([]BatchResult, len(pairs))
+	out := make([]BatchResult, len(pairs)) //vet:allow hotalloc result buffer owned by the caller
 	if len(pairs) == 0 {
 		return out, nil
 	}
@@ -41,7 +41,7 @@ func AlignBatch(pairs []seqio.Pair, p align.Penalties, opts Options, workers int
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //vet:allow hotalloc one worker closure per batch, amortized across its share of pairs
 			defer wg.Done()
 			al := newAligner(p, opts)
 			for {

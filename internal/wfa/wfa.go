@@ -40,11 +40,21 @@ type Stats struct {
 }
 
 // Aligner runs the WFA. It is reusable across calls; it is not safe for
-// concurrent use.
+// concurrent use. Reuse is the point: the stores, the wavefront free list
+// and the backtrace scratch all persist across Run calls, so the steady
+// state of AlignBatch (one Aligner per worker, thousands of pairs each)
+// allocates only when a pair needs more capacity than any pair before it.
 type Aligner struct {
 	pen   align.Penalties
 	opts  Options
 	store wfStore
+
+	// Reused machinery (pool.go): stores are rebuilt in place per Run, dead
+	// wavefronts recycle through pool, backtrace ops accumulate in btScratch.
+	full      *fullStore
+	ring      *ringStore
+	pool      Pool
+	btScratch []align.Op
 
 	a, b   []byte
 	n, m   int
@@ -112,13 +122,25 @@ func (al *Aligner) Run(a, b []byte) align.Result {
 		window = al.pen.Mismatch
 	}
 	if al.opts.WithCIGAR {
-		al.store = newFullStore(maxScore)
+		if al.full == nil {
+			al.full = newFullStore(maxScore)
+			al.full.pool = &al.pool
+		} else {
+			al.full.reset(maxScore)
+		}
+		al.store = al.full
 	} else {
-		al.store = newRingStore(window + 1)
+		if al.ring == nil || al.ring.window != window+1 {
+			al.ring = newRingStore(window + 1)
+			al.ring.pool = &al.pool
+		} else {
+			al.ring.reset()
+		}
+		al.store = al.ring
 	}
 
 	// Initial condition M~(0,0) = 0, then extend (Section 2.3).
-	m0 := NewWavefront(0, 0)
+	m0 := al.newWF(0, 0)
 	m0.Set(0, 0, MTagNone)
 	al.extend(m0)
 	al.store.put(CompM, 0, m0)
@@ -228,7 +250,7 @@ func (al *Aligner) computeScore(s int) *Wavefront {
 		lo, hi := rangeUnion(srcMoe, srcIe)
 		lo, hi = al.clampRange(lo+1, hi+1)
 		if lo <= hi {
-			iwf = NewWavefront(lo, hi)
+			iwf = al.newWF(lo, hi)
 			for k := lo; k <= hi; k++ {
 				open := srcMoe.At(k - 1)
 				ext := srcIe.At(k - 1)
@@ -256,7 +278,7 @@ func (al *Aligner) computeScore(s int) *Wavefront {
 		lo, hi := rangeUnion(srcMoe, srcDe)
 		lo, hi = al.clampRange(lo-1, hi-1)
 		if lo <= hi {
-			dwf = NewWavefront(lo, hi)
+			dwf = al.newWF(lo, hi)
 			for k := lo; k <= hi; k++ {
 				open := srcMoe.At(k + 1)
 				ext := srcDe.At(k + 1)
@@ -276,12 +298,16 @@ func (al *Aligner) computeScore(s int) *Wavefront {
 	}
 	al.store.put(CompD, s, dwf)
 
-	// M~(s) = max(M~(s-x)+1, I~(s), D~(s)).
+	// M~(s) = max(M~(s-x)+1, I~(s), D~(s)). An empty clamped range returns
+	// nil without touching the pool — acquiring a zero-width wavefront here
+	// would leak it (the caller stores nil for empty scores), and empty
+	// scores are common under gap-affine penalties.
 	lo, hi := rangeUnion3(srcMx, iwf, dwf)
-	mwf := NewWavefront(al.clampRange(lo, hi))
-	if mwf.Len() == 0 {
-		return mwf
+	lo, hi = al.clampRange(lo, hi)
+	if lo > hi {
+		return nil
 	}
+	mwf := al.newWF(lo, hi)
 	for k := mwf.Lo; k <= mwf.Hi; k++ {
 		al.Stats.CellsComputed++
 		var sub int32 = Invalid
@@ -347,6 +373,12 @@ func (al *Aligner) extend(mwf *Wavefront) {
 	}
 }
 
+// newWF returns an all-invalid wavefront spanning [lo, hi], recycling pooled
+// storage when available (pool.go).
+func (al *Aligner) newWF(lo, hi int) *Wavefront {
+	return al.pool.Acquire(lo, hi)
+}
+
 // getWF fetches a dependency wavefront; negative scores are nil.
 func (al *Aligner) getWF(c Component, s int) *Wavefront {
 	if s < 0 {
@@ -402,7 +434,8 @@ type wfStore interface {
 }
 
 type fullStore struct {
-	wfs [numComponents][]*Wavefront
+	wfs  [numComponents][]*Wavefront
+	pool *Pool
 }
 
 func newFullStore(maxScore int) *fullStore {
@@ -411,6 +444,36 @@ func newFullStore(maxScore int) *fullStore {
 		st.wfs[c] = make([]*Wavefront, maxScore+1)
 	}
 	return st
+}
+
+// reset recycles every retained wavefront into the pool and re-sizes the
+// score axis for the next run, reusing the slot arrays' capacity.
+// Wavefronts are released score-descending so the LIFO pool pops them
+// narrowest-first — the order the next run requests widths in — keeping
+// each recycled backing array capacity-matched to the request it serves.
+func (st *fullStore) reset(maxScore int) {
+	n := 0
+	for c := range st.wfs {
+		if len(st.wfs[c]) > n {
+			n = len(st.wfs[c])
+		}
+	}
+	for s := n - 1; s >= 0; s-- {
+		for c := range st.wfs {
+			if s >= len(st.wfs[c]) {
+				continue
+			}
+			st.pool.Release(st.wfs[c][s])
+			st.wfs[c][s] = nil
+		}
+	}
+	for c := range st.wfs {
+		if cap(st.wfs[c]) >= maxScore+1 {
+			st.wfs[c] = st.wfs[c][:maxScore+1]
+		} else {
+			st.wfs[c] = make([]*Wavefront, maxScore+1)
+		}
+	}
 }
 
 func (st *fullStore) get(c Component, s int) *Wavefront {
@@ -433,6 +496,20 @@ type ringStore struct {
 	window int
 	score  []int
 	wfs    [numComponents][]*Wavefront
+	pool   *Pool
+}
+
+// reset empties the ring for the next run, recycling retained wavefronts.
+func (st *ringStore) reset() {
+	for i := range st.score {
+		st.score[i] = -1
+	}
+	for c := range st.wfs {
+		for i, w := range st.wfs[c] {
+			st.pool.Release(w)
+			st.wfs[c][i] = nil
+		}
+	}
 }
 
 func newRingStore(window int) *ringStore {
@@ -461,7 +538,10 @@ func (st *ringStore) put(c Component, s int, w *Wavefront) {
 	slot := s % st.window
 	if st.score[slot] != s {
 		st.score[slot] = s
+		// The evicted score is window scores behind every dependency window,
+		// so its wavefronts are dead: recycle them.
 		for comp := range st.wfs {
+			st.pool.Release(st.wfs[comp][slot])
 			st.wfs[comp][slot] = nil
 		}
 	}

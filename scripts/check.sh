@@ -6,12 +6,13 @@
 #   2. go vet       the stock toolchain analyzers
 #   3. wfasic-vet   the project-specific analyzers (determinism, panicpolicy,
 #                   magicoffset, errpath, tickphase, regmap, doccomment,
-#                   isolation, deepdeterminism, perfmono, suppress — see
-#                   internal/lint), ratcheted against vet-baseline.json: new
-#                   findings and stale baseline entries fail
-#   4. callgraph    the interprocedural call graph dumps byte-identically
-#                   twice in a row (the CI artifact contract), and the
-#                   analyzer fixtures still load and fire
+#                   isolation, deepdeterminism, perfmono, hotalloc, suppress —
+#                   see internal/lint), ratcheted against vet-baseline.json:
+#                   new findings and stale baseline entries fail
+#   4. callgraph    the interprocedural call graph and the hotalloc allocation
+#                   map each dump byte-identically twice in a row (the CI
+#                   artifact contract), and the analyzer fixtures still load
+#                   and fire
 #   5. go build     everything compiles, including examples
 #   6. go test -race  the full suite under the race detector (the bench
 #                     package takes a few minutes under -race; use
@@ -38,6 +39,12 @@ go run ./cmd/wfasic-vet -dump-callgraph callgraph.json
 go run ./cmd/wfasic-vet -dump-callgraph callgraph.json.2
 cmp callgraph.json callgraph.json.2
 rm -f callgraph.json.2
+
+echo "== allocs dump (byte-stability) =="
+go run ./cmd/wfasic-vet -dump-allocs allocs.json
+go run ./cmd/wfasic-vet -dump-allocs allocs.json.2
+cmp allocs.json allocs.json.2
+rm -f allocs.json.2
 
 echo "== wfasic-vet fixtures =="
 go run ./cmd/wfasic-vet -fixtures internal/lint/testdata/src > /dev/null

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# escape-crosscheck.sh — keep the hotalloc classifier honest against the real
+# compiler. The analyzer is deliberately syntactic-plus-types (it flags every
+# allocation *construct* on a hot path, whether or not escape analysis would
+# stack-allocate it), so the two views never match exactly; this script
+# reports where they disagree so drift in either direction is visible:
+#
+#   - sites hotalloc flags on a hot path that the compiler never mentions as
+#     a heap allocation (the analyzer's over-approximation — expected for
+#     non-escaping makes and inlined closures, worth skimming for noise);
+#   - "escapes to heap" lines the compiler emits in files that carry hot
+#     alloc sites (a quick map of where the real allocations cluster).
+#
+# Purely informational: always exits 0. Run it when the classifier rules or
+# the toolchain version change, and record anything surprising in
+# EXPERIMENTS.md.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== hotalloc verdicts (wfasic-vet -dump-allocs) =="
+go run ./cmd/wfasic-vet -dump-allocs "$tmpdir/allocs.json"
+
+# Hot, non-exempt alloc sites as file:line. Node records carry "file"; the
+# per-site "line" fields follow inside the "allocs" array.
+awk '
+    /"file":/   { gsub(/[",]/, "", $2); file = $2; hot = 0; inallocs = 0 }
+    /"hot": true/     { hot = 1 }
+    /"allocs": \[/    { inallocs = 1; next }
+    inallocs && /"line":/ { gsub(/[",]/, "", $2); line = $2 }
+    inallocs && /"exempt": true/ { line = "" }
+    inallocs && /}/   { if (hot && line != "") print file ":" line; line = "" }
+    /\]/              { inallocs = 0 }
+' "$tmpdir/allocs.json" | sort -u > "$tmpdir/hot-sites.txt"
+
+echo "== compiler escape analysis (go build -gcflags=-m) =="
+go build -gcflags=-m ./... 2> "$tmpdir/escapes-raw.txt" || true
+grep -E 'escapes to heap|moved to heap' "$tmpdir/escapes-raw.txt" \
+    | sed -E 's/^([^:]+:[0-9]+):[0-9]+:.*/\1/' | sort -u > "$tmpdir/heap-lines.txt"
+
+hot_total=$(wc -l < "$tmpdir/hot-sites.txt")
+heap_total=$(wc -l < "$tmpdir/heap-lines.txt")
+confirmed=$(comm -12 "$tmpdir/hot-sites.txt" "$tmpdir/heap-lines.txt" | wc -l)
+
+echo
+echo "hot alloc sites (analyzer):        $hot_total"
+echo "heap escapes (compiler, anywhere): $heap_total"
+echo "hot sites the compiler confirms:   $confirmed"
+echo
+echo "-- hot sites the compiler does NOT report as heap (over-approximation) --"
+comm -23 "$tmpdir/hot-sites.txt" "$tmpdir/heap-lines.txt" | sed 's/^/  /'
+echo
+echo "-- compiler heap escapes in files carrying hot sites (context) --"
+cut -d: -f1 "$tmpdir/hot-sites.txt" | sort -u > "$tmpdir/hot-files.txt"
+grep -F -f "$tmpdir/hot-files.txt" "$tmpdir/heap-lines.txt" 2>/dev/null | sed 's/^/  /' || true
+
+# Informational only: the analyzer's contract is "no allocation constructs",
+# which is stricter than "no escapes", so disagreement is not a failure.
+exit 0
