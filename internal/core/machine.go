@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -495,6 +496,22 @@ func (m *Machine) jobDone() bool {
 // Config.WatchdogCycles consecutive cycles (zero selects
 // DefaultWatchdogCycles; negative disables the watchdog).
 func (m *Machine) Run(maxCycles int64) (int64, error) {
+	return m.RunCtx(context.Background(), maxCycles)
+}
+
+// runCtxCheckEvery is the cadence, in cycles, at which RunCtx polls its
+// context. Coarse enough that the poll is invisible in the cycle loop's
+// profile, fine enough that a cancelled caller waits microseconds, not
+// milliseconds, for the loop to notice.
+const runCtxCheckEvery = 1024
+
+// RunCtx is Run with cooperative cancellation: every runCtxCheckEvery cycles
+// it polls ctx and, once the context is done, stops ticking and returns
+// ctx.Err() alongside the cycles spent so far. The machine is left exactly
+// where the last tick put it (mid-job), so the caller must soft-reset before
+// reusing it. Cancellation never perturbs the cycles already simulated: a
+// run that completes before the deadline is bit-identical to Run.
+func (m *Machine) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 	start := m.cycle
 	wd := int64(m.cfg.WatchdogCycles)
 	if wd == 0 {
@@ -502,7 +519,14 @@ func (m *Machine) Run(maxCycles int64) (int64, error) {
 	}
 	last := m.progress()
 	lastChange := m.cycle
+	nextCheck := m.cycle + runCtxCheckEvery
 	for m.Regs.startRequested || !m.Regs.Idle() {
+		if m.cycle >= nextCheck {
+			nextCheck = m.cycle + runCtxCheckEvery
+			if err := ctx.Err(); err != nil {
+				return m.cycle - start, err
+			}
+		}
 		m.Tick()
 		if wd > 0 {
 			if sig := m.progress(); sig != last {

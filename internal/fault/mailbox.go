@@ -1,0 +1,35 @@
+package fault
+
+import "sync/atomic"
+
+// Mailbox is a per-device injector handle: a single-slot, concurrency-safe
+// mailbox through which a controller (a chaos test, an operator endpoint)
+// hands fault configurations to the goroutine that owns a machine. The owner
+// polls TakePending at a quiescent point — between jobs, never mid-cycle —
+// and applies the config itself, so the injector swap can never race the
+// cycle loop and the fault schedule stays a pure function of (seed, machine
+// behavior) from the moment it is applied.
+//
+// Posting overwrites any config still pending: the mailbox holds the latest
+// intent, not a queue. The zero Mailbox is ready to use.
+type Mailbox struct {
+	pending atomic.Pointer[Config]
+}
+
+// Post leaves cfg in the mailbox for the owner to apply. Safe to call from
+// any goroutine at any time. A zero Config quiesces the injector (all
+// probabilities zero never perturb the machine).
+func (m *Mailbox) Post(cfg Config) {
+	m.pending.Store(&cfg)
+}
+
+// TakePending removes and returns the posted config, if any. Only the
+// machine's owning goroutine should call this, at a point where the machine
+// is idle.
+func (m *Mailbox) TakePending() (Config, bool) {
+	p := m.pending.Swap(nil)
+	if p == nil {
+		return Config{}, false
+	}
+	return *p, true
+}

@@ -15,7 +15,8 @@ import (
 
 // Directive is one parsed //vet:<name> comment.
 type Directive struct {
-	// Name is the directive keyword: "allow", "resetpath", "coldpath".
+	// Name is the directive keyword: "allow", "resetpath", "coldpath",
+	// "hotpath".
 	Name string
 	// Args are the whitespace-separated tokens after the keyword. For
 	// //vet:allow the first arg names the analyzer and the rest is the
@@ -55,7 +56,7 @@ func (d Directive) AllowTarget() (string, bool) {
 
 // HasDirective reports whether a doc comment group carries //vet:<name>.
 // Used for the function-level markers: //vet:resetpath (perfmono) and
-// //vet:coldpath (hotalloc).
+// //vet:coldpath / //vet:hotpath (hotalloc).
 func HasDirective(doc *ast.CommentGroup, name string) bool {
 	if doc == nil {
 		return false

@@ -13,7 +13,10 @@ package lint
 //     module it steps);
 //   - the exported one-shot alignment entry points Align, AlignBatch and
 //     BandedAlign — the per-pair steady state of the software baselines;
-//   - Run methods on an Aligner receiver — the wavefront loop itself.
+//   - Run methods on an Aligner receiver — the wavefront loop itself;
+//   - any function whose doc comment carries //vet:hotpath — the opt-in for
+//     hot paths the shapes above cannot name, such as the serving layer's
+//     admission counters and token buckets.
 //
 // Cold pruning: reachability does not descend into construction and reset
 // paths — init, New*/new*, Reset*/Clear, and functions whose doc comment
@@ -33,11 +36,16 @@ import (
 // (//vet:coldpath on the doc comment, parsed by directives.go).
 const coldPathDirective = "coldpath"
 
+// hotPathDirective is coldPathDirective's dual: //vet:hotpath promotes a
+// function to a hot root, extending the zero-alloc gate to per-pair code the
+// shape rules cannot see (request admission, quota accounting).
+const hotPathDirective = "hotpath"
+
 // Hotalloc returns the allocation-discipline analyzer.
 func Hotalloc() *Analyzer {
 	return &Analyzer{
 		Name:     "hotalloc",
-		Doc:      "no allocation constructs reachable from the steady-state roots (Tick/Step, Align/AlignBatch/BandedAlign, Aligner.Run) outside annotated cold paths",
+		Doc:      "no allocation constructs reachable from the steady-state roots (Tick/Step, Align/AlignBatch/BandedAlign, Aligner.Run, //vet:hotpath) outside annotated cold paths",
 		RunGraph: runHotalloc,
 	}
 }
@@ -68,7 +76,7 @@ func isHotAllocRoot(n *FuncNode) bool {
 	if name == "Run" && strings.TrimPrefix(n.RecvType, "*") == "Aligner" {
 		return true
 	}
-	return false
+	return HasDirective(n.Decl.Doc, hotPathDirective)
 }
 
 // isColdPath reports whether a node belongs to a construction/reset path the

@@ -27,6 +27,30 @@ func TestIsolationFindings(t *testing.T) {
 	}
 }
 
+// TestIsolationServingRoots loads the serveiso fixture through LoadTree so
+// its package path ends in internal/serve, and asserts the serving-path root
+// rule reaches the global write below Submit — the fixture's Server is
+// deliberately not named Machine, so no other root rule can find it — while
+// the sentinel-error read stays legal.
+func TestIsolationServingRoots(t *testing.T) {
+	pkgs, err := LoadTree(filepath.Join("testdata", "src", "serveiso"), "serveiso")
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	var ds []Diagnostic
+	for _, d := range CheckModule(pkgs, All()) {
+		if d.Analyzer == "isolation" {
+			ds = append(ds, d)
+		}
+	}
+	if len(ds) != 1 {
+		t.Fatalf("got %d isolation findings, want 1: %q", len(ds), messages(ds))
+	}
+	wantContains(t, ds, ".served")
+	wantContains(t, ds, "Submit -> ")
+	wantNotContains(t, ds, "ErrShed")
+}
+
 // TestDeepDeterminismFindings pins the deepdet fixture: the five helper
 // offenses (wall clock, goroutine, global rand, rand constructor, mutating
 // map range) each flag exactly once with a chain back to Tick; the

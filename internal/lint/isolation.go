@@ -8,6 +8,11 @@ package lint
 // (sentinel errors, lookup tables — written only at initialization) stay
 // legal, otherwise nothing could return a named error.
 //
+// The serving packages are rooted too: wfasic-serve runs many devices and
+// software workers concurrently inside one process, so everything reachable
+// from its exported API needs the same freedom from package-level mutable
+// state — all serving state must hang off the Server.
+//
 // Every diagnostic carries the call chain from a root, so a violation three
 // calls deep is actionable without rerunning the analysis. Messages contain
 // names only (no line numbers), keeping baseline entries stable across
@@ -27,22 +32,40 @@ func Isolation() *Analyzer {
 	}
 }
 
+// servingSuffixes are the fleet-concurrent serving packages. They are
+// isolation roots (a Server races devices against software workers in one
+// process) but deliberately NOT cycle-stepped: the serving layer lives on
+// wall-clock time and goroutines, which the determinism analyzers ban.
+var servingSuffixes = []string{
+	"internal/serve",
+}
+
 // isolationRoots selects the entry points of the proof: every exported
-// function and method of the cycle-stepped packages, plus every exported
-// method of a type named Machine in any package (so fixtures, which load
-// under testdata-relative import paths, exercise the same root logic as the
-// real core.Machine).
+// function and method of the cycle-stepped and serving packages, plus every
+// exported method of a type named Machine in any package (so fixtures, which
+// load under testdata-relative import paths, exercise the same root logic as
+// the real core.Machine).
 func isolationRoots(g *CallGraph) []*FuncNode {
 	var roots []*FuncNode
 	for _, n := range g.SortedNodes() {
 		if n.Decl == nil || !n.Exported {
 			continue
 		}
-		if isCycleSteppedPath(n.Pkg.ImportPath) || isMachineRecv(n.RecvType) {
+		if isCycleSteppedPath(n.Pkg.ImportPath) || isServingPath(n.Pkg.ImportPath) ||
+			isMachineRecv(n.RecvType) {
 			roots = append(roots, n)
 		}
 	}
 	return roots
+}
+
+func isServingPath(importPath string) bool {
+	for _, suffix := range servingSuffixes {
+		if importPath == suffix || hasPathSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func isCycleSteppedPath(importPath string) bool {

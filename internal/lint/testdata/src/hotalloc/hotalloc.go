@@ -1,9 +1,10 @@
 // Package hotalloc seeds one case per allocation-site kind for the hotalloc
 // analyzer tests, plus the negative space around them: cold constructor and
-// reset paths, a //vet:coldpath directive, the two amortized-append
-// exemptions (truncate-reset field, preallocated local), a constant that
-// boxes for free, an unreached allocating function, and a //vet:allow
-// waiver. The expected findings are pinned by internal/lint/hotalloc_test.go.
+// reset paths, a //vet:coldpath directive, a //vet:hotpath directive root,
+// the two amortized-append exemptions (truncate-reset field, preallocated
+// local), a constant that boxes for free, an unreached allocating function,
+// and a //vet:allow waiver. The expected findings are pinned by
+// internal/lint/hotalloc_test.go.
 package hotalloc
 
 import "fmt"
@@ -162,4 +163,25 @@ func Align() []int {
 // no finding.
 func Score() []int {
 	return make([]int, 4)
+}
+
+// bucket mimics a serving-layer token bucket: its hot path is named by
+// directive because no shape rule can see it.
+type bucket struct {
+	tokens float64
+	trace  []int
+}
+
+// admit is a hot root by //vet:hotpath — the opt-in for serving-layer
+// admission code.
+//
+//vet:hotpath
+func (b *bucket) admit() bool {
+	b.note()
+	return b.tokens > 0
+}
+
+// note's growing append flags with an admit -> note witness chain.
+func (b *bucket) note() {
+	b.trace = append(b.trace, 1)
 }

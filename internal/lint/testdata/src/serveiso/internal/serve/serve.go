@@ -1,0 +1,36 @@
+// Package serve seeds a serving-layer isolation violation: the analyzer
+// roots every exported function of packages whose import path ends in
+// internal/serve — no Machine-shaped receiver required — because a Server
+// races devices and software workers inside one process. The global counter
+// written below Submit must flag; the sentinel error read must stay legal.
+package serve
+
+import "errors"
+
+// ErrShed is immutable after init: reads of it must not flag.
+var ErrShed = errors.New("serve: shed")
+
+// served is written on a path reachable from the exported API — the
+// violation this fixture pins.
+var served int
+
+// Server mirrors the real serving type (deliberately not named Machine, so
+// only the serving-path root rule can reach the violation).
+type Server struct {
+	busy bool
+}
+
+// Submit is an exported serving entry point and therefore a root.
+func (s *Server) Submit(n int) error {
+	if s.busy {
+		return ErrShed
+	}
+	s.count(n)
+	return nil
+}
+
+// count writes the package-level counter: want an isolation finding with the
+// Submit -> count witness chain.
+func (s *Server) count(n int) {
+	served += n
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/seqio"
+)
+
+// Admission errors. HTTP maps ErrShed* onto 429/503 with Retry-After; every
+// other error is a 400-class rejection (the request itself is malformed).
+var (
+	// ErrShedQuota: the tenant's token bucket is empty; retry after the
+	// bucket refills.
+	ErrShedQuota = errors.New("serve: tenant quota exhausted")
+	// ErrShedOverload: the service-wide in-system budget is full; admitting
+	// more pairs would grow an unbounded queue.
+	ErrShedOverload = errors.New("serve: service overloaded")
+	// ErrDraining: the server is shutting down and admits nothing new.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// ShedError wraps one of the ErrShed* sentinels with a Retry-After hint.
+type ShedError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.RetryAfter)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// validTenant enforces the tenant-name schema: 1-64 chars of [a-zA-Z0-9._-].
+func validTenant(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validateRequest is the schema/size/alphabet gate: it rejects malformed
+// requests before they cost any quota or queue budget.
+func (s *Server) validateRequest(tenant string, pairs []seqio.Pair) error {
+	if !validTenant(tenant) {
+		return fmt.Errorf("serve: invalid tenant %q (want 1-64 chars of [a-zA-Z0-9._-])", tenant)
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("serve: empty request")
+	}
+	if len(pairs) > s.cfg.MaxPairsPerRequest {
+		return fmt.Errorf("serve: %d pairs exceed the per-request limit of %d", len(pairs), s.cfg.MaxPairsPerRequest)
+	}
+	lenCap := s.cfg.Core.MaxReadLenCap
+	for i, p := range pairs {
+		if len(p.A) == 0 || len(p.B) == 0 {
+			return fmt.Errorf("serve: pair %d has an empty read", i)
+		}
+		if len(p.A) > lenCap || len(p.B) > lenCap {
+			return fmt.Errorf("serve: pair %d read length %d/%d exceeds the hardware cap %d",
+				i, len(p.A), len(p.B), lenCap)
+		}
+		if err := seqio.ValidateSequence(p.A); err != nil {
+			return fmt.Errorf("serve: pair %d read A: %w", i, err)
+		}
+		if err := seqio.ValidateSequence(p.B); err != nil {
+			return fmt.Errorf("serve: pair %d read B: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// reserve claims n pairs of the bounded in-system budget, or reports that
+// admission must shed. Rollback on failure keeps the budget exact under
+// concurrent admissions.
+//
+//vet:hotpath
+func (s *Server) reserve(n int) bool {
+	if s.inSystem.Add(int64(n)) > int64(s.cfg.QueueLimit) {
+		s.inSystem.Add(int64(-n))
+		return false
+	}
+	return true
+}
+
+// release returns n pairs of in-system budget (called once per answered pair).
+//
+//vet:hotpath
+func (s *Server) release(n int) {
+	s.inSystem.Add(int64(-n))
+}
+
+// Submit validates, admits and answers one request of pairs for tenant. It
+// blocks until every admitted pair has its answer (hardware, software
+// fallback, or a deadline outcome when ctx dies first) — an admitted pair is
+// never dropped. Shed requests return a *ShedError wrapping ErrShedQuota,
+// ErrShedOverload or ErrDraining; malformed requests return a plain error.
+// Results are in input order; pairs the request outlived carry Deadline=true.
+func (s *Server) Submit(ctx context.Context, tenant string, pairs []seqio.Pair, backtrace bool) ([]PairResult, error) {
+	if err := s.validateRequest(tenant, pairs); err != nil {
+		return nil, err
+	}
+	n := len(pairs)
+	s.metrics.Submitted.Add(int64(n))
+	now := s.cfg.Now()
+
+	s.admissionMu.RLock()
+	if s.draining {
+		s.admissionMu.RUnlock()
+		s.metrics.shed(tenant, n, shedDraining)
+		return nil, &ShedError{Err: ErrDraining, RetryAfter: time.Second}
+	}
+	if ok, retry := s.buckets.take(tenant, now, float64(n)); !ok {
+		s.admissionMu.RUnlock()
+		s.metrics.shed(tenant, n, shedQuota)
+		return nil, &ShedError{Err: ErrShedQuota, RetryAfter: retry}
+	}
+	if !s.reserve(n) {
+		// Refund the quota: the pairs never entered the system.
+		s.buckets.refund(tenant, float64(n))
+		s.admissionMu.RUnlock()
+		s.metrics.shed(tenant, n, shedOverload)
+		return nil, &ShedError{Err: ErrShedOverload, RetryAfter: s.cfg.BatchDelay}
+	}
+
+	tasks := make([]*task, n)
+	s.inflight.Add(n)
+	for i, p := range pairs {
+		t := &task{
+			tenant:    tenant,
+			pair:      p,
+			backtrace: backtrace,
+			ctx:       ctx,
+			done:      make(chan outcome, 1),
+		}
+		tasks[i] = t
+		s.intake <- t // never blocks: intake cap == QueueLimit >= in-system pairs
+	}
+	s.admissionMu.RUnlock()
+	s.metrics.admitted(tenant, n)
+
+	// Guaranteed delivery: every task is resolved exactly once by whichever
+	// stage ends up owning it, so these receives always return.
+	results := make([]PairResult, n)
+	for i, t := range tasks {
+		o := <-t.done
+		results[i] = PairResult{
+			ID:       t.pair.ID,
+			Score:    o.res.Result.Score,
+			Success:  o.res.Result.Success,
+			Deadline: o.deadline,
+		}
+		if t.backtrace && o.res.Result.CIGAR != nil {
+			results[i].CIGAR = o.res.Result.CIGAR.String()
+		}
+	}
+	return results, nil
+}
+
+// PairResult is one pair's service-level answer.
+type PairResult struct {
+	ID      uint32 `json:"id"`
+	Score   int    `json:"score"`
+	Success bool   `json:"success"`
+	CIGAR   string `json:"cigar,omitempty"`
+	// Deadline marks a pair whose request died (context expired or client
+	// went away) before an answer was computed; Score/Success are zero.
+	Deadline bool `json:"deadline,omitempty"`
+}
+
+// resolve delivers a task's answer exactly once and retires its in-system
+// reservation. The single-owner discipline (admission -> batcher -> one
+// worker) is what makes the once-ness structural rather than locked.
+func (s *Server) resolveTask(t *task, o outcome) {
+	t.done <- o
+	if o.deadline {
+		s.metrics.DeadlinePairs.Add(1)
+		s.metrics.tenantDeadline(t.tenant, 1)
+	} else {
+		s.metrics.tenantAnswered(t.tenant, 1)
+	}
+	s.release(1)
+	s.inflight.Done()
+}
+
+// expired reports whether the task's request has already died.
+func (t *task) expired() bool {
+	return t.ctx.Err() != nil
+}

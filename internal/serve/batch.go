@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"time"
+)
+
+// sizeClass buckets a pair by its longer read so one batch's MAX_READ_LEN
+// (and therefore its §4.2 input-image footprint) is set by peers of similar
+// size — a 100bp read never pays DMA for a 10Kbp neighbor's padding.
+func sizeClass(t *task) int {
+	n := len(t.pair.A)
+	if len(t.pair.B) > n {
+		n = len(t.pair.B)
+	}
+	switch {
+	case n <= 256:
+		return 0
+	case n <= 1024:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// numClasses x {score-only, backtrace} accumulators.
+const numBatchKeys = 3 * 2
+
+func batchKey(t *task) int {
+	k := sizeClass(t) * 2
+	if t.backtrace {
+		k++
+	}
+	return k
+}
+
+// accum is one in-progress batch.
+type accum struct {
+	tasks  []*task
+	oldest time.Time
+}
+
+// batcherLoop coalesces admitted pairs into device jobs: a batch flushes
+// when it reaches BatchPairs or when its oldest member has waited BatchDelay.
+// On drain it flushes everything and closes dispatch, which is what lets the
+// worker tiers run down deterministically.
+func (s *Server) batcherLoop() {
+	defer s.batcherWG.Done()
+	defer close(s.dispatch)
+
+	var buckets [numBatchKeys]accum
+	flush := func(k int) {
+		if len(buckets[k].tasks) == 0 {
+			return
+		}
+		b := &batch{tasks: buckets[k].tasks, backtrace: k%2 == 1}
+		buckets[k] = accum{}
+		s.metrics.Batches.Add(1)
+		s.dispatch <- b
+	}
+
+	tick := s.cfg.BatchDelay / 2
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case t, ok := <-s.intake:
+			if !ok {
+				for k := range buckets {
+					flush(k)
+				}
+				return
+			}
+			if t.expired() {
+				// The request died while the task sat in intake: answer it
+				// now instead of wasting a batch slot.
+				s.resolveTask(t, outcome{deadline: true})
+				continue
+			}
+			k := batchKey(t)
+			if len(buckets[k].tasks) == 0 {
+				buckets[k].oldest = time.Now()
+			}
+			buckets[k].tasks = append(buckets[k].tasks, t)
+			if len(buckets[k].tasks) >= s.cfg.BatchPairs {
+				flush(k)
+			}
+		case <-ticker.C:
+			now := time.Now()
+			for k := range buckets {
+				if len(buckets[k].tasks) > 0 && now.Sub(buckets[k].oldest) >= s.cfg.BatchDelay {
+					flush(k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is one tenant's quota: tokens are pairs, refilled at rate/sec
+// up to burst. take is the hot admission path and is allocation-free.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// take refills by the elapsed time and then claims n tokens. On failure it
+// returns how long the caller must wait for the bucket to hold n tokens —
+// the Retry-After hint.
+//
+//vet:hotpath
+func (b *tokenBucket) take(now time.Time, n float64) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n - b.tokens
+	if need > b.burst-b.tokens {
+		// The request can never fit; tell the caller to wait one full
+		// bucket rather than forever.
+		need = b.burst - b.tokens
+	}
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+//vet:hotpath
+func (b *tokenBucket) refillLocked(now time.Time) {
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// refund returns n tokens (a downstream shed after a successful take).
+//
+//vet:hotpath
+func (b *tokenBucket) refund(n float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// bucketSet is the per-tenant bucket registry. rate == 0 disables quotas
+// entirely (every take succeeds without touching a bucket).
+type bucketSet struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+func newBucketSet(rate, burst float64) *bucketSet {
+	return &bucketSet{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// get returns the tenant's bucket, creating a full one on first sight.
+func (s *bucketSet) get(tenant string, now time.Time) *tokenBucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: s.burst, last: now, rate: s.rate, burst: s.burst}
+		s.buckets[tenant] = b
+	}
+	return b
+}
+
+func (s *bucketSet) take(tenant string, now time.Time, n float64) (bool, time.Duration) {
+	if s.rate == 0 {
+		return true, 0
+	}
+	return s.get(tenant, now).take(now, n)
+}
+
+func (s *bucketSet) refund(tenant string, n float64) {
+	if s.rate == 0 {
+		return
+	}
+	s.mu.Lock()
+	b := s.buckets[tenant]
+	s.mu.Unlock()
+	if b != nil {
+		b.refund(n)
+	}
+}

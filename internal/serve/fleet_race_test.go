@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/soc"
+)
+
+// TestFleetMatchesSequential pins the concurrent fleet to the sequential
+// truth: N simulated Machines plus software workers race through the
+// scheduler under -race, and the resulting journal must equal the one a
+// plain sequential software-WFA sweep over the same workload produces. Any
+// cross-device state bleed, double resolution, or lost task shows up as a
+// journal diff (or as a race report).
+func TestFleetMatchesSequential(t *testing.T) {
+	const devices = 4
+	pairs := 4096
+	if testing.Short() {
+		pairs = 1024
+	}
+	const tenants = 4
+	w := NewWorkload(7, tenants, pairs/tenants, 100, 0.05)
+
+	// Sequential oracle: one pair at a time through the software aligner,
+	// the same definition of "correct" the fallback tier uses.
+	expected := &Journal{}
+	for _, tl := range w.Tenants {
+		for _, p := range tl.Pairs {
+			res, _ := soc.SoftwareAlign(core.ChipConfig(), p, false)
+			e := JournalEntry{Tenant: tl.Name, ID: p.ID, Status: "ok", Score: res.Score}
+			if !res.Success {
+				e.Status, e.Score = "fail", 0
+			}
+			expected.Record(e)
+		}
+	}
+
+	s, err := New(Config{
+		Devices:         devices,
+		SoftwareWorkers: 2,
+		QueueLimit:      4096,
+		BatchPairs:      32,
+		BatchDelay:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{}
+	rep, err := RunWorkload(context.Background(), s, w, 64, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Drain()
+
+	if rep.Answered != int64(pairs) || rep.ShedPairs != 0 {
+		t.Fatalf("answered %d shed %d, want %d answered 0 shed", rep.Answered, rep.ShedPairs, pairs)
+	}
+	if m.HardwarePairs.Load() == 0 {
+		t.Fatal("fleet never ran a hardware batch")
+	}
+	if got, want := j.Render(), expected.Render(); got != want {
+		t.Fatalf("concurrent fleet journal diverges from the sequential software sweep\nfleet:\n%.2000s\nsequential:\n%.2000s", got, want)
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// JournalEntry is one pair's final disposition as seen by a client.
+type JournalEntry struct {
+	Tenant   string
+	ID       uint32
+	Status   string // "ok", "fail" (unalignable pair), "deadline", "shed"
+	Score    int
+	CIGARLen int
+}
+
+// Journal is a concurrency-safe outcome log. Render sorts by (tenant, id,
+// status) and emits one stable line per entry, so two runs that produced the
+// same multiset of outcomes render byte-identically no matter how their
+// goroutines interleaved — the soak test's determinism witness.
+type Journal struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+}
+
+// Record appends one entry.
+func (j *Journal) Record(e JournalEntry) {
+	j.mu.Lock()
+	j.entries = append(j.entries, e)
+	j.mu.Unlock()
+}
+
+// Len returns the number of recorded entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Render returns the canonical byte-stable rendering.
+func (j *Journal) Render() string {
+	j.mu.Lock()
+	es := make([]JournalEntry, len(j.entries))
+	copy(es, j.entries)
+	j.mu.Unlock()
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Tenant != es[b].Tenant {
+			return es[a].Tenant < es[b].Tenant
+		}
+		if es[a].ID != es[b].ID {
+			return es[a].ID < es[b].ID
+		}
+		return es[a].Status < es[b].Status
+	})
+	var b strings.Builder
+	for _, e := range es {
+		fmt.Fprintf(&b, "tenant=%s id=%d status=%s score=%d cigar_len=%d\n",
+			e.Tenant, e.ID, e.Status, e.Score, e.CIGARLen)
+	}
+	return b.String()
+}
+
+// JournalFromResults records one request's results (a convenience for load
+// generators and tests).
+func (j *Journal) JournalFromResults(tenant string, results []PairResult) {
+	for _, r := range results {
+		e := JournalEntry{Tenant: tenant, ID: r.ID, Score: r.Score, CIGARLen: len(r.CIGAR)}
+		switch {
+		case r.Deadline:
+			e.Status = "deadline"
+			e.Score = 0
+		case r.Success:
+			e.Status = "ok"
+		default:
+			e.Status = "fail"
+			e.Score = 0
+		}
+		j.Record(e)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+// Workload is a deterministic multi-tenant pair stream: the same seed always
+// generates the same tenants, pairs and IDs, which is what lets two soak
+// runs be compared journal-byte for journal-byte.
+type Workload struct {
+	Tenants []TenantLoad
+}
+
+// TenantLoad is one tenant's pair sequence, IDs 0..len(Pairs)-1.
+type TenantLoad struct {
+	Name  string
+	Pairs []seqio.Pair
+}
+
+// NewWorkload builds a workload of `tenants` tenants with pairsPerTenant
+// pairs each, all of readLen bases at the given divergence rate. Each
+// tenant's stream is seeded independently from the workload seed, so
+// workloads compose reproducibly.
+func NewWorkload(seed uint64, tenants, pairsPerTenant, readLen int, errRate float64) *Workload {
+	w := &Workload{}
+	for i := 0; i < tenants; i++ {
+		g := seqgen.New(seed+uint64(i)*0x9e37, seed^(uint64(i)+1)*0x85eb)
+		set := g.Set(seqgen.Profile{
+			Name:      fmt.Sprintf("tenant-%02d", i),
+			Length:    readLen,
+			ErrorRate: errRate,
+			NumPairs:  pairsPerTenant,
+		})
+		w.Tenants = append(w.Tenants, TenantLoad{
+			Name:  fmt.Sprintf("tenant-%02d", i),
+			Pairs: set.Pairs,
+		})
+	}
+	return w
+}
+
+// LoadReport is what a workload run observed at the client side.
+type LoadReport struct {
+	Submitted int64 // pairs offered
+	Answered  int64 // pairs that came back with an answer
+	ShedPairs int64 // pairs in requests the server shed
+	Requests  int64
+	ShedReqs  int64
+}
+
+// RunWorkload drives the workload through Submit in lockstep phases: each
+// phase submits one request of up to reqSize pairs per tenant concurrently
+// and waits for every answer before starting the next. Lockstep keeps the
+// offered concurrency bounded by the tenant count, so a workload sized
+// within the server's QueueLimit sheds nothing and its journal is a pure
+// function of the workload seed. Outcomes are recorded into j when non-nil.
+func RunWorkload(ctx context.Context, s *Server, w *Workload, reqSize int, j *Journal) (*LoadReport, error) {
+	if reqSize <= 0 {
+		return nil, fmt.Errorf("serve: reqSize %d must be positive", reqSize)
+	}
+	rep := &LoadReport{}
+	var firstErr atomic.Pointer[error]
+	maxPhases := 0
+	for _, t := range w.Tenants {
+		phases := (len(t.Pairs) + reqSize - 1) / reqSize
+		if phases > maxPhases {
+			maxPhases = phases
+		}
+	}
+	for phase := 0; phase < maxPhases; phase++ {
+		var wg sync.WaitGroup
+		for ti := range w.Tenants {
+			t := &w.Tenants[ti]
+			lo := phase * reqSize
+			if lo >= len(t.Pairs) {
+				continue
+			}
+			hi := lo + reqSize
+			if hi > len(t.Pairs) {
+				hi = len(t.Pairs)
+			}
+			chunk := t.Pairs[lo:hi]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				atomic.AddInt64(&rep.Submitted, int64(len(chunk)))
+				atomic.AddInt64(&rep.Requests, 1)
+				results, err := s.Submit(ctx, t.Name, chunk, false)
+				if err != nil {
+					var shed *ShedError
+					if errors.As(err, &shed) {
+						atomic.AddInt64(&rep.ShedPairs, int64(len(chunk)))
+						atomic.AddInt64(&rep.ShedReqs, 1)
+						return
+					}
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				atomic.AddInt64(&rep.Answered, int64(len(results)))
+				if j != nil {
+					j.JournalFromResults(t.Name, results)
+				}
+			}()
+		}
+		wg.Wait()
+		if p := firstErr.Load(); p != nil {
+			return rep, *p
+		}
+	}
+	return rep, nil
+}

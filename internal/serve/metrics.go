@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// shedReason discriminates the three shed counters.
+type shedReason int
+
+const (
+	shedQuota shedReason = iota
+	shedOverload
+	shedDraining
+)
+
+// Metrics is the service counter set. Global counters are lock-free atomics
+// (incremented on the request and batch hot paths); per-tenant counters hang
+// off a mutex-guarded map touched once per request. Render emits a stable,
+// byte-comparable text exposition: fixed counter order, tenants sorted.
+type Metrics struct {
+	Submitted     atomic.Int64 // pairs offered (before admission)
+	Admitted      atomic.Int64 // pairs accepted into the system
+	ShedQuota     atomic.Int64 // pairs shed on tenant quota
+	ShedOverload  atomic.Int64 // pairs shed on the in-system budget
+	ShedDraining  atomic.Int64 // pairs shed during drain
+	Batches       atomic.Int64 // device/software jobs dispatched
+	HardwarePairs atomic.Int64 // pairs answered by an accelerator
+	FallbackPairs atomic.Int64 // pairs answered by the software WFA
+	DeadlinePairs atomic.Int64 // pairs whose request died before an answer
+	Respills      atomic.Int64 // pairs rerouted device -> software tier
+
+	DeviceRetries atomic.Int64 // resilient-ladder retries across the fleet
+	DeviceResets  atomic.Int64 // soft resets across the fleet
+	HangErrors    atomic.Int64
+	BusErrors     atomic.Int64
+	FaultEvents   atomic.Int64 // injected faults observed across the fleet
+
+	Quarantines    atomic.Int64 // healthy/probing -> quarantined transitions
+	Probes         atomic.Int64 // quarantined -> probing transitions
+	ProbeSuccesses atomic.Int64 // probing -> healthy transitions
+
+	mu      sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's slice of the traffic.
+type tenantCounters struct {
+	Admitted atomic.Int64
+	Shed     atomic.Int64
+	Answered atomic.Int64
+	Deadline atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{tenants: make(map[string]*tenantCounters)}
+}
+
+func (m *Metrics) tenant(t string) *tenantCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.tenants[t]
+	if !ok {
+		c = &tenantCounters{}
+		m.tenants[t] = c
+	}
+	return c
+}
+
+func (m *Metrics) shed(tenant string, n int, reason shedReason) {
+	switch reason {
+	case shedQuota:
+		m.ShedQuota.Add(int64(n))
+	case shedOverload:
+		m.ShedOverload.Add(int64(n))
+	case shedDraining:
+		m.ShedDraining.Add(int64(n))
+	}
+	m.tenant(tenant).Shed.Add(int64(n))
+}
+
+func (m *Metrics) admitted(tenant string, n int) {
+	m.Admitted.Add(int64(n))
+	m.tenant(tenant).Admitted.Add(int64(n))
+}
+
+func (m *Metrics) tenantAnswered(tenant string, n int) {
+	m.tenant(tenant).Answered.Add(int64(n))
+}
+
+func (m *Metrics) tenantDeadline(tenant string, n int) {
+	m.tenant(tenant).Deadline.Add(int64(n))
+}
+
+// Shed returns the total pairs shed for any reason.
+func (m *Metrics) Shed() int64 {
+	return m.ShedQuota.Load() + m.ShedOverload.Load() + m.ShedDraining.Load()
+}
+
+// Answered returns the total pairs answered on any path.
+func (m *Metrics) Answered() int64 {
+	return m.HardwarePairs.Load() + m.FallbackPairs.Load() + m.DeadlinePairs.Load()
+}
+
+// perfCacheEntry is one device's most recent perf-counter snapshot, updated
+// by the device worker after each batch so /metrics never has to touch (and
+// race with) a live machine.
+type perfCacheEntry struct {
+	Snap perf.Snapshot
+}
+
+// Render emits the counters in Prometheus-style text exposition with a
+// stable byte order: global counters in declaration order, tenants sorted,
+// then each device's breaker state and cached perf counters.
+func (m *Metrics) Render(deviceStates []string, devicePerf []perf.Snapshot) string {
+	var b strings.Builder
+	global := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"wfasic_serve_submitted_pairs", &m.Submitted},
+		{"wfasic_serve_admitted_pairs", &m.Admitted},
+		{"wfasic_serve_shed_quota_pairs", &m.ShedQuota},
+		{"wfasic_serve_shed_overload_pairs", &m.ShedOverload},
+		{"wfasic_serve_shed_draining_pairs", &m.ShedDraining},
+		{"wfasic_serve_batches", &m.Batches},
+		{"wfasic_serve_hardware_pairs", &m.HardwarePairs},
+		{"wfasic_serve_fallback_pairs", &m.FallbackPairs},
+		{"wfasic_serve_deadline_pairs", &m.DeadlinePairs},
+		{"wfasic_serve_respilled_pairs", &m.Respills},
+		{"wfasic_serve_device_retries", &m.DeviceRetries},
+		{"wfasic_serve_device_resets", &m.DeviceResets},
+		{"wfasic_serve_hang_errors", &m.HangErrors},
+		{"wfasic_serve_bus_errors", &m.BusErrors},
+		{"wfasic_serve_fault_events", &m.FaultEvents},
+		{"wfasic_serve_quarantines", &m.Quarantines},
+		{"wfasic_serve_probes", &m.Probes},
+		{"wfasic_serve_probe_successes", &m.ProbeSuccesses},
+	}
+	for _, g := range global {
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.v.Load())
+	}
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.tenants))
+	for t := range m.tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	type trow struct {
+		name                               string
+		admitted, shed, answered, deadline int64
+	}
+	rows := make([]trow, 0, len(names))
+	for _, t := range names {
+		c := m.tenants[t]
+		rows = append(rows, trow{t, c.Admitted.Load(), c.Shed.Load(), c.Answered.Load(), c.Deadline.Load()})
+	}
+	m.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(&b, "wfasic_serve_tenant_admitted_pairs{tenant=%q} %d\n", r.name, r.admitted)
+		fmt.Fprintf(&b, "wfasic_serve_tenant_shed_pairs{tenant=%q} %d\n", r.name, r.shed)
+		fmt.Fprintf(&b, "wfasic_serve_tenant_answered_pairs{tenant=%q} %d\n", r.name, r.answered)
+		fmt.Fprintf(&b, "wfasic_serve_tenant_deadline_pairs{tenant=%q} %d\n", r.name, r.deadline)
+	}
+
+	for i, st := range deviceStates {
+		fmt.Fprintf(&b, "wfasic_serve_device_state{device=\"%d\"} %q\n", i, st)
+	}
+	for i, snap := range devicePerf {
+		for _, e := range snap.Entries {
+			fmt.Fprintf(&b, "wfasic_device_perf{device=\"%d\",counter=%q} %d\n", i, e.Name, e.Value)
+		}
+	}
+	return b.String()
+}
+
+// uptimeSeconds is a tiny helper for /healthz.
+func uptimeSeconds(start, now time.Time) int64 {
+	return int64(now.Sub(start) / time.Second)
+}

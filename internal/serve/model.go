@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// Calibration is the measured service-time model the bench uses: one device
+// batch costs BatchBaseCycles + n*PerPairCycles accelerator cycles, one
+// software pair costs SoftwarePerPairCycles modeled CPU cycles. All values
+// come from real simulator runs (deterministic for a fixed seed), so the
+// whole bench document is reproducible byte for byte.
+type Calibration struct {
+	ReadLen               int   `json:"read_len"`
+	BatchPairs            int   `json:"batch_pairs"`
+	BatchBaseCycles       int64 `json:"batch_base_cycles"`
+	PerPairCycles         int64 `json:"per_pair_cycles"`
+	SoftwarePerPairCycles int64 `json:"software_per_pair_cycles"`
+	ClockGHz              int64 `json:"clock_ghz"`
+}
+
+// Calibrate measures the service-time model on a real simulated device: two
+// accelerator runs at different batch sizes solve the affine per-batch cost,
+// and the software WFA prices the same pairs through the CPU cost model.
+func Calibrate(cfg core.Config, batchPairs, readLen int, seed uint64) (Calibration, error) {
+	if batchPairs < 2 {
+		return Calibration{}, fmt.Errorf("serve: calibration needs batchPairs >= 2, got %d", batchPairs)
+	}
+	cal := Calibration{ReadLen: readLen, BatchPairs: batchPairs, ClockGHz: 1}
+	run := func(n int) (int64, error) {
+		sc, err := soc.New(cfg, 64<<20)
+		if err != nil {
+			return 0, err
+		}
+		set := seqgen.New(seed, seed^0xA11C).Set(seqgen.Profile{
+			Name: "calibration", Length: readLen, ErrorRate: 0.05, NumPairs: n,
+		})
+		rep, err := sc.RunAccelerated(set, soc.RunOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return rep.AccelCycles, nil
+	}
+	half := batchPairs / 2
+	cFull, err := run(batchPairs)
+	if err != nil {
+		return Calibration{}, err
+	}
+	cHalf, err := run(half)
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal.PerPairCycles = (cFull - cHalf) / int64(batchPairs-half)
+	cal.BatchBaseCycles = cFull - cal.PerPairCycles*int64(batchPairs)
+	if cal.PerPairCycles <= 0 || cal.BatchBaseCycles < 0 {
+		return Calibration{}, fmt.Errorf("serve: degenerate calibration: base=%d perPair=%d", cal.BatchBaseCycles, cal.PerPairCycles)
+	}
+
+	costs := cpumodel.DefaultCosts()
+	set := seqgen.New(seed, seed^0xA11C).Set(seqgen.Profile{
+		Name: "calibration", Length: readLen, ErrorRate: 0.05, NumPairs: batchPairs,
+	})
+	var swTotal int64
+	for _, p := range set.Pairs {
+		_, stats := soc.SoftwareAlign(cfg, p, false)
+		swTotal += costs.ScalarWFACycles(stats)
+	}
+	cal.SoftwarePerPairCycles = swTotal / int64(batchPairs)
+	if cal.SoftwarePerPairCycles <= 0 {
+		return Calibration{}, fmt.Errorf("serve: degenerate software calibration")
+	}
+	return cal, nil
+}
+
+// ModelConfig parameterizes the capacity model.
+type ModelConfig struct {
+	Cal             Calibration `json:"calibration"`
+	Devices         int         `json:"devices"`
+	SoftwareWorkers int         `json:"software_workers"`
+	BatchPairs      int         `json:"batch_pairs"`
+	BatchDelayNs    int64       `json:"batch_delay_ns"`
+	QueueLimit      int         `json:"queue_limit"`
+	PairsPerLoad    int         `json:"pairs_per_load"`
+	LoadMultiples   []int       `json:"load_multiples"`
+}
+
+// LoadPoint is the model's steady-state measurement at one offered load.
+type LoadPoint struct {
+	Multiple      int   `json:"multiple"`
+	OfferedPPS    int64 `json:"offered_pps"`
+	Submitted     int64 `json:"submitted_pairs"`
+	Admitted      int64 `json:"admitted_pairs"`
+	Shed          int64 `json:"shed_pairs"`
+	ShedPerMille  int64 `json:"shed_per_mille"`
+	ThroughputPPS int64 `json:"throughput_pps"`
+	P50Us         int64 `json:"p50_latency_us"`
+	P99Us         int64 `json:"p99_latency_us"`
+}
+
+// BenchDoc is the BENCH_8.json document.
+type BenchDoc struct {
+	Schema      string      `json:"schema"`
+	Model       ModelConfig `json:"model"`
+	CapacityPPS int64       `json:"capacity_pps"`
+	Loads       []LoadPoint `json:"loads"`
+}
+
+// completionHeap orders in-flight batch completions by time.
+type completionHeap []completion
+
+type completion struct {
+	at    int64
+	pairs int
+}
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// CapacityPPS returns the fleet's aggregate steady-state pair rate.
+func (mc ModelConfig) CapacityPPS() int64 {
+	perBatch := mc.Cal.BatchBaseCycles + mc.Cal.PerPairCycles*int64(mc.BatchPairs)
+	devicePPS := int64(mc.Devices) * (1_000_000_000 * int64(mc.BatchPairs)) / perBatch * mc.Cal.ClockGHz
+	swPPS := int64(mc.SoftwareWorkers) * 1_000_000_000 / mc.Cal.SoftwarePerPairCycles * mc.Cal.ClockGHz
+	return devicePPS + swPPS
+}
+
+// RunModel plays the serving pipeline as a discrete-event queueing model in
+// virtual nanoseconds — integer arithmetic only, so the resulting document
+// is byte-stable across runs and platforms. Arrivals are uniformly spaced at
+// multiple x capacity; admission enforces the QueueLimit budget; the batcher
+// flushes on size or age; batches go to the earliest-free server (devices
+// first on ties), with service times from the calibration.
+func RunModel(mc ModelConfig) *BenchDoc {
+	capacity := mc.CapacityPPS()
+	doc := &BenchDoc{Schema: "wfasic-serve-bench-v1", Model: mc, CapacityPPS: capacity}
+
+	nServers := mc.Devices + mc.SoftwareWorkers
+	for _, mult := range mc.LoadMultiples {
+		offered := capacity * int64(mult)
+		point := LoadPoint{Multiple: mult, OfferedPPS: offered, Submitted: int64(mc.PairsPerLoad)}
+
+		freeAt := make([]int64, nServers)
+		var pending completionHeap
+		inSystem := 0
+		var latencies []int64
+		var batchArrivals []int64 // arrival time of each pair in the open batch
+		var batchOpen int64       // when the open batch's first pair arrived
+		var lastCompletion int64
+
+		service := func(n int) func(server int) int64 {
+			return func(server int) int64 {
+				if server < mc.Devices {
+					return mc.Cal.BatchBaseCycles + mc.Cal.PerPairCycles*int64(n)
+				}
+				return mc.Cal.SoftwarePerPairCycles * int64(n)
+			}
+		}
+
+		flush := func(at int64) {
+			n := len(batchArrivals)
+			if n == 0 {
+				return
+			}
+			// Earliest-free server; devices win ties (lowest index).
+			best := 0
+			for i := 1; i < nServers; i++ {
+				if freeAt[i] < freeAt[best] {
+					best = i
+				}
+			}
+			startAt := at
+			if freeAt[best] > startAt {
+				startAt = freeAt[best]
+			}
+			doneAt := startAt + service(n)(best)
+			freeAt[best] = doneAt
+			heap.Push(&pending, completion{at: doneAt, pairs: n})
+			for _, arr := range batchArrivals {
+				latencies = append(latencies, doneAt-arr)
+			}
+			if doneAt > lastCompletion {
+				lastCompletion = doneAt
+			}
+			batchArrivals = batchArrivals[:0]
+		}
+
+		for i := 0; i < mc.PairsPerLoad; i++ {
+			at := int64(i) * 1_000_000_000 / offered
+			// Retire completions and age-flush the open batch before this
+			// arrival is admitted.
+			for pending.Len() > 0 && pending[0].at <= at {
+				c := heap.Pop(&pending).(completion)
+				inSystem -= c.pairs
+			}
+			if len(batchArrivals) > 0 && at-batchOpen >= mc.BatchDelayNs {
+				flush(batchOpen + mc.BatchDelayNs)
+			}
+			if inSystem >= mc.QueueLimit {
+				point.Shed++
+				continue
+			}
+			point.Admitted++
+			inSystem++
+			if len(batchArrivals) == 0 {
+				batchOpen = at
+			}
+			batchArrivals = append(batchArrivals, at)
+			if len(batchArrivals) >= mc.BatchPairs {
+				flush(at)
+			}
+		}
+		flush(batchOpen + mc.BatchDelayNs)
+
+		if point.Submitted > 0 {
+			point.ShedPerMille = point.Shed * 1000 / point.Submitted
+		}
+		if lastCompletion > 0 {
+			point.ThroughputPPS = point.Admitted * 1_000_000_000 / lastCompletion
+		}
+		if len(latencies) > 0 {
+			sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+			point.P50Us = latencies[len(latencies)*50/100] / 1000
+			point.P99Us = latencies[len(latencies)*99/100] / 1000
+		}
+		doc.Loads = append(doc.Loads, point)
+	}
+	return doc
+}
+
+// MarshalStable renders the document with a fixed layout for the
+// regen-and-diff gate.
+func (d *BenchDoc) MarshalStable() ([]byte, error) {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/seqio"
+	"repro/internal/soc"
+)
+
+// deviceLoop is one fleet member's worker: pull a batch, apply any pending
+// chaos config at this safe point, run the batch through the resilient
+// ladder, and walk the breaker state machine on the verdict. A quarantined
+// device sleeps out its backoff (interruptible by drain) and then probes
+// with the next batch; while it sleeps the software tier keeps the queue
+// moving, so quarantine degrades throughput without ever stalling it.
+func (s *Server) deviceLoop(d *device) {
+	defer s.deviceWG.Done()
+	for {
+		b, ok := <-s.dispatch
+		if !ok {
+			return
+		}
+		if cfg, pending := d.faults.TakePending(); pending {
+			// Configs are validated at Post time, so this cannot fail; if it
+			// somehow does, the old injector stays attached and the batch
+			// still runs — a chaos-control glitch must never drop work.
+			_ = d.soc.EnableFaults(cfg)
+		}
+		good := s.runDeviceBatch(d, b)
+		s.breakerStep(d, good)
+	}
+}
+
+// breakerStep advances the device-health state machine:
+//
+//	healthy --(BreakerThreshold consecutive bad batches)--> quarantined
+//	quarantined --(backoff elapses)--> probing
+//	probing --(good batch)--> healthy | --(bad batch)--> quarantined (backoff doubles)
+func (s *Server) breakerStep(d *device, good bool) {
+	st := deviceState(d.state.Load())
+	if good {
+		d.consecBad = 0
+		if st == deviceProbing {
+			s.metrics.ProbeSuccesses.Add(1)
+			d.probeBackoff = s.cfg.ProbeBackoffMin
+		}
+		d.state.Store(int32(deviceHealthy))
+		return
+	}
+	d.consecBad++
+	if st == deviceProbing || d.consecBad >= s.cfg.BreakerThreshold {
+		d.state.Store(int32(deviceQuarantined))
+		d.quarantines++
+		s.metrics.Quarantines.Add(1)
+		s.quarantineSleep(d.probeBackoff)
+		d.probeBackoff *= 2
+		if d.probeBackoff > s.cfg.ProbeBackoffMax {
+			d.probeBackoff = s.cfg.ProbeBackoffMax
+		}
+		d.consecBad = 0
+		d.state.Store(int32(deviceProbing))
+		s.metrics.Probes.Add(1)
+	}
+}
+
+// quarantineSleep waits out a backoff window, returning early when drain
+// begins so a sleeping device never delays shutdown.
+func (s *Server) quarantineSleep(dur time.Duration) {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.drainCh:
+	}
+}
+
+// latestDeadline returns the latest context deadline across the live tasks,
+// or ok=false when any member has no deadline (the batch then runs
+// uncancelled: some member is willing to wait forever).
+func latestDeadline(tasks []*task) (time.Time, bool) {
+	var latest time.Time
+	for _, t := range tasks {
+		dl, ok := t.ctx.Deadline()
+		if !ok {
+			return time.Time{}, false
+		}
+		if dl.After(latest) {
+			latest = dl
+		}
+	}
+	return latest, true
+}
+
+// runDeviceBatch runs one coalesced job on one device and reports whether
+// the batch was clean (no resets, hangs, bus faults, rejects or fallbacks —
+// the breaker's "good" verdict). Tasks the hardware cannot answer are never
+// dropped: a failed run reroutes every still-live member to the software
+// tier, and members whose request already died get a deadline outcome.
+func (s *Server) runDeviceBatch(d *device, b *batch) (good bool) {
+	live := b.tasks[:0:0]
+	for _, t := range b.tasks {
+		if t.expired() {
+			s.resolveTask(t, outcome{deadline: true})
+			continue
+		}
+		live = append(live, t)
+	}
+	if len(live) == 0 {
+		return true
+	}
+
+	// Device-local IDs 1..n keep the result stream's 16-bit ID field unique
+	// regardless of what client IDs the pairs arrived with; answers map back
+	// to tasks by input order.
+	pairs := make([]seqio.Pair, len(live))
+	for i, t := range live {
+		pairs[i] = seqio.Pair{ID: uint32(i + 1), A: t.pair.A, B: t.pair.B}
+	}
+	set := &seqio.InputSet{Pairs: pairs}
+
+	ctx := context.Background()
+	if dl, ok := latestDeadline(live); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+
+	opts := s.cfg.Resilient
+	opts.Backtrace = b.backtrace
+	opts.SeparateData = false
+	rep, err := d.soc.RunResilientCtx(ctx, set, opts)
+	if err != nil {
+		// Nothing was delivered (deadline abort or a driver-level failure).
+		// Live members degrade to the software tier; dead ones are answered
+		// with a deadline outcome. Either way every task is resolved.
+		for _, t := range live {
+			if t.expired() {
+				s.resolveTask(t, outcome{deadline: true})
+			} else {
+				s.respill(t)
+			}
+		}
+		return false
+	}
+
+	for i, t := range live {
+		s.resolveTask(t, outcome{res: soc.PairOutcome{ID: t.pair.ID, Result: rep.Outcomes[i].Result}})
+	}
+	s.metrics.HardwarePairs.Add(int64(rep.HardwarePairs))
+	s.metrics.FallbackPairs.Add(int64(rep.FallbackPairs))
+	s.metrics.DeviceRetries.Add(int64(rep.Retries))
+	s.metrics.DeviceResets.Add(int64(rep.Resets))
+	s.metrics.HangErrors.Add(int64(rep.HangErrors))
+	s.metrics.BusErrors.Add(int64(rep.BusErrors))
+	s.metrics.FaultEvents.Add(rep.FaultEvents)
+
+	if snap, perr := d.soc.Driver.PerfSnapshot(); perr == nil {
+		d.perfCache.Store(&perfCacheEntry{Snap: snap})
+	}
+
+	return rep.Resets == 0 && rep.HangErrors == 0 && rep.BusErrors == 0 &&
+		rep.ConfigRejects == 0 && rep.DecodeFailures == 0 &&
+		rep.ValidationRejects == 0 && rep.FallbackPairs == 0
+}
+
+// respill reroutes one live task from a failed device batch to the
+// software tier. The spill channel's capacity equals the in-system budget,
+// so the send can never block.
+func (s *Server) respill(t *task) {
+	s.metrics.Respills.Add(1)
+	s.spill <- t
+}
+
+// softwareLoop is one software-WFA worker: the degradation floor. It
+// consumes both the respill queue and the main dispatch queue — so when the
+// whole device fleet is quarantined the service keeps answering, just
+// slower, and when the fleet is healthy the tiers share the load
+// work-conservingly.
+func (s *Server) softwareLoop() {
+	defer s.swWG.Done()
+	dispatch, spill := s.dispatch, s.spill
+	for dispatch != nil || spill != nil {
+		select {
+		case b, ok := <-dispatch:
+			if !ok {
+				dispatch = nil
+				continue
+			}
+			for _, t := range b.tasks {
+				s.runSoftwareTask(t)
+			}
+		case t, ok := <-spill:
+			if !ok {
+				spill = nil
+				continue
+			}
+			s.runSoftwareTask(t)
+		}
+	}
+}
+
+// runSoftwareTask answers one pair with the pure-software WFA —
+// soc.SoftwareAlign, the same function the resilient fallback and the
+// VerifyScores oracle use, which is what makes the software tier
+// answer-for-answer interchangeable with the hardware path.
+func (s *Server) runSoftwareTask(t *task) {
+	if t.expired() {
+		s.resolveTask(t, outcome{deadline: true})
+		return
+	}
+	res, _ := soc.SoftwareAlign(s.cfg.Core, t.pair, t.backtrace)
+	s.metrics.FallbackPairs.Add(1)
+	s.resolveTask(t, outcome{res: soc.PairOutcome{ID: t.pair.ID, Result: res}})
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/soc"
+)
+
+// soakPairs resolves the soak size: ~50k pairs in -short (what check.sh and
+// CI race with -count=1), ~100k by default, and WFASIC_SOAK_PAIRS for
+// multi-hundred-k overnight runs.
+func soakPairs(t *testing.T) int {
+	if env := os.Getenv("WFASIC_SOAK_PAIRS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1000 {
+			t.Fatalf("WFASIC_SOAK_PAIRS=%q: want an integer >= 1000", env)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 50_000
+	}
+	return 100_000
+}
+
+func soakServerConfig() Config {
+	return Config{
+		Devices:          4,
+		SoftwareWorkers:  4,
+		QueueLimit:       8192,
+		BatchPairs:       64,
+		BatchDelay:       time.Millisecond,
+		BreakerThreshold: 2,
+		ProbeBackoffMin:  2 * time.Millisecond,
+		ProbeBackoffMax:  20 * time.Millisecond,
+		// Fail fast under chaos: one retry, then degrade to software.
+		Resilient: soc.ResilientOptions{MaxAttempts: 2},
+	}
+}
+
+// sliceWorkload returns each tenant's pairs in [lo, hi) of its stream —
+// the soak's three traffic segments over one deterministic workload.
+func sliceWorkload(w *Workload, lo, hi float64) *Workload {
+	out := &Workload{}
+	for _, tl := range w.Tenants {
+		n := len(tl.Pairs)
+		a, b := int(lo*float64(n)), int(hi*float64(n))
+		out.Tenants = append(out.Tenants, TenantLoad{Name: tl.Name, Pairs: tl.Pairs[a:b]})
+	}
+	return out
+}
+
+// soakChaos is the injected fault mix: non-silent faults only (bus errors
+// fail attempts immediately, stall storms slow them down), so every answer
+// the service emits — hardware or fallback — is the same one the software
+// WFA computes, and the outcome journal stays a pure function of the
+// workload seed even though fault placement varies with goroutine timing.
+func soakChaos(seed uint64) fault.Config {
+	return fault.Config{
+		Seed:           seed,
+		ReadErrorProb:  0.9,
+		StallStormProb: 0.001,
+		StallStormMax:  200,
+	}
+}
+
+// runSoak plays one full soak: clean warmup (25% of traffic), chaos on
+// devices 0 and 1 mid-traffic (50%), chaos lifted for the recovery tail
+// (25%). Returns the canonical journal and the drained metrics.
+func runSoak(t *testing.T, seed uint64, pairs, tenants, reqSize int) (string, *Metrics) {
+	t.Helper()
+	s, err := New(soakServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload(seed, tenants, pairs/tenants, 100, 0.05)
+	j := &Journal{}
+	ctx := context.Background()
+
+	segments := []struct {
+		lo, hi float64
+		chaos  bool
+	}{
+		{0, 0.25, false},   // warmup: fleet healthy
+		{0.25, 0.75, true}, // chaos lands mid-traffic on devices 0 and 1
+		{0.75, 1.0, false}, // chaos lifted: devices probe back to healthy
+	}
+	for _, seg := range segments {
+		for d := 0; d < 2; d++ {
+			cfg := fault.Config{}
+			if seg.chaos {
+				cfg = soakChaos(seed + uint64(d))
+			}
+			if err := s.InjectFaults(d, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := RunWorkload(ctx, s, sliceWorkload(w, seg.lo, seg.hi), reqSize, j); err != nil {
+			t.Fatalf("segment [%v, %v): %v", seg.lo, seg.hi, err)
+		}
+	}
+	m := s.Drain()
+	return j.Render(), m
+}
+
+// TestSoakChaosNoDrop is the service's robustness proof: a seeded workload
+// with chaos injected on half the fleet mid-traffic, asserting the no-drop
+// invariant (HardwarePairs + FallbackPairs + Shed == submitted, with zero
+// deadline losses), goroutine hygiene, and a byte-identical outcome journal
+// across two same-seed runs.
+func TestSoakChaosNoDrop(t *testing.T) {
+	pairs := soakPairs(t)
+	const tenants, reqSize = 8, 64
+	baseline := runtime.NumGoroutine()
+
+	journal1, m := runSoak(t, 1, pairs, tenants, reqSize)
+
+	submitted := m.Submitted.Load()
+	if submitted != int64(pairs) {
+		t.Fatalf("submitted %d, want %d", submitted, pairs)
+	}
+	answered := m.HardwarePairs.Load() + m.FallbackPairs.Load() + m.DeadlinePairs.Load()
+	if answered+m.Shed() != submitted {
+		t.Fatalf("no-drop invariant violated: hardware(%d) + fallback(%d) + deadline(%d) + shed(%d) = %d != submitted %d",
+			m.HardwarePairs.Load(), m.FallbackPairs.Load(), m.DeadlinePairs.Load(), m.Shed(), answered+m.Shed(), submitted)
+	}
+	// Lockstep phases sized within every budget: nothing sheds, nothing
+	// deadlines — every single pair got a real answer.
+	if m.Shed() != 0 {
+		t.Fatalf("lockstep workload shed %d pairs", m.Shed())
+	}
+	if m.DeadlinePairs.Load() != 0 {
+		t.Fatalf("%d pairs lost to deadlines without any deadline set", m.DeadlinePairs.Load())
+	}
+	// The chaos was real and the breaker reacted to it.
+	if m.FaultEvents.Load() == 0 {
+		t.Fatal("no faults were injected: the chaos segment did not reach the devices")
+	}
+	if m.Quarantines.Load() == 0 {
+		t.Fatal("chaos devices were never quarantined")
+	}
+	if m.ProbeSuccesses.Load() == 0 {
+		t.Fatal("no device recovered after the chaos lifted")
+	}
+	// Both tiers answered traffic: degradation, not outage or pure software.
+	if m.HardwarePairs.Load() == 0 || m.FallbackPairs.Load() == 0 {
+		t.Fatalf("want both tiers active, got hardware=%d fallback=%d",
+			m.HardwarePairs.Load(), m.FallbackPairs.Load())
+	}
+
+	// Goroutine hygiene: everything Drain spawned is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d before, %d after drain\n%s", baseline, n, buf[:runtime.Stack(buf, true)])
+	}
+
+	// Determinism: a second same-seed soak — with its chaos landing on
+	// different batches, its batches splitting differently across tiers —
+	// must still produce the byte-identical outcome journal.
+	journal2, _ := runSoak(t, 1, pairs, tenants, reqSize)
+	if journal1 != journal2 {
+		dir := t.TempDir()
+		for name, data := range map[string]string{"journal1.txt": journal1, "journal2.txt": journal2} {
+			if err := os.WriteFile(dir+"/"+name, []byte(data), 0o644); err != nil {
+				t.Logf("writing %s: %v", name, err)
+			}
+		}
+		t.Fatalf("same-seed soak journals differ (dumped to %s)", dir)
+	}
+
+	// Artifact for CI: the canonical journal plus the metric summary.
+	if path := os.Getenv("WFASIC_SOAK_JOURNAL"); path != "" {
+		summary := fmt.Sprintf("# pairs=%d hardware=%d fallback=%d shed=%d quarantines=%d probes_ok=%d fault_events=%d\n",
+			pairs, m.HardwarePairs.Load(), m.FallbackPairs.Load(), m.Shed(),
+			m.Quarantines.Load(), m.ProbeSuccesses.Load(), m.FaultEvents.Load())
+		if err := os.WriteFile(path, []byte(summary+journal1), 0o644); err != nil {
+			t.Fatalf("writing soak journal artifact: %v", err)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package soc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,6 +28,10 @@ var (
 	ErrBusFault = errors.New("soc: accelerator bus fault")
 	// ErrIRQMissing: the job finished but no interrupt is pending.
 	ErrIRQMissing = errors.New("soc: job finished but no interrupt is pending")
+	// ErrDeadline: the caller's context expired (or was cancelled) before the
+	// accelerator finished. The machine is left mid-job; soft-reset before
+	// reuse. RunResilientCtx translates this into an aborted retry ladder.
+	ErrDeadline = errors.New("soc: deadline exceeded before the accelerator finished")
 )
 
 // JobConfig is what the driver writes into the accelerator's memory-mapped
@@ -97,8 +102,20 @@ func (d *Driver) Start() error {
 // an exhausted cycle budget wraps ErrHang, and the Error status bit wraps
 // ErrBusFault or ErrJobRejected according to RegErrCode.
 func (d *Driver) PollIdle(maxCycles int64) (int64, error) {
-	cycles, err := d.m.Run(maxCycles)
+	return d.PollIdleCtx(context.Background(), maxCycles)
+}
+
+// PollIdleCtx is PollIdle with cooperative cancellation: the machine's run
+// loop polls ctx every few thousand cycles, and an expired context aborts
+// the poll with ErrDeadline, leaving the machine mid-job (the caller must
+// Reset before reuse). A run that completes before the deadline is
+// bit-identical to PollIdle.
+func (d *Driver) PollIdleCtx(ctx context.Context, maxCycles int64) (int64, error) {
+	cycles, err := d.m.RunCtx(ctx, maxCycles)
 	if err != nil {
+		if ctx.Err() != nil {
+			return cycles, fmt.Errorf("%w: %w", ErrDeadline, err)
+		}
 		return cycles, fmt.Errorf("%w: %w", ErrHang, err)
 	}
 	status, err := d.m.Regs.Read(core.RegStatus)
@@ -126,7 +143,15 @@ func (d *Driver) PollIdle(maxCycles int64) (int64, error) {
 // pending interrupt wraps ErrIRQMissing — the caller can still inspect the
 // Idle/Error status bits to salvage the job (a lost-IRQ recovery).
 func (d *Driver) WaitIRQ(maxCycles int64) (int64, error) {
-	cycles, err := d.PollIdle(maxCycles)
+	return d.WaitIRQCtx(context.Background(), maxCycles)
+}
+
+// WaitIRQCtx is WaitIRQ with cooperative cancellation, the deadline-aware
+// variant of the IRQ completion path: the underlying poll aborts with
+// ErrDeadline once ctx expires, so a cancelled request never sits in the
+// lost-IRQ salvage loop.
+func (d *Driver) WaitIRQCtx(ctx context.Context, maxCycles int64) (int64, error) {
+	cycles, err := d.PollIdleCtx(ctx, maxCycles)
 	if err != nil {
 		return cycles, err
 	}

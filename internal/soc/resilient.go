@@ -2,6 +2,7 @@ package soc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,16 +17,51 @@ import (
 	"repro/internal/wfa"
 )
 
+// Defaults for the zero values of ResilientOptions. Explicit values are
+// validated by ResilientOptions.Validate; only the zero value selects a
+// default (negative values are errors, never silent clamps).
+const (
+	// DefaultMaxAttempts is the reset-and-resubmit bound when
+	// ResilientOptions.MaxAttempts is zero.
+	DefaultMaxAttempts = 3
+	// DefaultRunMaxCycles is the per-attempt cycle budget when
+	// ResilientOptions.MaxCycles is zero.
+	DefaultRunMaxCycles = 100_000_000_000
+	// maxBackoffShift caps the exponential reset-backoff doubling so the
+	// shift can never overflow (backoff plateaus after 20 retries).
+	maxBackoffShift = 20
+)
+
 // ResilientOptions configures RunResilient.
 type ResilientOptions struct {
 	// Backtrace enables the backtrace stream and the CPU decode step.
 	Backtrace bool
 	// SeparateData forces the multi-Aligner data-separation method.
 	SeparateData bool
-	// MaxCycles bounds each hardware attempt; 0 means a large default.
+	// MaxCycles bounds each hardware attempt; 0 means DefaultRunMaxCycles.
+	// Negative values are rejected by Validate.
 	MaxCycles int64
-	// MaxAttempts bounds the reset-and-resubmit loop; 0 means 3.
+	// MaxAttempts bounds the reset-and-resubmit loop; 0 means
+	// DefaultMaxAttempts. Negative values are rejected by Validate.
 	MaxAttempts int
+	// MaxWallRetries bounds how many of the retries may be triggered by
+	// wall-clock failures — watchdog hangs and exhausted cycle budgets —
+	// which are the expensive failure class (each one costs a full watchdog
+	// window before it is diagnosed). 0 means MaxAttempts-1, i.e. every
+	// retry may be hang-triggered (the historical behavior). An explicit
+	// value must lie in [1, MaxAttempts-1]: negative values and bounds that
+	// could never bind are rejected by Validate, not clamped. Once the bound
+	// trips the remaining pairs degrade to the software fallback
+	// immediately instead of burning further watchdog windows.
+	MaxWallRetries int
+	// ResetBackoff inserts idle cycles between a soft reset and the
+	// resubmission, doubling on every further retry (exponential backoff):
+	// retry k waits ResetBackoff << (k-1) cycles. This gives a transiently
+	// sick device (stall storm in flight, bus briefly poisoned) time to
+	// quiesce before the next attempt. 0 disables backoff; negative values
+	// are rejected by Validate. Backoff cycles are accounted in
+	// ResilientReport.BackoffCycles and TotalCycles.
+	ResetBackoff int
 	// UseIRQ completes attempts through the interrupt path instead of
 	// polling, exercising the lost-IRQ recovery.
 	UseIRQ bool
@@ -37,6 +73,55 @@ type ResilientOptions struct {
 	VerifyScores bool
 }
 
+// Validate rejects invalid option values and combinations. The zero value of
+// every knob selects a documented default; everything else must be usable
+// exactly as written — RunResilient never silently clamps.
+func (o ResilientOptions) Validate() error {
+	_, err := o.resolve()
+	return err
+}
+
+// resilientParams are the resolved (defaulted, validated) option values.
+type resilientParams struct {
+	maxAttempts    int
+	maxWallRetries int
+	resetBackoff   int
+	maxCycles      int64
+}
+
+func (o ResilientOptions) resolve() (resilientParams, error) {
+	var p resilientParams
+	if o.MaxAttempts < 0 {
+		return p, fmt.Errorf("soc: MaxAttempts %d is negative (0 selects the default of %d)", o.MaxAttempts, DefaultMaxAttempts)
+	}
+	if o.MaxCycles < 0 {
+		return p, fmt.Errorf("soc: MaxCycles %d is negative (0 selects the default of %d)", o.MaxCycles, int64(DefaultRunMaxCycles))
+	}
+	if o.MaxWallRetries < 0 {
+		return p, fmt.Errorf("soc: MaxWallRetries %d is negative (0 selects MaxAttempts-1)", o.MaxWallRetries)
+	}
+	if o.ResetBackoff < 0 {
+		return p, fmt.Errorf("soc: ResetBackoff %d is negative (0 disables backoff)", o.ResetBackoff)
+	}
+	p.maxAttempts = o.MaxAttempts
+	if p.maxAttempts == 0 {
+		p.maxAttempts = DefaultMaxAttempts
+	}
+	p.maxCycles = o.MaxCycles
+	if p.maxCycles == 0 {
+		p.maxCycles = DefaultRunMaxCycles
+	}
+	p.maxWallRetries = o.MaxWallRetries
+	if p.maxWallRetries == 0 {
+		p.maxWallRetries = p.maxAttempts - 1
+	} else if p.maxWallRetries > p.maxAttempts-1 {
+		return p, fmt.Errorf("soc: MaxWallRetries %d can never bind: at most MaxAttempts-1 = %d retries happen at all",
+			o.MaxWallRetries, p.maxAttempts-1)
+	}
+	p.resetBackoff = o.ResetBackoff
+	return p, nil
+}
+
 // ResilientReport records what RunResilient did: the final per-pair
 // outcomes (input order) plus fault, recovery and fallback accounting.
 type ResilientReport struct {
@@ -44,6 +129,7 @@ type ResilientReport struct {
 
 	Attempts          int // hardware submissions, including the first
 	Retries           int // resubmissions after a failed attempt
+	WallRetries       int // retries triggered by hangs / cycle-budget exhaustion
 	Resets            int // soft resets issued
 	HangErrors        int // attempts ended by the watchdog or cycle budget
 	BusErrors         int // attempts ended by an AXI error response
@@ -56,9 +142,10 @@ type ResilientReport struct {
 	FallbackPairs int // pairs aligned by the software WFA after retries
 
 	AccelCycles        int64 // accelerator cycles summed over every attempt
+	BackoffCycles      int64 // idle cycles spent in reset backoff between attempts
 	CPUBacktraceCycles int64 // modeled CPU cycles decoding backtrace streams
 	CPUFallbackCycles  int64 // modeled CPU cycles for software fallback
-	TotalCycles        int64 // AccelCycles + CPUBacktraceCycles + CPUFallbackCycles
+	TotalCycles        int64 // AccelCycles + BackoffCycles + CPUBacktraceCycles + CPUFallbackCycles
 
 	// FaultEvents / FaultCounts describe the faults injected during this
 	// run (deltas over the SoC's injector, which accumulates across runs).
@@ -100,6 +187,19 @@ type swResult struct {
 // degrades to the pure-software WFA for any pair the hardware could not
 // deliver. The returned report always covers every input pair.
 func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*ResilientReport, error) {
+	return s.RunResilientCtx(context.Background(), set, opts)
+}
+
+// RunResilientCtx is RunResilient under a caller deadline. The context is
+// plumbed end to end: it aborts the in-flight hardware attempt (the
+// machine's run loop polls it), the retry/reset ladder between attempts, and
+// the IRQ-loss salvage path. A cancelled run returns an error wrapping
+// ErrDeadline after best-effort soft-resetting the device so it stays
+// reusable; no report is returned (the caller's request is dead — partial
+// results would only invite double-answering). The software fallback is NOT
+// taken for a cancelled request: degrading is for hardware failures, not for
+// callers that already stopped listening.
+func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts ResilientOptions) (*ResilientReport, error) {
 	if len(set.Pairs) == 0 {
 		return nil, fmt.Errorf("soc: empty input set")
 	}
@@ -117,13 +217,9 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 	}
 
 	rep := &ResilientReport{Outcomes: make([]PairOutcome, len(set.Pairs))}
-	maxAttempts := opts.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = 3
-	}
-	maxCycles := opts.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = 100_000_000_000
+	p, err := opts.resolve()
+	if err != nil {
+		return nil, err
 	}
 	faultBase := s.Faults.Total()
 	countBase := s.Faults.Counts()
@@ -154,7 +250,12 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 			Backtrace:  opts.Backtrace,
 			EnableIRQ:  opts.UseIRQ,
 		}
-		for attempt := 1; attempt <= maxAttempts && acceptedCount < len(set.Pairs); attempt++ {
+		for attempt := 1; attempt <= p.maxAttempts && acceptedCount < len(set.Pairs); attempt++ {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				// The deadline landed between attempts: the device is idle
+				// (the previous attempt was reset), so just abort the ladder.
+				return nil, fmt.Errorf("%w: %w", ErrDeadline, ctxErr)
+			}
 			if attempt > 1 {
 				rep.Retries++
 			}
@@ -162,8 +263,17 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 			// Kill stale bytes from earlier attempts so a truncated stream
 			// reads as padding, never as a previous attempt's records.
 			s.zeroFrom(int64(outputAddr))
-			ok, fatal := s.runAttempt(set, job, opts, maxCycles, byID, sw, accepted, &acceptedCount, rep)
+			hangsBefore := rep.HangErrors
+			ok, fatal := s.runAttempt(ctx, set, job, opts, p.maxCycles, byID, sw, accepted, &acceptedCount, rep)
 			if fatal != nil {
+				if errors.Is(fatal, ErrDeadline) {
+					// Job abort: the machine is mid-job; soft-reset so the
+					// device stays reusable, then surface the deadline.
+					if rerr := s.Driver.Reset(); rerr != nil {
+						return nil, fmt.Errorf("%w (and the post-abort reset failed: %w)", fatal, rerr)
+					}
+					rep.Resets++
+				}
 				return nil, fatal
 			}
 			if acceptedCount == len(set.Pairs) {
@@ -177,6 +287,26 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 				return nil, err
 			}
 			rep.Resets++
+			if rep.HangErrors > hangsBefore {
+				rep.WallRetries++
+				if rep.WallRetries > p.maxWallRetries {
+					// Wall-clock failures are the expensive class (each one
+					// costs a watchdog window); past the bound the remaining
+					// pairs degrade to software immediately.
+					break
+				}
+			}
+			if p.resetBackoff > 0 && attempt < p.maxAttempts {
+				shift := attempt - 1
+				if shift > maxBackoffShift {
+					shift = maxBackoffShift
+				}
+				backoff := p.resetBackoff << shift
+				for i := 0; i < backoff; i++ {
+					s.Machine.Tick()
+				}
+				rep.BackoffCycles += int64(backoff)
+			}
 		}
 	}
 
@@ -193,7 +323,7 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 		rep.FallbackPairs++
 	}
 
-	rep.TotalCycles = rep.AccelCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles
+	rep.TotalCycles = rep.AccelCycles + rep.BackoffCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles
 	perfNow, err := s.Driver.PerfSnapshot()
 	if err != nil {
 		return nil, err
@@ -211,8 +341,9 @@ func (s *SoC) RunResilient(set *seqio.InputSet, opts ResilientOptions) (*Resilie
 
 // runAttempt performs one configure/start/wait/parse/validate round.
 // ok=false means the failure is deterministic and retrying is pointless;
-// fatal is a driver-level error that should abort RunResilient itself.
-func (s *SoC) runAttempt(set *seqio.InputSet, job JobConfig, opts ResilientOptions,
+// fatal is a driver-level error that should abort RunResilient itself
+// (including a context expiry, which surfaces as ErrDeadline).
+func (s *SoC) runAttempt(ctx context.Context, set *seqio.InputSet, job JobConfig, opts ResilientOptions,
 	maxCycles int64, byID map[uint32]int, sw []swResult,
 	accepted []bool, acceptedCount *int, rep *ResilientReport) (ok bool, fatal error) {
 
@@ -226,15 +357,17 @@ func (s *SoC) runAttempt(set *seqio.InputSet, job JobConfig, opts ResilientOptio
 	err := s.protectOOM(func() error {
 		var runErr error
 		if opts.UseIRQ {
-			cycles, runErr = s.Driver.WaitIRQ(maxCycles)
+			cycles, runErr = s.Driver.WaitIRQCtx(ctx, maxCycles)
 		} else {
-			cycles, runErr = s.Driver.PollIdle(maxCycles)
+			cycles, runErr = s.Driver.PollIdleCtx(ctx, maxCycles)
 		}
 		return runErr
 	})
 	rep.AccelCycles += cycles
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrDeadline):
+		return false, err
 	case errors.Is(err, ErrIRQMissing):
 		// The job itself completed (PollIdle inside WaitIRQ saw Idle without
 		// Error) — only the interrupt was lost. Salvage the results.
@@ -411,28 +544,34 @@ func (s *SoC) software(i int, p seqio.Pair, withCIGAR bool, sw []swResult) swRes
 	return sw[i]
 }
 
-// alignSoftware reproduces the accelerator's semantics in software:
-// unsupported reads (over the hardware cap or containing unknown bases)
-// fail with Success = 0, everything else runs the WFA under the hardware's
-// k_max window.
+// alignSoftware reproduces the accelerator's semantics in software.
 func (s *SoC) alignSoftware(p seqio.Pair, withCIGAR bool) swResult {
-	if len(p.A) > s.Cfg.MaxReadLenCap || len(p.B) > s.Cfg.MaxReadLenCap ||
+	res, stats := SoftwareAlign(s.Cfg, p, withCIGAR)
+	return swResult{res: res, stats: stats}
+}
+
+// SoftwareAlign reproduces the accelerator's per-pair semantics in pure
+// software: unsupported reads (over the hardware cap or containing unknown
+// bases) fail with Success = false, everything else runs the WFA under the
+// hardware's k_max window. It is the one definition of "the right answer"
+// shared by the resilient fallback, the VerifyScores oracle and the
+// software-worker tier of internal/serve — which is what makes the hardware
+// and software paths interchangeable pair-by-pair.
+func SoftwareAlign(cfg core.Config, p seqio.Pair, withCIGAR bool) (align.Result, cpumodel.WFAStats) {
+	if len(p.A) > cfg.MaxReadLenCap || len(p.B) > cfg.MaxReadLenCap ||
 		seqio.ValidateSequence(p.A) != nil || seqio.ValidateSequence(p.B) != nil {
-		return swResult{res: align.Result{Success: false}}
+		return align.Result{Success: false}, cpumodel.WFAStats{}
 	}
-	res, st, err := wfa.Align(p.A, p.B, s.Cfg.Penalties, wfa.Options{WithCIGAR: withCIGAR, MaxK: s.Cfg.KMax})
+	res, st, err := wfa.Align(p.A, p.B, cfg.Penalties, wfa.Options{WithCIGAR: withCIGAR, MaxK: cfg.KMax})
 	if err != nil {
-		return swResult{res: align.Result{Success: false}}
+		return align.Result{Success: false}, cpumodel.WFAStats{}
 	}
-	return swResult{
-		res: res,
-		stats: cpumodel.WFAStats{
-			ScoreSteps:     st.ScoreSteps,
-			CellsComputed:  st.CellsComputed,
-			BasesCompared:  st.BasesCompared,
-			Blocks16:       st.Blocks16,
-			WavefrontBytes: st.WavefrontBytes,
-		},
+	return res, cpumodel.WFAStats{
+		ScoreSteps:     st.ScoreSteps,
+		CellsComputed:  st.CellsComputed,
+		BasesCompared:  st.BasesCompared,
+		Blocks16:       st.Blocks16,
+		WavefrontBytes: st.WavefrontBytes,
 	}
 }
 

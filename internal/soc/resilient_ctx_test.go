@@ -1,0 +1,178 @@
+package soc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/seqgen"
+)
+
+// newChaosSoC builds a SoC with the given watchdog window and fault config.
+func newChaosSoC(t *testing.T, watchdog int, fc fault.Config) *SoC {
+	t.Helper()
+	cfg := core.ChipConfig()
+	cfg.WatchdogCycles = watchdog
+	s, err := New(cfg, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableFaults(fc); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallSet(pairs, length int) *seqgen.Generator {
+	return seqgen.New(uint64(pairs), uint64(length))
+}
+
+func TestResilientOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts ResilientOptions
+		want string // "" means valid
+	}{
+		{"zero-defaults", ResilientOptions{}, ""},
+		{"explicit-valid", ResilientOptions{MaxAttempts: 5, MaxWallRetries: 2, ResetBackoff: 64, MaxCycles: 1 << 20}, ""},
+		{"negative-attempts", ResilientOptions{MaxAttempts: -1}, "MaxAttempts"},
+		{"negative-cycles", ResilientOptions{MaxCycles: -1}, "MaxCycles"},
+		{"negative-wall-retries", ResilientOptions{MaxWallRetries: -2}, "MaxWallRetries"},
+		{"negative-backoff", ResilientOptions{ResetBackoff: -3}, "ResetBackoff"},
+		{"wall-retries-cannot-bind", ResilientOptions{MaxAttempts: 3, MaxWallRetries: 3}, "never bind"},
+		{"wall-retries-on-single-attempt", ResilientOptions{MaxAttempts: 1, MaxWallRetries: 1}, "never bind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// An invalid option combination must fail the run itself, not silently clamp.
+func TestRunResilientRejectsInvalidOptions(t *testing.T) {
+	s := newChaosSoC(t, 0, fault.Config{})
+	set := smallSet(3, 100).Set(seqgen.Profile{Name: "p", Length: 100, ErrorRate: 0.05, NumPairs: 3})
+	if _, err := s.RunResilient(set, ResilientOptions{MaxAttempts: -1}); err == nil {
+		t.Fatal("negative MaxAttempts did not error")
+	}
+	if _, err := s.RunResilient(set, ResilientOptions{MaxAttempts: 2, MaxWallRetries: 5}); err == nil {
+		t.Fatal("MaxWallRetries > MaxAttempts-1 did not error")
+	}
+}
+
+func TestRunResilientCtxPreCancelled(t *testing.T) {
+	s := newChaosSoC(t, 0, fault.Config{})
+	set := smallSet(3, 100).Set(seqgen.Profile{Name: "p", Length: 100, ErrorRate: 0.05, NumPairs: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.RunResilientCtx(ctx, set, ResilientOptions{})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("pre-cancelled context: got %v, want ErrDeadline", err)
+	}
+}
+
+// A deadline landing mid-attempt aborts the retry ladder promptly, surfaces
+// ErrDeadline, and leaves the device reusable after the driver's soft reset.
+func TestRunResilientCtxMidRunDeadline(t *testing.T) {
+	// Every read grant is lost and the watchdog is effectively disabled, so
+	// the job can only ever end through the context.
+	s := newChaosSoC(t, 1<<30, fault.Config{Seed: 7, LostGrantProb: 1})
+	g := smallSet(4, 100)
+	set := g.Set(seqgen.Profile{Name: "p", Length: 100, ErrorRate: 0.05, NumPairs: 4})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.RunResilientCtx(ctx, set, ResilientOptions{})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("hung job under expired deadline: got %v, want ErrDeadline", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("deadline abort took %v; the ladder did not abort promptly", took)
+	}
+
+	// The post-abort reset must leave the device fully usable: disable the
+	// injector's fault source and run the same set to completion.
+	s.Faults = nil
+	s.Machine.AttachInjector(nil)
+	rep, err := s.RunResilient(set, ResilientOptions{})
+	if err != nil {
+		t.Fatalf("device unusable after deadline abort: %v", err)
+	}
+	if rep.HardwarePairs != len(set.Pairs) {
+		t.Fatalf("post-abort run delivered %d/%d pairs in hardware", rep.HardwarePairs, len(set.Pairs))
+	}
+}
+
+// ResetBackoff inserts exponentially growing idle windows between attempts
+// and accounts for them in BackoffCycles and TotalCycles.
+func TestResetBackoffAccounting(t *testing.T) {
+	// Every read transaction errors: all attempts die on ErrBusFault, all
+	// pairs fall back, and with MaxAttempts=3 exactly two backoff windows
+	// are paid (none after the final attempt).
+	s := newChaosSoC(t, 0, fault.Config{Seed: 11, ReadErrorProb: 1})
+	set := smallSet(3, 100).Set(seqgen.Profile{Name: "p", Length: 100, ErrorRate: 0.05, NumPairs: 3})
+	rep, err := s.RunResilient(set, ResilientOptions{ResetBackoff: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 3 || rep.BusErrors != 3 {
+		t.Fatalf("want 3 bus-faulted attempts, got attempts=%d busErrors=%d", rep.Attempts, rep.BusErrors)
+	}
+	if want := int64(64 + 128); rep.BackoffCycles != want {
+		t.Fatalf("BackoffCycles = %d, want %d (64<<0 + 64<<1)", rep.BackoffCycles, want)
+	}
+	if rep.TotalCycles != rep.AccelCycles+rep.BackoffCycles+rep.CPUBacktraceCycles+rep.CPUFallbackCycles {
+		t.Fatalf("TotalCycles %d does not include the backoff windows", rep.TotalCycles)
+	}
+	if rep.FallbackPairs != len(set.Pairs) {
+		t.Fatalf("all pairs should have fallen back, got %d/%d", rep.FallbackPairs, len(set.Pairs))
+	}
+}
+
+// MaxWallRetries bounds hang-triggered retries separately from MaxAttempts.
+func TestMaxWallRetriesBound(t *testing.T) {
+	fc := fault.Config{Seed: 21, LostGrantProb: 1}
+	set := smallSet(3, 100).Set(seqgen.Profile{Name: "p", Length: 100, ErrorRate: 0.05, NumPairs: 3})
+
+	// Default: every retry may be a hang retry, so all 4 attempts run.
+	s := newChaosSoC(t, 1500, fc)
+	rep, err := s.RunResilient(set, ResilientOptions{MaxAttempts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 4 || rep.HangErrors != 4 {
+		t.Fatalf("default wall bound: want 4 hung attempts, got attempts=%d hangs=%d", rep.Attempts, rep.HangErrors)
+	}
+
+	// Explicit bound of 1: the ladder stops after the first wall retry also
+	// hangs, long before MaxAttempts.
+	s = newChaosSoC(t, 1500, fc)
+	rep, err = s.RunResilient(set, ResilientOptions{MaxAttempts: 4, MaxWallRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 2 {
+		t.Fatalf("MaxWallRetries=1: want 2 attempts, got %d", rep.Attempts)
+	}
+	if rep.FallbackPairs != len(set.Pairs) {
+		t.Fatalf("pairs past the wall bound must degrade to software, got %d/%d", rep.FallbackPairs, len(set.Pairs))
+	}
+}

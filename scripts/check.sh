@@ -72,4 +72,24 @@ else
     go test -count=1 -run 'TestChaos' ./internal/soc/
 fi
 
+# The serving soak (internal/serve/soak_test.go) is the no-drop proof: ~50k
+# pairs in -short mode with chaos injected on two devices mid-traffic, run
+# twice and compared journal-byte for journal-byte. -count=1 for the same
+# reason as the chaos campaign: it must actually execute.
+echo "== serve soak (short, chaos on 2 devices) =="
+if [[ "${SKIP_RACE:-0}" == "1" ]]; then
+    go test -short -count=1 -run 'TestSoakChaosNoDrop' ./internal/serve/
+else
+    go test -race -short -count=1 -run 'TestSoakChaosNoDrop' ./internal/serve/
+fi
+
+# BENCH_8.json is the committed capacity model for the serving layer. The
+# calibration and the queueing model are deterministic, so a diff means the
+# service's cost model really changed and the snapshot must be regenerated
+# deliberately (go run ./cmd/wfasic-serve -bench).
+echo "== serve bench model (regen + diff) =="
+go run ./cmd/wfasic-serve -bench -out serve-bench.json > /dev/null
+diff BENCH_8.json serve-bench.json
+rm -f serve-bench.json
+
 echo "all checks passed"
