@@ -8,6 +8,7 @@
 //	wfasic-serve -addr :8080                      # serve HTTP
 //	wfasic-serve -loadgen -pairs 20000 -seed 7    # in-process deterministic load run
 //	wfasic-serve -bench -out BENCH_8.json         # regenerate the capacity bench
+//	wfasic-serve -bench-integrity -out BENCH_9.json  # regenerate the SDC-defense cost bench
 //
 // Quickstart:
 //
@@ -50,8 +51,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "loadgen/bench: workload seed")
 		journal = flag.String("journal", "", "loadgen: write the outcome journal to this file")
 
-		bench = flag.Bool("bench", false, "regenerate the capacity bench document")
-		out   = flag.String("out", "BENCH_8.json", "bench: output path")
+		bench          = flag.Bool("bench", false, "regenerate the capacity bench document")
+		benchIntegrity = flag.Bool("bench-integrity", false, "regenerate the SDC-defense cost bench document")
+		benchPairs     = flag.Int("bench-pairs", 256, "bench-integrity: pairs per policy run")
+		out            = flag.String("out", "BENCH_8.json", "bench: output path")
 	)
 	flag.Parse()
 
@@ -68,6 +71,8 @@ func main() {
 
 	var err error
 	switch {
+	case *benchIntegrity:
+		err = runBenchIntegrity(*benchPairs, *readLen, *seed, *out)
 	case *bench:
 		err = runBench(*batchPairs, *readLen, *seed, *devices, *swWorkers, *queueLimit, *batchDelay, *out)
 	case *loadgen:
@@ -152,6 +157,30 @@ func runLoadgen(cfg serve.Config, pairs, tenants, readLen, reqSize int, seed uin
 		}
 		fmt.Printf("journal: %s (%d entries)\n", journalPath, j.Len())
 	}
+	return nil
+}
+
+// runBenchIntegrity prices the SDC defense: the same seeded fault-free
+// workload through every verification policy, integrity cycles per pair and
+// overhead against the verification-off baseline.
+func runBenchIntegrity(pairs, readLen int, seed uint64, out string) error {
+	doc, err := serve.RunIntegrityBench(core.ChipConfig(), pairs, readLen, seed)
+	if err != nil {
+		return err
+	}
+	data, err := doc.MarshalStable()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, p := range doc.Points {
+		fmt.Printf("%-8s sample=%4d/10000: integrity=%d cycles (%d/pair), total=%d, overhead=%d/1000\n",
+			p.Mode, p.SamplePermyriad, p.IntegrityCycles, p.IntegrityCyclesPerPair,
+			p.TotalCycles, p.OverheadPerMille)
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

@@ -58,6 +58,14 @@ type AlignerStats struct {
 	LoadCycles    int64 // cycles in Loading (the Extractor streaming the pair in)
 	DrainCycles   int64 // cycles in Draining (outbox emptying into the Collector)
 	BankConflicts int64 // window-edge accesses absorbed by the duplicated RAMs
+
+	// SDCWavefront counts wavefront parity trips: single-event upsets the
+	// injector actually applied to a Wavefront RAM line. The model latches
+	// the trip at the flip itself — the faithful abstraction of per-line
+	// parity checked on every read, which detects all 1-bit errors with
+	// probability 1 — and the Machine exposes the per-job delta through
+	// RegSDCWavefront so the driver can discard the tainted attempt.
+	SDCWavefront int64
 }
 
 // AlignerHW is one Aligner module (Section 4.3): ParallelSections pairs of
@@ -475,6 +483,10 @@ func (a *AlignerHW) executeStep(cycle int64, s int, iR, dR, mR Range) int64 {
 			nv := v ^ int32(1<<bit)
 			if nv >= 0 && nv <= int32(m) && nv-int32(k) >= 0 && nv-int32(k) <= int32(n) {
 				mwf.Set(k, nv, mwf.TagAt(k))
+				// Parity witness: the flipped line fails its parity check
+				// the next time it is read. Latched as a monotone trip so
+				// the job-level RegSDCWavefront register reports it.
+				a.Stats.SDCWavefront++
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/integrity"
 	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -38,6 +39,12 @@ type Collector struct {
 
 	Transactions int64
 
+	// outCRC is the per-job CRC32C over every output transaction pushed
+	// into the output FIFO, latched into RegOutCRC each cycle. It runs on
+	// the pre-FIFO side, so output-path faults (flipped or dropped beats in
+	// the DMA write engine) make the memory image disagree with it.
+	outCRC uint32
+
 	// Emitted and BackpressureCycles are monotone over the machine's lifetime
 	// (they survive Reset/Configure, unlike Transactions, which feeds the
 	// per-job RegOutCount register) — the perf layer windows them by delta.
@@ -61,6 +68,7 @@ func (c *Collector) Configure(numPairs int, btEnabled bool, onResult func(uint32
 	c.nbtBuf = c.nbtBuf[:0]
 	c.resultsSeen = 0
 	c.Transactions = 0
+	c.outCRC = 0
 }
 
 // Reset clears all chunking, merge and completion state; the machine's
@@ -76,6 +84,7 @@ func (c *Collector) Reset() {
 	c.numPairs = 0
 	c.onResult = nil
 	c.Transactions = 0
+	c.outCRC = 0
 }
 
 // Done reports whether every result has been seen and fully written out.
@@ -191,4 +200,5 @@ func (c *Collector) push(beat [mem.BeatBytes]byte) {
 	}
 	c.Transactions++
 	c.Emitted++
+	c.outCRC = integrity.CRCUpdate(c.outCRC, beat[:])
 }

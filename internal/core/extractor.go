@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 
+	"repro/internal/integrity"
 	"repro/internal/mem"
 	"repro/internal/seqio"
 	"repro/internal/sim"
@@ -35,6 +36,8 @@ type Extractor struct {
 	lenA, lenB     int
 	rawA, rawB     []byte
 	unsupported    bool
+	crc            uint32 // running ingest CRC32C over the pair's beats
+	expectWitness  uint32 // witness extracted from the header (0 = absent)
 	dispatchWait   int
 	pairStartCycle int64
 
@@ -60,6 +63,7 @@ type ExtractorStats struct {
 	DispatchWaitCycles int64 // cycles spent in the per-pair dispatch overhead
 	PairsDispatched    int64
 	Unsupported        int64 // pairs dispatched with the unsupported flag
+	SDCInput           int64 // pairs whose ingest CRC witness mismatched
 }
 
 // NewExtractor wires the extractor to the input FIFO and the Aligners.
@@ -93,6 +97,8 @@ func (e *Extractor) Reset() {
 	e.rawA = e.rawA[:0]
 	e.rawB = e.rawB[:0]
 	e.unsupported = false
+	e.crc = 0
+	e.expectWitness = 0
 	clear(e.readingByID)
 }
 
@@ -154,6 +160,8 @@ func (e *Extractor) beginPair(a *AlignerHW, cycle int64) {
 	e.rawA = e.rawA[:0]
 	e.rawB = e.rawB[:0]
 	e.unsupported = false
+	e.crc = 0
+	e.expectWitness = 0
 	e.pairStartCycle = cycle
 }
 
@@ -171,15 +179,34 @@ func (e *Extractor) consumeBeat(beat [mem.BeatBytes]byte) {
 		if e.lenA > e.maxReadLen || e.lenB > e.maxReadLen {
 			e.unsupported = true
 		}
+		// The ingest CRC (Section 4.2 extended by the integrity layer)
+		// accumulates over the pair block with the witness field zeroed —
+		// the same stream PairWitness checksums at build time. beat is a
+		// by-value copy, so masking it here is local.
+		e.expectWitness = binary.LittleEndian.Uint32(beat[12:16])
+		beat[12], beat[13], beat[14], beat[15] = 0, 0, 0, 0
+		e.crc = integrity.CRC(beat[:])
 	case e.beatIdx <= seqBeats:
 		e.rawA = append(e.rawA, beat[:]...)
+		e.crc = integrity.CRCUpdate(e.crc, beat[:])
 	default:
 		e.rawB = append(e.rawB, beat[:]...)
+		e.crc = integrity.CRCUpdate(e.crc, beat[:])
 	}
 }
 
 // dispatch finalizes decode and starts the target Aligner.
 func (e *Extractor) dispatch(cycle int64) {
+	// Ingest integrity witness: a nonzero header witness that disagrees
+	// with the accumulated CRC means the pair block was corrupted between
+	// job build and the Input_Seq RAMs (a delivered-beat bit flip, or a
+	// flip at rest in main memory). The pair is refused — Success=0, like
+	// any unsupported read — and the trip is latched for RegSDCInput so
+	// the driver can discard the whole attempt.
+	if e.expectWitness != 0 && e.crc != e.expectWitness {
+		e.unsupported = true
+		e.Stats.SDCInput++
+	}
 	var seqA, seqB *SeqRAM
 	if !e.unsupported {
 		a := e.rawA[:e.lenA]

@@ -51,6 +51,11 @@ type Machine struct {
 	jobStart int64
 	running  bool
 
+	// sdcInputBase / sdcWavefrontBase snapshot the monotone SDC stats at
+	// job start so RegSDCInput/RegSDCWavefront report per-job deltas.
+	sdcInputBase     int64
+	sdcWavefrontBase int64
+
 	// DMA read engine state.
 	readAddr      int64
 	readBeatsLeft int
@@ -174,6 +179,9 @@ func (m *Machine) startJob() {
 	r.ErrCode = ErrCodeNone
 	r.ErrAddr = 0
 	r.OutCount = 0
+	r.OutCRC = 0
+	r.SDCInput = 0
+	r.SDCWavefront = 0
 	maxReadLen := int(r.MaxReadLen)
 	numPairs := int(r.NumPairs)
 	ok := maxReadLen >= 16 && maxReadLen%16 == 0 && maxReadLen <= m.cfg.MaxReadLenCap &&
@@ -215,6 +223,13 @@ func (m *Machine) startJob() {
 
 	m.running = true
 	m.perfJobs++
+	// Snapshot the monotone SDC stats so the Reg* windows report per-job
+	// deltas (the same base-delta pattern as the perf counters).
+	m.sdcInputBase = m.extractor.Stats.SDCInput
+	m.sdcWavefrontBase = 0
+	for _, a := range m.aligners {
+		m.sdcWavefrontBase += a.Stats.SDCWavefront
+	}
 	r.idle = false
 	r.JobCycles = 0
 	m.jobStart = m.cycle
@@ -278,14 +293,19 @@ func (m *Machine) Tick() {
 	m.ctl.Tick()
 	m.dmaRead(cycle)
 	m.extractor.Tick(cycle)
+	var wfTrips int64
 	for _, a := range m.aligners {
 		a.Tick(cycle)
+		wfTrips += a.Stats.SDCWavefront
 	}
 	m.collector.Tick()
 	m.dmaWrite(cycle)
 	m.inFIFO.Tick()
 	m.outFIFO.Tick()
 	m.Regs.OutCount = uint32(m.collector.Transactions)
+	m.Regs.OutCRC = m.collector.outCRC
+	m.Regs.SDCInput = uint32(m.extractor.Stats.SDCInput - m.sdcInputBase)
+	m.Regs.SDCWavefront = uint32(wfTrips - m.sdcWavefrontBase)
 	m.Regs.JobCycles = uint64(cycle - m.jobStart)
 	if m.sampleEvery > 0 && cycle%m.sampleEvery == 0 {
 		m.samplePerf(cycle)
@@ -385,6 +405,9 @@ func (m *Machine) softReset() {
 	r.ErrCode = ErrCodeNone
 	r.ErrAddr = 0
 	r.OutCount = 0
+	r.OutCRC = 0
+	r.SDCInput = 0
+	r.SDCWavefront = 0
 	r.JobCycles = 0
 	m.Timings = m.Timings[:0]
 }

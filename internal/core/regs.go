@@ -25,6 +25,9 @@ const (
 	RegPerfCount    = 0x40 // R: number of hardware perf counters implemented
 	RegPerfLo       = 0x44 // R: selected perf counter, low 32 bits (latches the 64-bit value)
 	RegPerfHi       = 0x48 // R: selected perf counter, high 32 bits as latched by RegPerfLo
+	RegOutCRC       = 0x4C // R: CRC32C over every output transaction of the current job
+	RegSDCInput     = 0x50 // R: pairs whose ingest CRC witness mismatched this job
+	RegSDCWavefront = 0x54 // R: wavefront parity trips latched this job
 )
 
 // Control/status bits.
@@ -72,6 +75,13 @@ type RegFile struct {
 	// cleared together by any write to RegErrCode (W1C) or by soft reset.
 	ErrCode uint32
 	ErrAddr uint64
+
+	// Integrity witness registers (per job, cleared at Start and by soft
+	// reset): the Collector's output-stream CRC and the SDC trip counts the
+	// resilient driver reads back to decide whether an attempt is tainted.
+	OutCRC       uint32
+	SDCInput     uint32
+	SDCWavefront uint32
 
 	// startRequested and resetRequested are consumed by the Machine.
 	startRequested bool
@@ -207,6 +217,12 @@ func (r *RegFile) Read(offset uint32) (uint32, error) {
 		return uint32(r.perfLatch), nil
 	case RegPerfHi:
 		return uint32(r.perfLatch >> 32), nil
+	case RegOutCRC:
+		return r.OutCRC, nil
+	case RegSDCInput:
+		return r.SDCInput, nil
+	case RegSDCWavefront:
+		return r.SDCWavefront, nil
 	default:
 		return 0, fmt.Errorf("core: read of unknown register offset %#x", offset)
 	}

@@ -25,7 +25,7 @@ func TestRegFileReadOnlyWrites(t *testing.T) {
 	r.OutCount = 7
 	r.JobCycles = 0x1_0000_0003
 	for _, offset := range []uint32{RegOutCount, RegCycleLo, RegCycleHi, RegErrAddrLo, RegErrAddrHi,
-		RegPerfCount, RegPerfLo, RegPerfHi} {
+		RegPerfCount, RegPerfLo, RegPerfHi, RegOutCRC, RegSDCInput, RegSDCWavefront} {
 		if err := r.Write(offset, 0xFFFFFFFF); err == nil {
 			t.Errorf("write to read-only offset %#x succeeded", offset)
 		}
@@ -42,7 +42,7 @@ func TestRegFileReadOnlyWrites(t *testing.T) {
 // past-the-map and unaligned offsets.
 func TestRegFileUnknownOffsets(t *testing.T) {
 	r := NewRegFile()
-	for _, offset := range []uint32{0x4C, 0x100, 0x02, 0x0B} {
+	for _, offset := range []uint32{0x58, 0x100, 0x02, 0x0B} {
 		if err := r.Write(offset, 1); err == nil {
 			t.Errorf("write to unknown offset %#x succeeded", offset)
 		}

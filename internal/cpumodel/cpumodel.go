@@ -34,6 +34,11 @@ type Costs struct {
 	// SWG full-DP baseline.
 	SWGCellCycles float64
 
+	// Integrity-witness work of the SDC defense (internal/integrity).
+	CRCCyclesPerByte   float64 // table-driven CRC32C, slicing-by-8 on the in-order core
+	WitnessCheckCycles float64 // one result-witness evaluation (bounds, compares, branches)
+	ReplayCyclesPerOp  float64 // one CIGAR column of the replay witness (loads, compare, add)
+
 	// CPU backtrace of the accelerator stream (Section 4.5).
 	SepCyclesPerTransaction  float64 // data separation: read, classify, copy one 16B transaction
 	ScanCyclesPerTransaction float64 // boundary jump: read one score record
@@ -55,6 +60,10 @@ func DefaultCosts() Costs {
 		VecStepCycles:  90,
 
 		SWGCellCycles: 30,
+
+		CRCCyclesPerByte:   2,
+		WitnessCheckCycles: 40,
+		ReplayCyclesPerOp:  4,
 
 		SepCyclesPerTransaction:  160,
 		ScanCyclesPerTransaction: 20,
@@ -96,6 +105,19 @@ func (c Costs) VectorWFACycles(st WFAStats) int64 {
 // SWGCycles prices one full-DP SWG alignment.
 func (c Costs) SWGCycles(cellsComputed int64) int64 {
 	return int64(float64(cellsComputed) * c.SWGCellCycles)
+}
+
+// CRCCycles prices one CRC32C pass over n bytes (ingest witnesses at job
+// build, the output-stream readback check, the post-job input audit).
+func (c Costs) CRCCycles(n int64) int64 {
+	return int64(float64(n) * c.CRCCyclesPerByte)
+}
+
+// ResultWitnessCycles prices one per-pair result-witness evaluation: the
+// constant bounds checks plus the O(|CIGAR|) replay walk (cigarLen 0 when
+// no backtrace was requested).
+func (c Costs) ResultWitnessCycles(cigarLen int64) int64 {
+	return int64(c.WitnessCheckCycles + float64(cigarLen)*c.ReplayCyclesPerOp)
 }
 
 // BTStats mirrors bt.Stats for pricing the CPU backtrace step.

@@ -1,0 +1,61 @@
+package integrity_test
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	. "repro/internal/integrity"
+)
+
+// Sinks defeat dead-code elimination inside AllocsPerRun bodies.
+var (
+	sinkU32  uint32
+	sinkBool bool
+	sinkErr  error
+)
+
+// TestWitnessHotPathZeroAllocs pins every integrity primitive on the
+// per-pair hot path at exactly zero allocations. The witnesses run once per
+// delivered result, inside the driver's attempt loop and the serving
+// layer's batch loop; a single allocation per check would show up at fleet
+// scale, so the budget is zero, not "small" — the same bar
+// internal/core/alloc_test.go sets for Machine.Tick. Rejection paths are
+// pinned too: all witness errors are static (see the errors block in
+// integrity.go), so even a device spraying corrupt results cannot make the
+// host allocate.
+func TestWitnessHotPathZeroAllocs(t *testing.T) {
+	w := testBounds()
+	pen := testPenalties()
+	a := []byte("ACGTACGTACGTACGT")
+	b := []byte("ACGTACGTACGTTCGT")
+	cigar := make(align.CIGAR, len(a))
+	for i := range cigar {
+		cigar[i] = align.OpMatch
+	}
+	cigar[12] = align.OpMismatch // a[12]='A' vs b[12]='T'
+	score, ok := ReplayScore(cigar, a, b, pen)
+	if !ok || score != pen.Mismatch {
+		t.Fatalf("fixture CIGAR does not replay: score=%d ok=%v", score, ok)
+	}
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"CRC", func() { sinkU32 = CRC(a) }},
+		{"CRCUpdate", func() { sinkU32 = CRCUpdate(sinkU32, b) }},
+		{"Sample", func() { sinkBool = Sample(7, 12345, 500) }},
+		{"CheckSuccess-accept", func() { sinkErr = w.CheckSuccess(a, b, score, true) }},
+		{"CheckSuccess-reject", func() { sinkErr = w.CheckSuccess(a, b, -1, true) }},
+		{"CheckFailure-reject", func() { sinkErr = w.CheckFailure(len(a), len(b), true) }},
+		{"CheckFailure-accept", func() { sinkErr = w.CheckFailure(0, 0, false) }},
+		{"ReplayScore", func() { _, sinkBool = ReplayScore(cigar, a, b, pen) }},
+		{"CheckCIGAR-accept", func() { sinkErr = CheckCIGAR(cigar, a, b, score, pen) }},
+		{"CheckCIGAR-reject", func() { sinkErr = CheckCIGAR(cigar, a, b, score+1, pen) }},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(2000, c.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per call on the hot path, want 0", c.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package integrity_test
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	. "repro/internal/integrity"
+	"repro/internal/wfa"
+)
+
+func testPenalties() align.Penalties {
+	return align.Penalties{Mismatch: 4, GapOpen: 6, GapExtend: 2}
+}
+
+func testBounds() Bounds {
+	// The default chip: ScoreMax = 2*KMax + x (Equation 6).
+	return NewBounds(testPenalties(), 2*3998+4, 3998)
+}
+
+func TestPolicyValidate(t *testing.T) {
+	ok := []Policy{
+		{},
+		{Mode: ModeOff},
+		{Mode: ModeFull, Seed: 9},
+		{Mode: ModeSampled, Rate: 0.0001},
+		{Mode: ModeSampled, Rate: 1},
+	}
+	for _, p := range ok {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Policy{
+		{Mode: Mode(9)},
+		{Mode: ModeSampled},
+		{Mode: ModeSampled, Rate: -0.1},
+		{Mode: ModeSampled, Rate: 1.5},
+		{Mode: ModeWitness, Rate: 0.5},
+		{Mode: ModeFull, Rate: 0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestPolicyPermyriadNeverRoundsToZero(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want int
+	}{
+		{0.00001, 1}, // would round to 0; sampling must still sample
+		{0.0001, 1},
+		{0.01, 100},
+		{0.05, 500},
+		{1, 10000},
+	}
+	for _, c := range cases {
+		got := Policy{Mode: ModeSampled, Rate: c.rate}.Permyriad()
+		if got != c.want {
+			t.Errorf("Permyriad(rate=%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+	if got := (Policy{Mode: ModeFull}).Permyriad(); got != 0 {
+		t.Errorf("non-sampled Permyriad = %d, want 0", got)
+	}
+}
+
+// TestSampleDeterministicAndCalibrated pins the sampler's two contracts: the
+// decision is a pure function of (seed, id), and the achieved rate over many
+// IDs is close to the requested permyriad.
+func TestSampleDeterministicAndCalibrated(t *testing.T) {
+	const n = 200_000
+	for _, permyriad := range []int{1, 100, 500, 5000} {
+		hits := 0
+		for id := uint32(0); id < n; id++ {
+			s1 := Sample(42, id, permyriad)
+			if s1 != Sample(42, id, permyriad) {
+				t.Fatalf("Sample not deterministic at id %d", id)
+			}
+			if s1 {
+				hits++
+			}
+		}
+		want := n * permyriad / 10000
+		lo, hi := want*8/10-5, want*12/10+5
+		if hits < lo || hits > hi {
+			t.Errorf("permyriad %d: %d hits over %d ids, want ~%d", permyriad, hits, n, want)
+		}
+	}
+	if Sample(1, 2, 0) {
+		t.Error("permyriad 0 sampled")
+	}
+	if !Sample(1, 2, 10000) {
+		t.Error("permyriad 10000 skipped")
+	}
+	// Different seeds select different samples (the serve layer relies on
+	// this to avoid fleet-wide lockstep sampling of device-local IDs).
+	same := 0
+	for id := uint32(0); id < 10_000; id++ {
+		if Sample(7, id, 500) == Sample(8, id, 500) {
+			same++
+		}
+	}
+	if same > 9800 {
+		t.Errorf("seeds 7 and 8 agree on %d/10000 decisions; sampler ignores the seed", same)
+	}
+}
+
+func TestCheckSuccessBounds(t *testing.T) {
+	w := testBounds()
+	a, b := []byte("ACGTACGT"), []byte("ACGTACGA")
+	cases := []struct {
+		name      string
+		a, b      []byte
+		score     int
+		supported bool
+		want      error
+	}{
+		{"genuine-mismatch", a, b, 4, true, nil},
+		{"identical-zero", a, a, 0, true, nil},
+		{"unsupported", a, b, 4, false, ErrUnsupportedSuccess},
+		{"negative", a, b, -1, true, ErrScoreRange},
+		{"over-max", a, b, w.ScoreMax + 1, true, ErrScoreRange},
+		{"below-gap-bound", a, []byte("ACGTACGTAA"), 7, true, ErrBelowGapBound},
+		{"above-trivial", a, b, w.TrivialBound(len(a), len(b)) + 1, true, ErrAboveTrivialBound},
+		{"zero-unequal", a, b, 0, true, ErrZeroScoreMismatch},
+	}
+	for _, c := range cases {
+		if got := w.CheckSuccess(c.a, c.b, c.score, c.supported); got != c.want {
+			t.Errorf("%s: CheckSuccess = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCheckFailurePlausibility(t *testing.T) {
+	w := NewBounds(testPenalties(), 10, 2) // tiny budget so failures can be real
+	cases := []struct {
+		name       string
+		lenA, lenB int
+		supported  bool
+		want       error
+	}{
+		{"unsupported-failure-ok", 8, 8, false, nil},
+		{"outside-band-ok", 8, 16, true, nil},
+		{"budget-exhausted-ok", 8, 8, true, nil}, // trivial bound 32 > 10
+		{"implausible", 1, 1, true, ErrImplausibleFailure},
+		// lenA=1, lenB=2: TrivialBound = 1*4 + 6 + 1*2 = 12 > ScoreMax 10,
+		// so the budget can genuinely run out and the failure is plausible.
+		{"gap-pushes-over-budget-ok", 1, 2, true, nil},
+	}
+	for _, c := range cases {
+		if got := w.CheckFailure(c.lenA, c.lenB, c.supported); got != c.want {
+			t.Errorf("%s: CheckFailure(%d, %d, %v) = %v, want %v",
+				c.name, c.lenA, c.lenB, c.supported, got, c.want)
+		}
+	}
+}
+
+// TestCheckSuccessNeverRejectsGenuine is the soundness property on real
+// alignments: every score the software WFA produces passes the witness.
+func TestCheckSuccessNeverRejectsGenuine(t *testing.T) {
+	w := testBounds()
+	pen := testPenalties()
+	rng := uint64(1)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	bases := []byte("ACGT")
+	for trial := 0; trial < 200; trial++ {
+		la, lb := 1+next(60), 1+next(60)
+		a := make([]byte, la)
+		b := make([]byte, lb)
+		for i := range a {
+			a[i] = bases[next(4)]
+		}
+		for i := range b {
+			b[i] = bases[next(4)]
+		}
+		res, _, err := wfa.Align(a, b, pen, wfa.Options{WithCIGAR: true, MaxK: 3998})
+		if err != nil || !res.Success {
+			continue
+		}
+		if werr := w.CheckSuccess(a, b, res.Score, true); werr != nil {
+			t.Fatalf("trial %d: witness rejected a genuine score %d: %v (a=%s b=%s)",
+				trial, res.Score, werr, a, b)
+		}
+		if werr := CheckCIGAR(res.CIGAR, a, b, res.Score, pen); werr != nil {
+			t.Fatalf("trial %d: replay witness rejected a genuine CIGAR: %v", trial, werr)
+		}
+		if ferr := testBounds().CheckFailure(la, lb, true); ferr == nil {
+			t.Fatalf("trial %d: a failure on an alignable in-band pair should be implausible", trial)
+		}
+	}
+}
+
+func TestReplayScoreRejectsCorruptTranscripts(t *testing.T) {
+	pen := testPenalties()
+	a, b := []byte("ACGT"), []byte("AGGT")
+	good := align.CIGAR{align.OpMatch, align.OpMismatch, align.OpMatch, align.OpMatch}
+	if s, ok := ReplayScore(good, a, b, pen); !ok || s != pen.Mismatch {
+		t.Fatalf("ReplayScore(good) = %d, %v", s, ok)
+	}
+	bad := []align.CIGAR{
+		{align.OpMatch, align.OpMatch, align.OpMatch, align.OpMatch},                    // claims match where bases differ
+		{align.OpMismatch, align.OpMismatch, align.OpMatch, align.OpMatch},              // claims mismatch where bases agree
+		{align.OpMatch, align.OpMismatch, align.OpMatch},                                // under-consumes
+		{align.OpMatch, align.OpMismatch, align.OpMatch, align.OpMatch, align.OpDelete}, // over-consumes a
+		{align.OpMatch, align.OpMismatch, align.OpMatch, align.OpMatch, align.OpInsert}, // over-consumes b
+		{align.Op('Z'), align.OpMatch},                                                  // unknown op
+	}
+	for i, c := range bad {
+		if _, ok := ReplayScore(c, a, b, pen); ok {
+			t.Errorf("bad transcript %d replayed successfully", i)
+		}
+	}
+	if err := CheckCIGAR(good, a, b, pen.Mismatch+1, pen); err != ErrCIGARScore {
+		t.Errorf("wrong score: CheckCIGAR = %v, want ErrCIGARScore", err)
+	}
+	if err := CheckCIGAR(bad[0], a, b, 0, pen); err != ErrCIGARInvalid {
+		t.Errorf("invalid CIGAR: CheckCIGAR = %v, want ErrCIGARInvalid", err)
+	}
+}
+
+// TestOutputBeatCRCSingleBitFlips is the output-witness property at the unit
+// level: for a 16-byte output beat, every one of the 128 possible single-bit
+// flips changes the CRC32C, so the driver's readback-vs-RegOutCRC comparison
+// catches any single-event upset in the output path.
+func TestOutputBeatCRCSingleBitFlips(t *testing.T) {
+	beat := []byte{0x01, 0x00, 0xA5, 0x5A, 0xFF, 0x00, 0x10, 0x20,
+		0x30, 0x40, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAB}
+	ref := CRC(beat)
+	for bit := 0; bit < len(beat)*8; bit++ {
+		flipped := append([]byte(nil), beat...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if CRC(flipped) == ref {
+			t.Fatalf("bit %d: single-bit flip left the CRC unchanged", bit)
+		}
+	}
+	// A dropped beat changes the stream CRC too: the running checksum over
+	// a shorter stream never equals the full one for these beats.
+	full := CRCUpdate(CRCUpdate(0, beat), beat)
+	if full == CRCUpdate(0, beat) {
+		t.Fatal("dropping a beat left the stream CRC unchanged")
+	}
+}
+
+// FuzzCIGARWitness pins ReplayScore's exact equivalence with the reference
+// pair Validate+Score: same accept/reject decision, same score, no panics on
+// arbitrary transcripts and sequences.
+func FuzzCIGARWitness(f *testing.F) {
+	f.Add([]byte("MXMM"), []byte("ACGT"), []byte("AGGT"))
+	f.Add([]byte("MMDD"), []byte("ACGT"), []byte("AC"))
+	f.Add([]byte("IIMM"), []byte("GT"), []byte("ACGT"))
+	f.Add([]byte(""), []byte(""), []byte(""))
+	f.Add([]byte("Z"), []byte("A"), []byte("A"))
+	f.Fuzz(func(t *testing.T, ops, a, b []byte) {
+		c := make(align.CIGAR, len(ops))
+		for i, o := range ops {
+			c[i] = align.Op(o)
+		}
+		pen := testPenalties()
+		score, ok := ReplayScore(c, a, b, pen)
+		wantOK := c.Validate(a, b) == nil
+		if ok != wantOK {
+			t.Fatalf("ReplayScore ok=%v, Validate ok=%v (ops=%q a=%q b=%q)", ok, wantOK, ops, a, b)
+		}
+		if ok && score != c.Score(pen) {
+			t.Fatalf("ReplayScore=%d, CIGAR.Score=%d (ops=%q a=%q b=%q)", score, c.Score(pen), ops, a, b)
+		}
+	})
+}

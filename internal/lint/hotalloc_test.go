@@ -14,8 +14,8 @@ import (
 func TestHotallocFindings(t *testing.T) {
 	byName := dirDiags(t, "hotalloc")
 	ds := byName["hotalloc"]
-	if len(ds) != 16 {
-		t.Fatalf("got %d hotalloc findings, want 16: %q", len(ds), messages(ds))
+	if len(ds) != 17 {
+		t.Fatalf("got %d hotalloc findings, want 17: %q", len(ds), messages(ds))
 	}
 
 	// One per classifier kind.
@@ -35,6 +35,8 @@ func TestHotallocFindings(t *testing.T) {
 	wantContains(t, ds, "append to p.tmp")
 	// The //vet:hotpath directive root reaches its helper's append.
 	wantContains(t, ds, "append to b.trace")
+	// The witness-shaped directive root flags its reject-path append.
+	wantContains(t, ds, "append to w.rejects")
 
 	// Negative space: cold paths, exemptions, unreached code, waiver.
 	wantNotContains(t, ds, "NewMachine")
@@ -44,6 +46,7 @@ func TestHotallocFindings(t *testing.T) {
 	wantNotContains(t, ds, "append to tmp") // prealloc-local exemption
 	wantNotContains(t, ds, "Score")         // allocates but is not hot
 	wantNotContains(t, ds, "make([]byte)")  // waived by //vet:allow hotalloc
+	wantNotContains(t, ds, "witnessReplay") // hot but allocation-free
 
 	// Every finding carries a witness chain back to its root.
 	for _, d := range ds {
@@ -54,7 +57,8 @@ func TestHotallocFindings(t *testing.T) {
 		if !strings.Contains(d.Message, "Tick") &&
 			!strings.Contains(d.Message, "Step") &&
 			!strings.Contains(d.Message, "Align") &&
-			!strings.Contains(d.Message, "admit") {
+			!strings.Contains(d.Message, "admit") &&
+			!strings.Contains(d.Message, "witnessGate") {
 			t.Errorf("witness chain names no root: %s", d.Message)
 		}
 	}

@@ -185,3 +185,35 @@ func (b *bucket) admit() bool {
 func (b *bucket) note() {
 	b.trace = append(b.trace, 1)
 }
+
+// witnessLog mimics the integrity layer's per-pair result witnesses: a
+// cheap bounds gate named hot by directive (no shape rule can see a
+// one-shot checker). Its reject-path append is exactly the mistake the real
+// witness code avoids with static errors, and must flag even though the
+// happy path is allocation-free.
+type witnessLog struct {
+	max     int
+	rejects []int
+}
+
+// witnessGate is a hot root by //vet:hotpath — the integrity-witness root
+// shape: called once per delivered pair.
+//
+//vet:hotpath
+func (w *witnessLog) witnessGate(score int) bool {
+	if score < 0 || score > w.max {
+		w.rejects = append(w.rejects, score)
+		return false
+	}
+	return w.witnessReplay(score)
+}
+
+// witnessReplay is reachable from the hot gate but pure arithmetic: the
+// analyzer must stay silent on it.
+func (w *witnessLog) witnessReplay(score int) bool {
+	acc := 0
+	for i := 0; i < score; i++ {
+		acc += i
+	}
+	return acc >= 0
+}

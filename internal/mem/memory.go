@@ -49,6 +49,14 @@ func (m *Memory) Write(addr int64, b []byte) {
 	copy(m.data[addr:addr+int64(len(b))], b)
 }
 
+// View returns a bounds-checked window over the backing store without
+// copying. Callers must treat it as read-only; the resilient driver's
+// readback audit uses it so checksumming the input image allocates nothing.
+func (m *Memory) View(addr int64, n int) []byte {
+	m.check(addr, n)
+	return m.data[addr : addr+int64(n) : addr+int64(n)]
+}
+
 // Bytes exposes the backing store (testbench backdoor).
 func (m *Memory) Bytes() []byte { return m.data }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/integrity"
 )
 
 // Pair is one input to the accelerator: an alignment ID unique within the
@@ -73,12 +75,64 @@ func (s *InputSet) ImageBytes() int {
 	return len(s.Pairs) * PairSections(s.EffectiveMaxReadLen()) * SectionBytes
 }
 
+// WitnessOff is the byte offset of the CRC32C integrity witness inside a
+// pair's header section (the 4 bytes that were a zero pad before the
+// integrity layer). A stored witness of 0 means "absent" — images built by
+// hand or by older builders skip the check — which leaves a deliberate
+// 2^-32 soundness gap documented on PairWitness.
+const WitnessOff = 12
+
+// PairWitness computes the CRC32C integrity witness of one serialized pair
+// block (header section plus both padded payload sections) with the witness
+// field itself taken as zero. BuildImage stores it at WitnessOff; the
+// Extractor recomputes it at ingest and the resilient driver re-checks it in
+// the post-job readback audit. The zero value doubles as the "no witness"
+// sentinel, so an image whose payload happens to checksum to 0 is serialized
+// unprotected (probability 2^-32 per pair — accepted and documented rather
+// than special-cased).
+//
+//vet:hotpath
+func PairWitness(block []byte) uint32 {
+	crc := integrity.CRC(block[:WitnessOff])
+	crc = integrity.CRCUpdate(crc, witnessZero[:])
+	return integrity.CRCUpdate(crc, block[WitnessOff+4:])
+}
+
+// witnessZero stands in for the witness field when hashing around it. It is
+// package-level (not a local) because the CRC parameter leaks in escape
+// analysis, and a local array would be heap-allocated on every call —
+// TestWitnessAuditZeroAllocs pins the audit at zero.
+var witnessZero [4]byte
+
+// AuditImage re-verifies the per-pair witnesses of a serialized image (the
+// resilient driver's post-job readback audit): it returns the indices of
+// pairs whose stored witness is nonzero and does not match the recomputed
+// value. A nil return means the image is clean, so the steady-state audit
+// allocates nothing.
+func AuditImage(img []byte, maxReadLen, numPairs int) []int {
+	stride := PairSections(maxReadLen) * SectionBytes
+	var bad []int
+	for i := 0; i < numPairs && (i+1)*stride <= len(img); i++ {
+		block := img[i*stride : (i+1)*stride]
+		want := binary.LittleEndian.Uint32(block[WitnessOff : WitnessOff+4])
+		if want != 0 && PairWitness(block) != want {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
 // BuildImage serializes the set into the main-memory layout the accelerator's
 // DMA reads (Section 4.2):
 //
-//	section 0:  ID (4B LE) | len a (4B LE) | len b (4B LE) | 4B zero pad
+//	section 0:  ID (4B LE) | len a (4B LE) | len b (4B LE) | 4B CRC32C witness
 //	sections 1..:  sequence a bases, one byte each, padded to MAX_READ_LEN
 //	sections ..:   sequence b bases, likewise
+//
+// The witness (see PairWitness) covers the rest of the pair block; the
+// hardware model checks it at ingest and flags mismatching pairs
+// unsupported, so a bit flip between job build and the Input_Seq RAMs can
+// never produce a plausible wrong answer.
 //
 // Sequences longer than MAX_READ_LEN and 'N' bases are serialized as-is: the
 // *Extractor* is responsible for detecting unsupported reads and reporting
@@ -89,7 +143,8 @@ func (s *InputSet) BuildImage() ([]byte, error) {
 		return nil, fmt.Errorf("seqio: MAX_READ_LEN %d not divisible by %d", ml, SectionBytes)
 	}
 	img := make([]byte, 0, s.ImageBytes())
-	for idx, p := range s.Pairs {
+	for _, p := range s.Pairs {
+		start := len(img)
 		var hdr [SectionBytes]byte
 		binary.LittleEndian.PutUint32(hdr[0:4], p.ID)
 		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p.A)))
@@ -106,7 +161,7 @@ func (s *InputSet) BuildImage() ([]byte, error) {
 				img = append(img, DummyBase)
 			}
 		}
-		_ = idx
+		binary.LittleEndian.PutUint32(img[start+WitnessOff:start+WitnessOff+4], PairWitness(img[start:]))
 	}
 	return img, nil
 }

@@ -162,7 +162,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	if _, err := w.Write([]byte(s.metrics.Render(s.DeviceStates(), snaps))); err != nil {
+	if _, err := w.Write([]byte(s.metrics.Render(s.DeviceStates(), s.DeviceSuspicion(), snaps))); err != nil {
 		return
 	}
 }

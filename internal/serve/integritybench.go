@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/integrity"
+	"repro/internal/seqgen"
+	"repro/internal/soc"
+)
+
+// IntegrityPoint is one verification policy priced on a real fault-free
+// simulator run: what the witnesses and the shadow sample cost on top of the
+// alignment work itself.
+type IntegrityPoint struct {
+	Mode                   string `json:"mode"`
+	SamplePermyriad        int    `json:"sample_permyriad"`
+	WitnessChecks          int    `json:"witness_checks"`
+	ShadowSampled          int    `json:"shadow_sampled"`
+	IntegrityCycles        int64  `json:"integrity_cycles"`
+	IntegrityCyclesPerPair int64  `json:"integrity_cycles_per_pair"`
+	TotalCycles            int64  `json:"total_cycles"`
+	// OverheadPerMille is IntegrityCycles relative to the ModeOff total for
+	// the same workload, in 1/1000 units — the headline "what does the SDC
+	// defense cost" number.
+	OverheadPerMille int64 `json:"overhead_per_mille"`
+}
+
+// IntegrityBenchDoc is the BENCH_9.json document: the measured cost of the
+// silent-data-corruption defense at each verification level, on the same
+// seeded fault-free workload. Everything is integer arithmetic over
+// deterministic simulator cycle counts, so the document regenerates byte for
+// byte (the regen-and-diff gate in scripts/check.sh).
+type IntegrityBenchDoc struct {
+	Schema  string           `json:"schema"`
+	ReadLen int              `json:"read_len"`
+	Pairs   int              `json:"pairs"`
+	Seed    uint64           `json:"seed"`
+	Points  []IntegrityPoint `json:"points"`
+}
+
+// integrityBenchPolicies is the sample-rate sweep the bench prices: no
+// verification, witnesses only, 1% and 5% shadow sampling, and the full
+// oracle. Order is the document order.
+func integrityBenchPolicies() []integrity.Policy {
+	return []integrity.Policy{
+		{Mode: integrity.ModeOff},
+		{Mode: integrity.ModeWitness},
+		{Mode: integrity.ModeSampled, Rate: 0.01, Seed: 9},
+		{Mode: integrity.ModeSampled, Rate: 0.05, Seed: 9},
+		{Mode: integrity.ModeFull},
+	}
+}
+
+// RunIntegrityBench runs the same seeded fault-free workload through
+// RunResilient once per verification policy and prices the defense. Faults
+// stay off on purpose: the bench answers "what does verification cost when
+// nothing is wrong", which is the steady state the fleet pays for.
+func RunIntegrityBench(cfg core.Config, pairs, readLen int, seed uint64) (*IntegrityBenchDoc, error) {
+	doc := &IntegrityBenchDoc{
+		Schema:  "wfasic-integrity-bench-v1",
+		ReadLen: readLen,
+		Pairs:   pairs,
+		Seed:    seed,
+	}
+	var baseTotal int64
+	for _, pol := range integrityBenchPolicies() {
+		sc, err := soc.New(cfg, 64<<20)
+		if err != nil {
+			return nil, err
+		}
+		set := seqgen.New(seed, seed^0x1B9).Set(seqgen.Profile{
+			Name: "integrity-bench", Length: readLen, ErrorRate: 0.05, NumPairs: pairs,
+		})
+		rep, err := sc.RunResilient(set, soc.ResilientOptions{Verify: pol})
+		if err != nil {
+			return nil, err
+		}
+		if rep.HardwarePairs != pairs {
+			return nil, fmt.Errorf("serve: integrity bench expects a clean hardware run, got %d/%d pairs", rep.HardwarePairs, pairs)
+		}
+		if rep.WitnessRejects != 0 || rep.ShadowMismatches != 0 || rep.IntegrityDiscards != 0 || rep.AuditFailures != 0 {
+			return nil, fmt.Errorf("serve: integrity bench saw corruption evidence on a fault-free run: %+v", rep)
+		}
+		if pol.Mode == integrity.ModeOff {
+			baseTotal = rep.TotalCycles
+		}
+		if baseTotal <= 0 {
+			return nil, fmt.Errorf("serve: integrity bench baseline missing")
+		}
+		doc.Points = append(doc.Points, IntegrityPoint{
+			Mode:                   pol.Mode.String(),
+			SamplePermyriad:        pol.Permyriad(),
+			WitnessChecks:          rep.WitnessChecks,
+			ShadowSampled:          rep.ShadowSampled,
+			IntegrityCycles:        rep.IntegrityCycles,
+			IntegrityCyclesPerPair: rep.IntegrityCycles / int64(pairs),
+			TotalCycles:            rep.TotalCycles,
+			OverheadPerMille:       rep.IntegrityCycles * 1000 / baseTotal,
+		})
+	}
+	return doc, nil
+}
+
+// MarshalStable renders the document with a fixed layout for the
+// regen-and-diff gate.
+func (d *IntegrityBenchDoc) MarshalStable() ([]byte, error) {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

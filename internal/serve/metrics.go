@@ -46,6 +46,17 @@ type Metrics struct {
 	Probes         atomic.Int64 // quarantined -> probing transitions
 	ProbeSuccesses atomic.Int64 // probing -> healthy transitions
 
+	// Integrity / SDC-defense counters, summed from ResilientReports.
+	WitnessChecks     atomic.Int64 // per-pair result-witness evaluations
+	WitnessRejects    atomic.Int64 // results a witness rejected
+	ShadowSampled     atomic.Int64 // pairs picked for sampled shadow verification
+	ShadowMismatches  atomic.Int64 // shadow verifications that caught a wrong answer
+	SDCHardwareEvents atomic.Int64 // ingest/wavefront/output-CRC trips across the fleet
+	IntegrityDiscards atomic.Int64 // device attempts discarded on hardware SDC evidence
+	AuditFailures     atomic.Int64 // pairs failing the post-job readback audit
+	SDCEscalations    atomic.Int64 // batches run at ModeFull because of suspicion
+	SDCQuarantines    atomic.Int64 // bad verdicts forced by the suspicion threshold
+
 	mu      sync.Mutex
 	tenants map[string]*tenantCounters
 }
@@ -117,8 +128,9 @@ type perfCacheEntry struct {
 
 // Render emits the counters in Prometheus-style text exposition with a
 // stable byte order: global counters in declaration order, tenants sorted,
-// then each device's breaker state and cached perf counters.
-func (m *Metrics) Render(deviceStates []string, devicePerf []perf.Snapshot) string {
+// then each device's breaker state, SDC suspicion gauge (milli-units) and
+// cached perf counters.
+func (m *Metrics) Render(deviceStates []string, deviceSuspicion []int64, devicePerf []perf.Snapshot) string {
 	var b strings.Builder
 	global := []struct {
 		name string
@@ -142,6 +154,15 @@ func (m *Metrics) Render(deviceStates []string, devicePerf []perf.Snapshot) stri
 		{"wfasic_serve_quarantines", &m.Quarantines},
 		{"wfasic_serve_probes", &m.Probes},
 		{"wfasic_serve_probe_successes", &m.ProbeSuccesses},
+		{"wfasic_serve_witness_checks", &m.WitnessChecks},
+		{"wfasic_serve_witness_rejects", &m.WitnessRejects},
+		{"wfasic_serve_shadow_sampled_pairs", &m.ShadowSampled},
+		{"wfasic_serve_shadow_mismatches", &m.ShadowMismatches},
+		{"wfasic_serve_sdc_hardware_events", &m.SDCHardwareEvents},
+		{"wfasic_serve_integrity_discards", &m.IntegrityDiscards},
+		{"wfasic_serve_audit_failures", &m.AuditFailures},
+		{"wfasic_serve_sdc_escalations", &m.SDCEscalations},
+		{"wfasic_serve_sdc_quarantines", &m.SDCQuarantines},
 	}
 	for _, g := range global {
 		fmt.Fprintf(&b, "%s %d\n", g.name, g.v.Load())
@@ -172,6 +193,9 @@ func (m *Metrics) Render(deviceStates []string, devicePerf []perf.Snapshot) stri
 
 	for i, st := range deviceStates {
 		fmt.Fprintf(&b, "wfasic_serve_device_state{device=\"%d\"} %q\n", i, st)
+	}
+	for i, v := range deviceSuspicion {
+		fmt.Fprintf(&b, "wfasic_serve_device_sdc_suspicion_milli{device=\"%d\"} %d\n", i, v)
 	}
 	for i, snap := range devicePerf {
 		for _, e := range snap.Entries {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/integrity"
 	"repro/internal/seqio"
 	"repro/internal/soc"
 )
@@ -129,6 +130,16 @@ func (s *Server) runDeviceBatch(d *device, b *batch) (good bool) {
 	opts := s.cfg.Resilient
 	opts.Backtrace = b.backtrace
 	opts.SeparateData = false
+	// Re-seed the shadow sampler per device batch: device-local pair IDs
+	// repeat 1..n every batch, so a fixed seed would sample the same slots
+	// forever. Escalated devices shadow-verify everything.
+	d.batchSeq++
+	opts.Verify.Seed ^= uint64(d.id)<<32 ^ d.batchSeq*0x9E3779B97F4A7C15
+	if opts.Verify.Mode != integrity.ModeOff && d.suspicion >= s.cfg.SDCEscalateThreshold {
+		opts.VerifyScores = false
+		opts.Verify = integrity.Policy{Mode: integrity.ModeFull}
+		s.metrics.SDCEscalations.Add(1)
+	}
 	rep, err := d.soc.RunResilientCtx(ctx, set, opts)
 	if err != nil {
 		// Nothing was delivered (deadline abort or a driver-level failure).
@@ -154,14 +165,40 @@ func (s *Server) runDeviceBatch(d *device, b *batch) (good bool) {
 	s.metrics.HangErrors.Add(int64(rep.HangErrors))
 	s.metrics.BusErrors.Add(int64(rep.BusErrors))
 	s.metrics.FaultEvents.Add(rep.FaultEvents)
+	s.metrics.WitnessChecks.Add(int64(rep.WitnessChecks))
+	s.metrics.WitnessRejects.Add(int64(rep.WitnessRejects))
+	s.metrics.ShadowSampled.Add(int64(rep.ShadowSampled))
+	s.metrics.ShadowMismatches.Add(int64(rep.ShadowMismatches))
+	s.metrics.SDCHardwareEvents.Add(int64(rep.HwSDCInput + rep.HwSDCWavefront + rep.OutCRCMismatches))
+	s.metrics.IntegrityDiscards.Add(int64(rep.IntegrityDiscards))
+	s.metrics.AuditFailures.Add(int64(rep.AuditFailures))
 
 	if snap, perr := d.soc.Driver.PerfSnapshot(); perr == nil {
 		d.perfCache.Store(&perfCacheEntry{Snap: snap})
 	}
 
+	// Suspicion update: SDC evidence accumulates, evidence-free batches decay
+	// it. Every class below is either a witness catching a wrong answer or
+	// the hardware reporting corruption it absorbed — both mean this device's
+	// silicon is flipping bits even when the batch still completed.
+	evidence := float64(rep.WitnessRejects + rep.ShadowMismatches + rep.IntegrityDiscards + rep.AuditFailures)
+	if evidence > 0 {
+		d.suspicion += evidence
+	} else {
+		d.suspicion *= s.cfg.SDCSuspicionDecay
+	}
+	d.suspicionMilli.Store(int64(d.suspicion * 1000))
+	if d.suspicion >= s.cfg.SDCQuarantineThreshold {
+		// Enough accumulated SDC evidence is a health verdict of its own:
+		// force the breaker's bad path even if this batch looked clean.
+		s.metrics.SDCQuarantines.Add(1)
+		return false
+	}
+
 	return rep.Resets == 0 && rep.HangErrors == 0 && rep.BusErrors == 0 &&
 		rep.ConfigRejects == 0 && rep.DecodeFailures == 0 &&
-		rep.ValidationRejects == 0 && rep.FallbackPairs == 0
+		rep.ValidationRejects == 0 && rep.FallbackPairs == 0 &&
+		rep.IntegrityDiscards == 0 && rep.AuditFailures == 0
 }
 
 // respill reroutes one live task from a failed device batch to the

@@ -92,9 +92,30 @@ type Config struct {
 	ProbeBackoffMax time.Duration
 
 	// Resilient tunes the per-batch device run (MaxAttempts, ResetBackoff,
-	// VerifyScores, ...). Backtrace and SeparateData are per-request and
-	// ignored here. The zero value selects RunResilient's own defaults.
+	// Verify, ...). Backtrace and SeparateData are per-request and ignored
+	// here. The zero value selects RunResilient's own defaults — including
+	// integrity.ModeWitness verification, so per-pair witnesses and the
+	// hardware SDC evidence gate are on for every device batch. The shadow
+	// sampler's seed is re-derived per device batch from Verify.Seed, so one
+	// policy covers a whole fleet without the devices sampling in lockstep.
 	Resilient soc.ResilientOptions
+
+	// SDC evidence feedback (the integrity layer's device-health loop).
+	// Every device carries a suspicion score: each batch adds its SDC
+	// evidence (witness rejects, shadow mismatches, hardware trips, output
+	// CRC mismatches, audit failures) and each evidence-free batch decays
+	// the score multiplicatively. At SDCEscalateThreshold the device's
+	// verification escalates to integrity.ModeFull (every pair shadowed);
+	// at SDCQuarantineThreshold the batch verdict is forced bad so the
+	// breaker quarantines the device even if it still answers plausibly.
+	//
+	// SDCSuspicionDecay is the per-clean-batch multiplier in [0, 1);
+	// 0 means 0.5. SDCEscalateThreshold 0 means 2; SDCQuarantineThreshold
+	// 0 means 8. Negative values are rejected, and the escalate threshold
+	// must not exceed the quarantine threshold.
+	SDCSuspicionDecay      float64
+	SDCEscalateThreshold   float64
+	SDCQuarantineThreshold float64
 
 	// Now is the clock used by admission (token buckets, uptime); nil
 	// means time.Now. Tests substitute a virtual clock for determinism.
@@ -147,6 +168,15 @@ func (c Config) withDefaults() Config {
 	if c.ProbeBackoffMax == 0 {
 		c.ProbeBackoffMax = 2 * time.Second
 	}
+	if c.SDCSuspicionDecay == 0 {
+		c.SDCSuspicionDecay = 0.5
+	}
+	if c.SDCEscalateThreshold == 0 {
+		c.SDCEscalateThreshold = 2
+	}
+	if c.SDCQuarantineThreshold == 0 {
+		c.SDCQuarantineThreshold = 8
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -192,6 +222,16 @@ func (c Config) Validate() error {
 	}
 	if d.BreakerThreshold < 1 {
 		return fmt.Errorf("serve: BreakerThreshold %d < 1", c.BreakerThreshold)
+	}
+	if c.SDCSuspicionDecay < 0 || d.SDCSuspicionDecay >= 1 {
+		return fmt.Errorf("serve: SDCSuspicionDecay %v outside [0, 1)", c.SDCSuspicionDecay)
+	}
+	if c.SDCEscalateThreshold < 0 || c.SDCQuarantineThreshold < 0 {
+		return fmt.Errorf("serve: negative SDC threshold")
+	}
+	if d.SDCEscalateThreshold > d.SDCQuarantineThreshold {
+		return fmt.Errorf("serve: SDCEscalateThreshold %v exceeds SDCQuarantineThreshold %v",
+			d.SDCEscalateThreshold, d.SDCQuarantineThreshold)
 	}
 	if err := d.Core.Validate(); err != nil {
 		return err
@@ -265,6 +305,12 @@ type device struct {
 	consecBad    int
 	quarantines  int
 	probeBackoff time.Duration
+
+	// SDC suspicion state, owned by the worker goroutine; the milli-unit
+	// atomic mirrors it for /metrics.
+	suspicion      float64
+	batchSeq       uint64
+	suspicionMilli atomic.Int64
 
 	perfCache atomic.Pointer[perfCacheEntry]
 }
@@ -376,6 +422,16 @@ func (s *Server) DeviceStates() []string {
 	out := make([]string, len(s.devices))
 	for i, d := range s.devices {
 		out[i] = deviceState(d.state.Load()).String()
+	}
+	return out
+}
+
+// DeviceSuspicion returns each device's current SDC suspicion score in
+// milli-units, for /metrics.
+func (s *Server) DeviceSuspicion() []int64 {
+	out := make([]int64, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = d.suspicionMilli.Load()
 	}
 	return out
 }

@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/align"
+	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/integrity"
 	"repro/internal/soc"
 )
 
@@ -40,8 +43,15 @@ func soakServerConfig() Config {
 		BreakerThreshold: 2,
 		ProbeBackoffMin:  2 * time.Millisecond,
 		ProbeBackoffMax:  20 * time.Millisecond,
-		// Fail fast under chaos: one retry, then degrade to software.
-		Resilient: soc.ResilientOptions{MaxAttempts: 2},
+		// Fail fast under chaos: one retry, then degrade to software. Shadow
+		// verification samples 5% of delivered pairs on top of the default
+		// witness layer — the soak's zero-wrong-answers oracle proves that
+		// rate is enough when the witnesses and hardware evidence gates do
+		// their jobs.
+		Resilient: soc.ResilientOptions{
+			MaxAttempts: 2,
+			Verify:      integrity.Policy{Mode: integrity.ModeSampled, Rate: 0.05, Seed: 0x50AC},
+		},
 	}
 }
 
@@ -57,24 +67,80 @@ func sliceWorkload(w *Workload, lo, hi float64) *Workload {
 	return out
 }
 
-// soakChaos is the injected fault mix: non-silent faults only (bus errors
-// fail attempts immediately, stall storms slow them down), so every answer
-// the service emits — hardware or fallback — is the same one the software
-// WFA computes, and the outcome journal stays a pure function of the
-// workload seed even though fault placement varies with goroutine timing.
+// soakChaos is the injected fault mix: loud faults (bus errors fail attempts
+// immediately, stall storms slow them down) PLUS the silent classes — input
+// data flips, wavefront SEUs, output-stream flips and drops — that corrupt
+// answers without raising any error. The integrity defense (ingest CRC
+// witnesses, wavefront parity, output-stream CRC, result witnesses, sampled
+// shadows) is what keeps every emitted answer equal to the software WFA's,
+// so the outcome journal stays a pure function of the workload seed even
+// with silent corruption landing mid-traffic.
 func soakChaos(seed uint64) fault.Config {
 	return fault.Config{
-		Seed:           seed,
-		ReadErrorProb:  0.9,
-		StallStormProb: 0.001,
-		StallStormMax:  200,
+		Seed:              seed,
+		ReadErrorProb:     0.0005,
+		StallStormProb:    0.001,
+		StallStormMax:     200,
+		DataFlipProb:      0.002,
+		WavefrontFlipProb: 0.0001,
+		OutputFlipProb:    0.002,
+		OutputDropProb:    0.001,
+	}
+}
+
+// soakOracle precomputes the software-WFA answer for every workload pair —
+// the one definition of "the right answer" the zero-wrong-answers assertion
+// checks every journal entry against.
+func soakOracle(w *Workload) map[string][]align.Result {
+	cfg := core.ChipConfig()
+	oracle := make(map[string][]align.Result, len(w.Tenants))
+	for _, tl := range w.Tenants {
+		rs := make([]align.Result, len(tl.Pairs))
+		for i, p := range tl.Pairs {
+			rs[i], _ = soc.SoftwareAlign(cfg, p, false)
+		}
+		oracle[tl.Name] = rs
+	}
+	return oracle
+}
+
+// assertNoWrongAnswers is the SDC defense's end-to-end acceptance bar: with
+// silent faults injected and shadow verification sampling only ~5% of pairs,
+// every single delivered answer must still match the oracle exactly.
+func assertNoWrongAnswers(t *testing.T, j *Journal, oracle map[string][]align.Result) {
+	t.Helper()
+	j.mu.Lock()
+	entries := append([]JournalEntry(nil), j.entries...)
+	j.mu.Unlock()
+	wrong := 0
+	for _, e := range entries {
+		if e.Status == "shed" || e.Status == "deadline" {
+			continue
+		}
+		want := oracle[e.Tenant][e.ID]
+		switch {
+		case e.Status == "ok" && (!want.Success || e.Score != want.Score):
+			wrong++
+			if wrong <= 5 {
+				t.Errorf("wrong answer delivered: tenant=%s id=%d score=%d, oracle success=%v score=%d",
+					e.Tenant, e.ID, e.Score, want.Success, want.Score)
+			}
+		case e.Status == "fail" && want.Success:
+			wrong++
+			if wrong <= 5 {
+				t.Errorf("false failure delivered: tenant=%s id=%d, oracle score=%d", e.Tenant, e.ID, want.Score)
+			}
+		}
+	}
+	if wrong > 0 {
+		t.Fatalf("%d wrong answers delivered out of %d journal entries", wrong, len(entries))
 	}
 }
 
 // runSoak plays one full soak: clean warmup (25% of traffic), chaos on
 // devices 0 and 1 mid-traffic (50%), chaos lifted for the recovery tail
 // (25%). Returns the canonical journal and the drained metrics.
-func runSoak(t *testing.T, seed uint64, pairs, tenants, reqSize int) (string, *Metrics) {
+func runSoak(t *testing.T, seed uint64, pairs, tenants, reqSize int) (string, *Journal, *Metrics) {
 	t.Helper()
 	s, err := New(soakServerConfig())
 	if err != nil {
@@ -107,7 +173,7 @@ func runSoak(t *testing.T, seed uint64, pairs, tenants, reqSize int) (string, *M
 		}
 	}
 	m := s.Drain()
-	return j.Render(), m
+	return j.Render(), j, m
 }
 
 // TestSoakChaosNoDrop is the service's robustness proof: a seeded workload
@@ -120,7 +186,12 @@ func TestSoakChaosNoDrop(t *testing.T) {
 	const tenants, reqSize = 8, 64
 	baseline := runtime.NumGoroutine()
 
-	journal1, m := runSoak(t, 1, pairs, tenants, reqSize)
+	journal1, j1, m := runSoak(t, 1, pairs, tenants, reqSize)
+
+	// Zero wrong answers: silent corruption was injected on half the fleet,
+	// so every delivered entry is checked against the software oracle.
+	oracle := soakOracle(NewWorkload(1, tenants, pairs/tenants, 100, 0.05))
+	assertNoWrongAnswers(t, j1, oracle)
 
 	submitted := m.Submitted.Load()
 	if submitted != int64(pairs) {
@@ -142,6 +213,16 @@ func TestSoakChaosNoDrop(t *testing.T) {
 	// The chaos was real and the breaker reacted to it.
 	if m.FaultEvents.Load() == 0 {
 		t.Fatal("no faults were injected: the chaos segment did not reach the devices")
+	}
+	// The silent classes landed and the integrity layer caught them at the
+	// hardware evidence gate (witness rejects and shadow mismatches are
+	// possible but not guaranteed — the gates upstream catch almost all).
+	if m.WitnessChecks.Load() == 0 {
+		t.Fatal("no result witnesses ran: the verification policy never reached the devices")
+	}
+	if m.SDCHardwareEvents.Load() == 0 && m.IntegrityDiscards.Load() == 0 &&
+		m.WitnessRejects.Load() == 0 && m.ShadowMismatches.Load() == 0 {
+		t.Fatal("silent faults were injected but no integrity defense layer observed any evidence")
 	}
 	if m.Quarantines.Load() == 0 {
 		t.Fatal("chaos devices were never quarantined")
@@ -168,7 +249,8 @@ func TestSoakChaosNoDrop(t *testing.T) {
 	// Determinism: a second same-seed soak — with its chaos landing on
 	// different batches, its batches splitting differently across tiers —
 	// must still produce the byte-identical outcome journal.
-	journal2, _ := runSoak(t, 1, pairs, tenants, reqSize)
+	journal2, j2, _ := runSoak(t, 1, pairs, tenants, reqSize)
+	assertNoWrongAnswers(t, j2, oracle)
 	if journal1 != journal2 {
 		dir := t.TempDir()
 		for name, data := range map[string]string{"journal1.txt": journal1, "journal2.txt": journal2} {
@@ -181,9 +263,11 @@ func TestSoakChaosNoDrop(t *testing.T) {
 
 	// Artifact for CI: the canonical journal plus the metric summary.
 	if path := os.Getenv("WFASIC_SOAK_JOURNAL"); path != "" {
-		summary := fmt.Sprintf("# pairs=%d hardware=%d fallback=%d shed=%d quarantines=%d probes_ok=%d fault_events=%d\n",
+		summary := fmt.Sprintf("# pairs=%d hardware=%d fallback=%d shed=%d quarantines=%d probes_ok=%d fault_events=%d witness_checks=%d witness_rejects=%d shadow_sampled=%d shadow_mismatches=%d sdc_hw_events=%d integrity_discards=%d audit_failures=%d\n",
 			pairs, m.HardwarePairs.Load(), m.FallbackPairs.Load(), m.Shed(),
-			m.Quarantines.Load(), m.ProbeSuccesses.Load(), m.FaultEvents.Load())
+			m.Quarantines.Load(), m.ProbeSuccesses.Load(), m.FaultEvents.Load(),
+			m.WitnessChecks.Load(), m.WitnessRejects.Load(), m.ShadowSampled.Load(), m.ShadowMismatches.Load(),
+			m.SDCHardwareEvents.Load(), m.IntegrityDiscards.Load(), m.AuditFailures.Load())
 		if err := os.WriteFile(path, []byte(summary+journal1), 0o644); err != nil {
 			t.Fatalf("writing soak journal artifact: %v", err)
 		}

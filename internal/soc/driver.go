@@ -209,6 +209,29 @@ func (d *Driver) OutCount() (int, error) {
 	return int(v), err
 }
 
+// OutCRC reads the CRC32C the Collector accumulated over every output
+// transaction of the current job. The resilient driver compares it with the
+// checksum of the beats it reads back from the output region: any mismatch
+// means the output path (DMA write engine, bus, memory) corrupted or dropped
+// a beat after the Collector emitted it.
+func (d *Driver) OutCRC() (uint32, error) {
+	return d.m.Regs.Read(core.RegOutCRC)
+}
+
+// SDCInput reads the number of pairs whose ingest CRC witness mismatched in
+// the current job (input-side silent corruption detected by the Extractor).
+func (d *Driver) SDCInput() (int, error) {
+	v, err := d.m.Regs.Read(core.RegSDCInput)
+	return int(v), err
+}
+
+// SDCWavefront reads the number of wavefront parity trips latched in the
+// current job (single-event upsets in the Wavefront RAMs).
+func (d *Driver) SDCWavefront() (int, error) {
+	v, err := d.m.Regs.Read(core.RegSDCWavefront)
+	return int(v), err
+}
+
 // JobCycles reads the hardware cycle counter: the cycles the last job took
 // from Start to Idle (the quantity the paper's evaluation measures).
 func (d *Driver) JobCycles() (int64, error) {

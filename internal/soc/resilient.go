@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/fault"
+	"repro/internal/integrity"
 	"repro/internal/mem"
 	"repro/internal/perf"
 	"repro/internal/seqio"
@@ -65,12 +66,18 @@ type ResilientOptions struct {
 	// UseIRQ completes attempts through the interrupt path instead of
 	// polling, exercising the lost-IRQ recovery.
 	UseIRQ bool
-	// VerifyScores cross-checks every hardware result against the software
-	// WFA (the Scrooge-style CPU oracle). Required for fault schedules that
-	// can corrupt data silently (bit flips, dropped output beats): structural
-	// validation alone cannot detect a plausible-but-wrong score or a
-	// false failure flag.
+	// VerifyScores is the legacy all-or-nothing oracle switch: it maps to
+	// Verify.Mode = integrity.ModeFull (every hardware result cross-checked
+	// against the software WFA). Setting it together with an explicit
+	// non-full Verify mode is a conflict and rejected by Validate.
 	VerifyScores bool
+	// Verify selects the integrity-verification policy (internal/integrity):
+	// the zero value is ModeWitness — cheap per-pair witnesses, hardware SDC
+	// evidence discard and the post-job readback audit are ON by default and
+	// must be disabled explicitly with ModeOff. ModeSampled adds a
+	// deterministic seeded sample of full software shadow verifications at
+	// Verify.Rate; ModeFull shadows every pair.
+	Verify integrity.Policy
 }
 
 // Validate rejects invalid option values and combinations. The zero value of
@@ -87,6 +94,9 @@ type resilientParams struct {
 	maxWallRetries int
 	resetBackoff   int
 	maxCycles      int64
+	verifyMode     integrity.Mode
+	permyriad      int // shadow-sample rate in 1/10000 units (ModeSampled)
+	verifySeed     uint64
 }
 
 func (o ResilientOptions) resolve() (resilientParams, error) {
@@ -119,6 +129,21 @@ func (o ResilientOptions) resolve() (resilientParams, error) {
 			o.MaxWallRetries, p.maxAttempts-1)
 	}
 	p.resetBackoff = o.ResetBackoff
+	if err := o.Verify.Validate(); err != nil {
+		return p, err
+	}
+	p.verifyMode = o.Verify.Mode
+	p.permyriad = o.Verify.Permyriad()
+	p.verifySeed = o.Verify.Seed
+	if o.VerifyScores {
+		switch o.Verify.Mode {
+		case integrity.ModeWitness, integrity.ModeFull:
+			// The legacy switch selects (or confirms) the full oracle.
+			p.verifyMode = integrity.ModeFull
+		default:
+			return p, fmt.Errorf("soc: VerifyScores conflicts with Verify.Mode %v", o.Verify.Mode)
+		}
+	}
 	return p, nil
 }
 
@@ -141,11 +166,27 @@ type ResilientReport struct {
 	HardwarePairs int // pairs whose accepted result came from the accelerator
 	FallbackPairs int // pairs aligned by the software WFA after retries
 
+	// Integrity accounting (the SDC defense, internal/integrity). Witness
+	// and shadow rejections are also counted in ValidationRejects; the
+	// hardware-evidence counters stand alone because a tainted attempt is
+	// discarded wholesale before any per-pair validation runs.
+	WitnessChecks     int // per-pair result-witness evaluations
+	WitnessRejects    int // results rejected by a plausibility/replay witness
+	ShadowSampled     int // pairs selected for sampled shadow verification
+	ShadowMismatches  int // shadow verifications that disagreed with the oracle
+	HwSDCInput        int // ingest CRC witness trips read back from RegSDCInput
+	HwSDCWavefront    int // wavefront parity trips read back from RegSDCWavefront
+	OutCRCMismatches  int // attempts whose output stream disagreed with RegOutCRC
+	IntegrityDiscards int // attempts discarded wholesale on hardware SDC evidence
+	AuditRuns         int // post-job readback audits of the input image
+	AuditFailures     int // pairs whose stored input image failed the audit
+
 	AccelCycles        int64 // accelerator cycles summed over every attempt
 	BackoffCycles      int64 // idle cycles spent in reset backoff between attempts
 	CPUBacktraceCycles int64 // modeled CPU cycles decoding backtrace streams
 	CPUFallbackCycles  int64 // modeled CPU cycles for software fallback
-	TotalCycles        int64 // AccelCycles + BackoffCycles + CPUBacktraceCycles + CPUFallbackCycles
+	IntegrityCycles    int64 // modeled CPU cycles for witnesses, CRC checks and shadows
+	TotalCycles        int64 // AccelCycles + BackoffCycles + CPUBacktraceCycles + CPUFallbackCycles + IntegrityCycles
 
 	// FaultEvents / FaultCounts describe the faults injected during this
 	// run (deltas over the SoC's injector, which accumulates across runs).
@@ -177,6 +218,22 @@ type swResult struct {
 	res   align.Result
 	stats cpumodel.WFAStats
 	done  bool
+}
+
+// verifier bundles the resolved integrity policy with the per-config score
+// bounds so the attempt/validation path does not re-derive them per pair.
+type verifier struct {
+	mode      integrity.Mode
+	permyriad int
+	seed      uint64
+	bounds    integrity.Bounds
+}
+
+// pairSupported mirrors SoftwareAlign's unsupported predicate: the
+// software-visible notion of "the hardware can process this pair at all".
+func pairSupported(cfg core.Config, p seqio.Pair) bool {
+	return len(p.A) <= cfg.MaxReadLenCap && len(p.B) <= cfg.MaxReadLenCap &&
+		seqio.ValidateSequence(p.A) == nil && seqio.ValidateSequence(p.B) == nil
 }
 
 // RunResilient is the fault-tolerant counterpart of RunAccelerated: it
@@ -221,6 +278,12 @@ func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts Res
 	if err != nil {
 		return nil, err
 	}
+	v := verifier{
+		mode:      p.verifyMode,
+		permyriad: p.permyriad,
+		seed:      p.verifySeed,
+		bounds:    integrity.NewBounds(s.Cfg.Penalties, s.Cfg.ScoreMax(), s.Cfg.KMax),
+	}
 	faultBase := s.Faults.Total()
 	countBase := s.Faults.Counts()
 	perfBase, err := s.Driver.PerfSnapshot()
@@ -264,7 +327,7 @@ func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts Res
 			// reads as padding, never as a previous attempt's records.
 			s.zeroFrom(int64(outputAddr))
 			hangsBefore := rep.HangErrors
-			ok, fatal := s.runAttempt(ctx, set, job, opts, p.maxCycles, byID, sw, accepted, &acceptedCount, rep)
+			ok, fatal := s.runAttempt(ctx, set, job, opts, v, p.maxCycles, byID, sw, accepted, &acceptedCount, rep)
 			if fatal != nil {
 				if errors.Is(fatal, ErrDeadline) {
 					// Job abort: the machine is mid-job; soft-reset so the
@@ -310,6 +373,24 @@ func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts Res
 		}
 	}
 
+	if hwViable && v.mode != integrity.ModeOff {
+		// Post-job readback audit: re-verify every pair's stored witness
+		// over the input image as it now sits in main memory. This is the
+		// at-rest leg of the defense — a bit flip in DRAM after job build
+		// invalidates the results read from that block, so any accepted
+		// result of an audited-bad pair is withdrawn and escalated to the
+		// software tier.
+		rep.AuditRuns++
+		rep.IntegrityCycles += s.Costs.CRCCycles(int64(len(img)))
+		for _, i := range seqio.AuditImage(s.Memory.View(inputBase, len(img)), maxReadLen, len(set.Pairs)) {
+			rep.AuditFailures++
+			if accepted[i] {
+				accepted[i] = false
+				acceptedCount--
+			}
+		}
+	}
+
 	// Graceful degradation: the software WFA aligns whatever the hardware
 	// could not deliver.
 	for i, p := range set.Pairs {
@@ -323,7 +404,7 @@ func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts Res
 		rep.FallbackPairs++
 	}
 
-	rep.TotalCycles = rep.AccelCycles + rep.BackoffCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles
+	rep.TotalCycles = rep.AccelCycles + rep.BackoffCycles + rep.CPUBacktraceCycles + rep.CPUFallbackCycles + rep.IntegrityCycles
 	perfNow, err := s.Driver.PerfSnapshot()
 	if err != nil {
 		return nil, err
@@ -344,7 +425,7 @@ func (s *SoC) RunResilientCtx(ctx context.Context, set *seqio.InputSet, opts Res
 // fatal is a driver-level error that should abort RunResilient itself
 // (including a context expiry, which surfaces as ErrDeadline).
 func (s *SoC) runAttempt(ctx context.Context, set *seqio.InputSet, job JobConfig, opts ResilientOptions,
-	maxCycles int64, byID map[uint32]int, sw []swResult,
+	v verifier, maxCycles int64, byID map[uint32]int, sw []swResult,
 	accepted []bool, acceptedCount *int, rep *ResilientReport) (ok bool, fatal error) {
 
 	if err := s.Driver.Configure(job); err != nil {
@@ -391,7 +472,47 @@ func (s *SoC) runAttempt(ctx context.Context, set *seqio.InputSet, job JobConfig
 		return true, nil
 	}
 
-	candidates, decodeOK := s.parseOutput(set, job, opts, byID, rep)
+	count, err := s.Driver.OutCount()
+	if err != nil {
+		return false, err
+	}
+	if avail := (s.Memory.Size() - int(job.OutputAddr)) / mem.BeatBytes; count > avail {
+		count = avail
+	}
+	raw := s.Memory.Read(int64(job.OutputAddr), count*mem.BeatBytes)
+
+	if v.mode != integrity.ModeOff {
+		// Hardware SDC evidence gate: an attempt with any latched witness
+		// trip is tainted wholesale and discarded before per-pair validation.
+		// This is what makes the defense sound — a detected input flip turns
+		// an alignable pair into a plausible-looking failure that per-pair
+		// witnesses could not distinguish from a genuine one.
+		sdcIn, err := s.Driver.SDCInput()
+		if err != nil {
+			return false, err
+		}
+		sdcWF, err := s.Driver.SDCWavefront()
+		if err != nil {
+			return false, err
+		}
+		hwCRC, err := s.Driver.OutCRC()
+		if err != nil {
+			return false, err
+		}
+		rep.IntegrityCycles += s.Costs.CRCCycles(int64(len(raw)))
+		crcBad := integrity.CRC(raw) != hwCRC
+		if sdcIn > 0 || sdcWF > 0 || crcBad {
+			rep.HwSDCInput += sdcIn
+			rep.HwSDCWavefront += sdcWF
+			if crcBad {
+				rep.OutCRCMismatches++
+			}
+			rep.IntegrityDiscards++
+			return true, nil
+		}
+	}
+
+	candidates, decodeOK := s.parseOutput(set, raw, count, opts, byID, rep)
 	if !decodeOK {
 		rep.DecodeFailures++
 		return true, nil
@@ -402,7 +523,7 @@ func (s *SoC) runAttempt(ctx context.Context, set *seqio.InputSet, job JobConfig
 			// An earlier attempt already delivered this pair; keep it.
 			continue
 		}
-		if !cand.valid || !s.validateOutcome(i, set.Pairs[i], cand.out, opts, sw) {
+		if !cand.valid || !s.validateOutcome(i, set.Pairs[i], cand.out, opts, v, sw, rep) {
 			rep.ValidationRejects++
 			continue
 		}
@@ -420,25 +541,17 @@ type candidate struct {
 	valid bool
 }
 
-// parseOutput decodes the output region of a completed attempt into
-// per-pair candidates. decodeOK=false means the stream as a whole was
-// unusable. Decoder panics on corrupt streams are converted to decode
-// failures.
-func (s *SoC) parseOutput(set *seqio.InputSet, job JobConfig, opts ResilientOptions,
+// parseOutput decodes the raw output region of a completed attempt (read
+// back by runAttempt, which also CRC-gates it) into per-pair candidates.
+// decodeOK=false means the stream as a whole was unusable. Decoder panics on
+// corrupt streams are converted to decode failures.
+func (s *SoC) parseOutput(set *seqio.InputSet, raw []byte, count int, opts ResilientOptions,
 	byID map[uint32]int, rep *ResilientReport) (out map[uint32]candidate, decodeOK bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, decodeOK = nil, false
 		}
 	}()
-	count, err := s.Driver.OutCount()
-	if err != nil {
-		return nil, false
-	}
-	if avail := (s.Memory.Size() - int(job.OutputAddr)) / mem.BeatBytes; count > avail {
-		count = avail
-	}
-	raw := s.Memory.Read(int64(job.OutputAddr), count*mem.BeatBytes)
 	candidates := map[uint32]candidate{}
 	add := func(id uint32, res align.Result) {
 		if _, dup := candidates[id]; dup {
@@ -491,43 +604,72 @@ func (s *SoC) parseOutput(set *seqio.InputSet, job JobConfig, opts ResilientOpti
 	return candidates, true
 }
 
-// validateOutcome is the per-pair sanity gate. Structural checks bound the
-// score by the Config penalties; with VerifyScores the software oracle
-// additionally requires an exact success/score (and CIGAR, under backtrace)
-// match.
-func (s *SoC) validateOutcome(i int, p seqio.Pair, out PairOutcome, opts ResilientOptions, sw []swResult) bool {
+// validateOutcome is the per-pair acceptance gate. Under ModeOff it applies
+// the legacy structural checks only; otherwise it runs the integrity result
+// witnesses (score-plausibility bounds, failure plausibility, CIGAR replay)
+// and — under ModeFull, or ModeSampled when the deterministic sampler selects
+// the pair — a full software shadow verification against the oracle.
+func (s *SoC) validateOutcome(i int, p seqio.Pair, out PairOutcome, opts ResilientOptions,
+	v verifier, sw []swResult, rep *ResilientReport) bool {
 	res := out.Result
+	if v.mode == integrity.ModeOff {
+		if res.Success {
+			pen := s.Cfg.Penalties
+			if res.Score < 0 || res.Score > s.Cfg.ScoreMax() {
+				return false
+			}
+			d := len(p.A) - len(p.B)
+			if d < 0 {
+				d = -d
+			}
+			if d > 0 && res.Score < pen.GapOpen+d*pen.GapExtend {
+				// Any alignment of length-mismatched reads opens at least one
+				// gap and extends it d times.
+				return false
+			}
+			if res.Score == 0 && !bytes.Equal(p.A, p.B) {
+				return false
+			}
+			if opts.Backtrace {
+				// The CIGAR is its own witness: it must replay over the pair
+				// and re-price to the reported score.
+				if res.CIGAR.Validate(p.A, p.B) != nil || res.CIGAR.Score(pen) != res.Score {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	supported := pairSupported(s.Cfg, p)
+	rep.WitnessChecks++
+	rep.IntegrityCycles += s.Costs.ResultWitnessCycles(int64(len(res.CIGAR)))
 	if res.Success {
-		pen := s.Cfg.Penalties
-		if res.Score < 0 || res.Score > s.Cfg.ScoreMax() {
-			return false
-		}
-		d := len(p.A) - len(p.B)
-		if d < 0 {
-			d = -d
-		}
-		if d > 0 && res.Score < pen.GapOpen+d*pen.GapExtend {
-			// Any alignment of length-mismatched reads opens at least one
-			// gap and extends it d times.
-			return false
-		}
-		if res.Score == 0 && !bytes.Equal(p.A, p.B) {
+		if v.bounds.CheckSuccess(p.A, p.B, res.Score, supported) != nil {
+			rep.WitnessRejects++
 			return false
 		}
 		if opts.Backtrace {
-			// The CIGAR is its own witness: it must replay over the pair and
-			// re-price to the reported score.
-			if res.CIGAR.Validate(p.A, p.B) != nil || res.CIGAR.Score(pen) != res.Score {
+			if integrity.CheckCIGAR(res.CIGAR, p.A, p.B, res.Score, s.Cfg.Penalties) != nil {
+				rep.WitnessRejects++
 				return false
 			}
 		}
+	} else if v.bounds.CheckFailure(len(p.A), len(p.B), supported) != nil {
+		rep.WitnessRejects++
+		return false
 	}
-	if opts.VerifyScores {
+
+	shadow := v.mode == integrity.ModeFull
+	if v.mode == integrity.ModeSampled && integrity.Sample(v.seed, p.ID, v.permyriad) {
+		shadow = true
+		rep.ShadowSampled++
+	}
+	if shadow {
 		r := s.software(i, p, opts.Backtrace, sw)
-		if r.res.Success != res.Success {
-			return false
-		}
-		if res.Success && r.res.Score != res.Score {
+		rep.IntegrityCycles += s.Costs.ScalarWFACycles(r.stats)
+		if r.res.Success != res.Success || (res.Success && r.res.Score != res.Score) {
+			rep.ShadowMismatches++
 			return false
 		}
 	}

@@ -139,7 +139,7 @@ func TestResetBackoffAccounting(t *testing.T) {
 	if want := int64(64 + 128); rep.BackoffCycles != want {
 		t.Fatalf("BackoffCycles = %d, want %d (64<<0 + 64<<1)", rep.BackoffCycles, want)
 	}
-	if rep.TotalCycles != rep.AccelCycles+rep.BackoffCycles+rep.CPUBacktraceCycles+rep.CPUFallbackCycles {
+	if rep.TotalCycles != rep.AccelCycles+rep.BackoffCycles+rep.CPUBacktraceCycles+rep.CPUFallbackCycles+rep.IntegrityCycles {
 		t.Fatalf("TotalCycles %d does not include the backoff windows", rep.TotalCycles)
 	}
 	if rep.FallbackPairs != len(set.Pairs) {

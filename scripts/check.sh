@@ -72,6 +72,18 @@ else
     go test -count=1 -run 'TestChaos' ./internal/soc/
 fi
 
+# The silent-corruption campaign (internal/soc/sdc_test.go) is the SDC
+# defense's acceptance bar: silent bit flips on, the all-pair oracle off,
+# shadow sampling at most 5% — and every delivered answer must still equal
+# the software WFA exactly, plus the exhaustive every-single-bit-flip sweep
+# of the input witness. -count=1 for the same reason as above.
+echo "== silent-corruption campaign (SDC defense, pinned seeds) =="
+if [[ "${SKIP_RACE:-0}" == "1" ]]; then
+    go test -short -count=1 -run 'TestChaosSilentZeroWrongAnswers|TestInputWitnessCatchesEverySingleBitFlip' ./internal/soc/
+else
+    go test -count=1 -run 'TestChaosSilentZeroWrongAnswers|TestInputWitnessCatchesEverySingleBitFlip' ./internal/soc/
+fi
+
 # The serving soak (internal/serve/soak_test.go) is the no-drop proof: ~50k
 # pairs in -short mode with chaos injected on two devices mid-traffic, run
 # twice and compared journal-byte for journal-byte. -count=1 for the same
@@ -91,5 +103,15 @@ echo "== serve bench model (regen + diff) =="
 go run ./cmd/wfasic-serve -bench -out serve-bench.json > /dev/null
 diff BENCH_8.json serve-bench.json
 rm -f serve-bench.json
+
+# BENCH_9.json is the committed cost sheet for the SDC defense: the same
+# seeded fault-free workload priced at every verification level (off,
+# witness, 1%, 5%, full). Cycle counts are deterministic, so a diff means
+# the defense's cost really changed and the snapshot must be regenerated
+# deliberately (go run ./cmd/wfasic-serve -bench-integrity).
+echo "== SDC-defense cost bench (regen + diff) =="
+go run ./cmd/wfasic-serve -bench-integrity -out integrity-bench.json > /dev/null
+diff BENCH_9.json integrity-bench.json
+rm -f integrity-bench.json
 
 echo "all checks passed"
