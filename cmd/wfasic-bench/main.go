@@ -8,15 +8,21 @@
 //	wfasic-bench -exp fig11         # Figure 11: configuration comparison
 //	wfasic-bench -exp table2        # Table 2: GCUPS and area
 //	wfasic-bench -exp asic          # Section 5.2 physical summary
+//	wfasic-bench -exp host          # end-to-end host throughput
+//	wfasic-bench -exp heuristics    # score-estimate heuristic accuracy
 //	wfasic-bench -exp ablations     # design-parameter ablations
 //	wfasic-bench -exp perf          # cycle attribution (hardware perf counters)
+//	wfasic-bench -exp fleet         # event-skipping speed + fleet scaling
 //
 // -pairs scales the number of synthetic pairs per input set; -quick selects
 // a minimal smoke-test configuration. The perf experiment additionally
 // writes machine-readable artifacts: -perf-json emits the counter windows
 // as JSON (the BENCH_*.json format) and -trace-chrome emits a Chrome
 // trace_event timeline (open in chrome://tracing or Perfetto) for the
-// profile chosen by -trace-profile.
+// profile chosen by -trace-profile. The fleet experiment compares the naive
+// ticker against the event-skipping simulator (asserting identical results),
+// sweeps fleet worker counts up to -fleet, and writes its deterministic
+// artifact (the BENCH_10.json format) to -fleet-json.
 package main
 
 import (
@@ -31,13 +37,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig9, fig10, fig11, table2, asic, heuristics, ablations, perf, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig9, fig10, fig11, table2, asic, host, heuristics, ablations, perf, fleet, all")
 	pairs := flag.Int("pairs", 0, "pairs per input set (0 = default)")
 	maxAligners := flag.Int("aligners", 0, "Figure 10 sweep bound (0 = default)")
 	quick := flag.Bool("quick", false, "minimal smoke-test scale")
 	perfJSON := flag.String("perf-json", "", "write the perf counter windows to this file (BENCH_*.json format)")
 	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event timeline to this file")
 	traceProfile := flag.String("trace-profile", "1K-10%", "input profile the -trace-chrome timeline covers")
+	fleetWorkers := flag.Int("fleet", 8, "fleet experiment: maximum worker count of the scaling sweep")
+	fleetJSON := flag.String("fleet-json", "", "write the fleet experiment's deterministic artifact to this file (BENCH_10.json format)")
 	flag.Parse()
 
 	params := bench.DefaultParams()
@@ -176,6 +184,27 @@ func main() {
 				return err
 			}
 			fmt.Printf("Chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *traceChrome)
+		}
+		return nil
+	})
+	run("fleet", func() error {
+		speed, err := bench.SimSpeed(params)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderSimSpeed(speed))
+		scale, err := bench.FleetScaling(params, *fleetWorkers)
+		if err != nil {
+			return err
+		}
+		fmt.Print("\n" + bench.RenderFleetScaling(scale))
+		if *fleetJSON != "" {
+			if err := writeFile(*fleetJSON, func(w io.Writer) error {
+				return bench.WriteFleetJSON(speed, scale, w)
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("\nfleet artifact written to %s\n", *fleetJSON)
 		}
 		return nil
 	})

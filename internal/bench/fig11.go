@@ -26,6 +26,7 @@ const (
 	Fig11OneAligner64NoSep
 )
 
+// String names the configuration the way Figure 11's legend does.
 func (c Fig11Config) String() string {
 	switch c {
 	case Fig11OneAligner64Sep:

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// SimSpeed must produce one row per paper profile with consistent cycle
+// accounting (the ticker/skip equivalence itself errors inside SimSpeed, so
+// reaching the shape checks already proves it held).
+func TestSimSpeedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every paper profile in both modes")
+	}
+	rows, err := SimSpeed(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 paper profiles", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExecutedTicks+r.SkippedCycles != r.AccelCycles {
+			t.Errorf("%s: executed %d + skipped %d != cycles %d",
+				r.Profile, r.ExecutedTicks, r.SkippedCycles, r.AccelCycles)
+		}
+		if r.SkipJumps == 0 || r.Reduction() <= 1 {
+			t.Errorf("%s: skip mode elided nothing (jumps=%d reduction=%.2f)",
+				r.Profile, r.SkipJumps, r.Reduction())
+		}
+		if r.TickerNs <= 0 || r.SkipNs <= 0 {
+			t.Errorf("%s: unmeasured wall time (%d, %d)", r.Profile, r.TickerNs, r.SkipNs)
+		}
+	}
+	// The paper's long reads have the widest inert windows: reduction must
+	// grow monotonically from the 100-base to the 10K-base profiles.
+	if rows[5].Reduction() <= rows[0].Reduction() {
+		t.Errorf("10K reduction %.1f not above 100-base reduction %.1f",
+			rows[5].Reduction(), rows[0].Reduction())
+	}
+	out := RenderSimSpeed(rows)
+	if !strings.Contains(out, "100-5%") || !strings.Contains(out, "10K-10%") {
+		t.Fatalf("render missing profiles:\n%s", out)
+	}
+}
+
+// FleetScaling must keep the result digest identical across worker counts
+// (it errors internally otherwise) and emit a diff-gateable JSON artifact
+// whose only host-dependent lines carry the "wall_" key prefix.
+func TestFleetScalingAndJSON(t *testing.T) {
+	scale, err := FleetScaling(QuickParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scale) != 3 { // workers 1, 2, 4
+		t.Fatalf("got %d rows, want 3", len(scale))
+	}
+	for i, r := range scale {
+		if r.Jobs != 8 {
+			t.Errorf("row %d: %d jobs, want 2×maxWorkers = 8", i, r.Jobs)
+		}
+		if r.Digest != scale[0].Digest || r.TotalCycles != scale[0].TotalCycles {
+			t.Errorf("row %d diverged: %s/%d vs %s/%d",
+				i, r.Digest, r.TotalCycles, scale[0].Digest, scale[0].TotalCycles)
+		}
+	}
+
+	speed := []SimSpeedRow{{
+		Profile: "100-5%", Pairs: 2, AccelCycles: 535,
+		ExecutedTicks: 144, SkippedCycles: 391, SkipJumps: 90,
+		TickerNs: 100_000, SkipNs: 50_000,
+	}}
+	var buf bytes.Buffer
+	if err := WriteFleetJSON(speed, scale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc["schema"] != "wfasic-fleet-v1" {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+	// Every nondeterministic (host wall-clock) field must sit on a line the
+	// check.sh gate strips via its `"wall_` prefix, and at least one
+	// deterministic field must survive the strip.
+	var stable, wall int
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, `"wall_`) {
+			wall++
+		} else if strings.Contains(line, `"reduction_x"`) || strings.Contains(line, `"digest"`) {
+			stable++
+		}
+	}
+	if wall == 0 || stable == 0 {
+		t.Fatalf("artifact lost its wall (%d) or stable (%d) lines:\n%s", wall, stable, buf.String())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// FleetMember is one machine of a Fleet together with the private memory it
+// is attached to. Members share nothing: each has its own memory, its own
+// controller, its own register file — the isolation analyzer proves the
+// cycle-stepped state graphs are disjoint, which is what makes running them
+// on parallel goroutines sound.
+type FleetMember struct {
+	Machine *Machine
+	Memory  *mem.Memory
+}
+
+// Fleet is N independent Machines driven as a batch-simulation pool: jobs
+// fan out over a bounded set of worker goroutines (one per member, each
+// goroutine exclusively owning its member), and results land in
+// caller-indexed order, so a Fleet run is deterministic regardless of the
+// worker count or the OS scheduler.
+type Fleet struct {
+	members []FleetMember
+}
+
+// NewFleet builds n members of the given configuration, each with its own
+// memBytes-sized memory.
+func NewFleet(cfg Config, n, memBytes int) (*Fleet, error) {
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		m, memory, err := NewStandaloneMachine(cfg, memBytes)
+		if err != nil {
+			return nil, err
+		}
+		f.members = append(f.members, FleetMember{Machine: m, Memory: memory})
+	}
+	return f, nil
+}
+
+// Size returns the number of members.
+func (f *Fleet) Size() int { return len(f.members) }
+
+// Member returns member w.
+func (f *Fleet) Member(w int) FleetMember { return f.members[w] }
+
+// Do runs `jobs` jobs across the fleet: run(w, job) is called with the
+// worker (= member) index w that owns the job, with job indices handed out
+// in order from a shared queue. Each member is driven by exactly one
+// goroutine, so run may freely use Member(w) without synchronization, but
+// must confine itself to member w and the job-indexed slots it owns.
+//
+// Do blocks until every job has run and returns the error of the
+// lowest-indexed failed job (errors never cancel the remaining jobs: a
+// batch simulation wants every result it can get, and deterministic
+// accounting of which jobs ran).
+func (f *Fleet) Do(jobs int, run func(worker, job int) error) error {
+	if jobs <= 0 {
+		return nil
+	}
+	queue := make(chan int)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for w := range f.members {
+		wg.Add(1)
+		go func(w int) { //vet:allow determinism fleet members are fully isolated machines; results land in job-indexed slots, so the schedule cannot affect the outcome
+			defer wg.Done()
+			for job := range queue {
+				errs[job] = run(w, job)
+			}
+		}(w)
+	}
+	for j := 0; j < jobs; j++ {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

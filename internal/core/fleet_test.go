@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+)
+
+// fleetRunJobs drives `jobs` register-driven jobs through a fleet of n
+// members and returns the per-job cycle counts in job order.
+func fleetRunJobs(t *testing.T, n, jobs int) []int64 {
+	t.Helper()
+	cfg := testConfig()
+	f, err := NewFleet(cfg, n, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-job input sets: deterministic, and distinct so the jobs are not
+	// interchangeable (a scheduling bug that swaps jobs must show).
+	sets := make([]*seqio.InputSet, jobs)
+	for j := range sets {
+		sets[j] = seqgen.New(uint64(j)+1, 99).Set(seqgen.Profile{
+			Name: "fleet", Length: 100, ErrorRate: 0.05, NumPairs: 1 + j%3,
+		})
+	}
+	cycles := make([]int64, jobs)
+	err = f.Do(jobs, func(w, job int) error {
+		mb := f.Member(w)
+		set := sets[job]
+		img, err := set.BuildImage()
+		if err != nil {
+			return err
+		}
+		mb.Memory.Write(0, img)
+		r := mb.Machine.Regs
+		outputAddr := (int64(len(img)) + 2*mem.BeatBytes) &^ 15
+		writes := []struct {
+			off uint32
+			val uint32
+		}{
+			{RegCtrl, CtrlReset},
+			{RegMaxReadLen, uint32(set.EffectiveMaxReadLen())},
+			{RegBTEnable, 0},
+			{RegInputAddrLo, 0}, {RegInputAddrHi, 0},
+			{RegNumPairs, uint32(len(set.Pairs))},
+			{RegOutputAddrLo, uint32(outputAddr)}, {RegOutputAddrHi, 0},
+			{RegCtrl, CtrlStart},
+		}
+		for _, wr := range writes {
+			if err := r.Write(wr.off, wr.val); err != nil {
+				return err
+			}
+		}
+		c, err := mb.Machine.Run(50_000_000)
+		cycles[job] = c
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cycles
+}
+
+// The same job list must produce identical per-job results for every
+// worker count: results are job-indexed, so the schedule cannot leak in.
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	const jobs = 9
+	want := fleetRunJobs(t, 1, jobs)
+	for _, n := range []int{2, 4} {
+		got := fleetRunJobs(t, n, jobs)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("fleet(%d workers): job %d took %d cycles, 1-worker fleet took %d",
+					n, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// Do must run every job even after failures and report the lowest-indexed
+// job's error.
+func TestFleetErrorPropagation(t *testing.T) {
+	f, err := NewFleet(testConfig(), 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]bool, 10)
+	sentinel := errors.New("job failed")
+	err = f.Do(len(ran), func(w, job int) error {
+		ran[job] = true
+		if job == 7 || job == 3 {
+			return fmt.Errorf("job %d: %w", job, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || err.Error() != "job 3: job failed" {
+		t.Fatalf("Do returned %v, want job 3's error", err)
+	}
+	for j, r := range ran {
+		if !r {
+			t.Fatalf("job %d never ran after an earlier failure", j)
+		}
+	}
+}
+
+// A zero-job Do is a no-op, and jobs must spread over all members when
+// there are more jobs than workers.
+func TestFleetDoEdgeCases(t *testing.T) {
+	f, err := NewFleet(testConfig(), 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Do(0, func(w, job int) error { t.Fatal("ran a job"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", f.Size())
+	}
+}

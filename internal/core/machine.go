@@ -51,6 +51,13 @@ type Machine struct {
 	jobStart int64
 	running  bool
 
+	// Event-skipping state (see skip.go): the run mode chosen at
+	// construction from WFASIC_SIM_MODE, and the elision diagnostics
+	// SkipStats reports.
+	mode      SimMode
+	skipJumps int64
+	skipped   int64
+
 	// sdcInputBase / sdcWavefrontBase snapshot the monotone SDC stats at
 	// job start so RegSDCInput/RegSDCWavefront report per-job deltas.
 	sdcInputBase     int64
@@ -116,6 +123,7 @@ func NewMachine(cfg Config, memory *mem.Memory, ctl *mem.Controller) (*Machine, 
 		wrPort:  ctl.NewPort("wfasic-dma-wr"),
 		inFIFO:  sim.NewFIFO[[mem.BeatBytes]byte](cfg.InputFIFODepth),
 		outFIFO: sim.NewFIFO[[mem.BeatBytes]byte](cfg.OutputFIFODepth),
+		mode:    SimModeFromEnv(),
 	}
 	for i := 0; i < cfg.NumAligners; i++ {
 		m.aligners = append(m.aligners, NewAlignerHW(cfg, i))
@@ -543,11 +551,34 @@ func (m *Machine) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 	last := m.progress()
 	lastChange := m.cycle
 	nextCheck := m.cycle + runCtxCheckEvery
+	skip := m.mode == SimSkip
 	for m.Regs.startRequested || !m.Regs.Idle() {
 		if m.cycle >= nextCheck {
 			nextCheck = m.cycle + runCtxCheckEvery
 			if err := ctx.Err(); err != nil {
 				return m.cycle - start, err
+			}
+		}
+		if skip {
+			if n, ok := m.NextEventIn(); ok && n > 1 {
+				// Jump across the inert window, clamped so the cycle-budget
+				// check and the watchdog still observe the exact tick they
+				// would fire on under the naive ticker.
+				k := int64(1) << 62
+				if n-1 < uint64(k) {
+					k = int64(n - 1)
+				}
+				if b := start - m.cycle + maxCycles; b < k {
+					k = b
+				}
+				if wd > 0 {
+					if b := lastChange + wd - m.cycle - 1; b < k {
+						k = b
+					}
+				}
+				if k > 0 {
+					m.SkipTicks(uint64(k))
+				}
 			}
 		}
 		m.Tick()

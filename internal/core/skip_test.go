@@ -1,0 +1,347 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/seqgen"
+	"repro/internal/seqio"
+	"repro/internal/sim"
+)
+
+// newTestFIFO builds a beat FIFO for direct module-level tests.
+func newTestFIFO(depth int) *sim.FIFO[[mem.BeatBytes]byte] {
+	return sim.NewFIFO[[mem.BeatBytes]byte](depth)
+}
+
+// startRegJob programs a job through the register file exactly as runJob
+// does but leaves it un-run (CtrlStart latched, no ticks), so tests can
+// drive the machine tick by tick. It returns the machine and the output
+// base address.
+func startRegJob(t *testing.T, cfg Config, set *seqio.InputSet, bt bool) *Machine {
+	t.Helper()
+	m, _ := startRegJobAt(t, cfg, set, bt, 0)
+	return m
+}
+
+func startRegJobAt(t *testing.T, cfg Config, set *seqio.InputSet, bt bool, sampleEvery int64) (*Machine, int64) {
+	t.Helper()
+	img, err := set.BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxReadLen := set.EffectiveMaxReadLen()
+	memBytes := 1 << 22
+	if need := len(img) * 8; need > memBytes {
+		memBytes = need * 2
+	}
+	m, memory, err := NewStandaloneMachine(cfg, memBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampleEvery > 0 {
+		m.EnablePerfSampling(sampleEvery)
+	}
+	outputAddr := (int64(len(img)) + 2*mem.BeatBytes) &^ 15
+	memory.Write(0, img)
+
+	r := m.Regs
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r.Write(RegMaxReadLen, uint32(maxReadLen)))
+	btVal := uint32(0)
+	if bt {
+		btVal = 1
+	}
+	must(r.Write(RegBTEnable, btVal))
+	must(r.Write(RegInputAddrLo, 0))
+	must(r.Write(RegInputAddrHi, 0))
+	must(r.Write(RegNumPairs, uint32(len(set.Pairs))))
+	must(r.Write(RegOutputAddrLo, uint32(outputAddr)))
+	must(r.Write(RegOutputAddrHi, uint32(uint64(outputAddr)>>32)))
+	must(r.Write(RegCtrl, CtrlStart))
+	return m, outputAddr
+}
+
+// runCapture is everything observable about one run, for bit-identity
+// comparison across sim modes.
+type runCapture struct {
+	runCycles int64
+	errStr    string
+	machCycle int64
+	jobCycles uint64
+	outCount  uint32
+	outCRC    uint32
+	sdcIn     uint32
+	sdcWf     uint32
+	errored   bool
+	irq       bool
+	timings   []PairTiming
+	snap      perf.Snapshot
+	occ       []OccSample
+	hists     []perf.Histogram
+	out       []byte
+	events    []fault.Event
+}
+
+// captureRun executes one register-driven job in the given mode and records
+// every observable outcome.
+func captureRun(t *testing.T, cfg Config, set *seqio.InputSet, bt bool, mode SimMode,
+	fc *fault.Config, sampleEvery int64, maxCycles int64) (runCapture, int64) {
+	t.Helper()
+	m, outputAddr := startRegJobAt(t, cfg, set, bt, sampleEvery)
+	m.SetSimMode(mode)
+	var inj *fault.Injector
+	if fc != nil {
+		var err error
+		inj, err = fault.New(*fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AttachInjector(inj)
+	}
+	cycles, err := m.Run(maxCycles)
+	rc := runCapture{
+		runCycles: cycles,
+		machCycle: m.Cycle(),
+		jobCycles: m.Regs.JobCycles,
+		outCount:  m.Regs.OutCount,
+		outCRC:    m.Regs.OutCRC,
+		sdcIn:     m.Regs.SDCInput,
+		sdcWf:     m.Regs.SDCWavefront,
+		errored:   m.Regs.Errored(),
+		irq:       m.Regs.IRQPending(),
+		timings:   append([]PairTiming(nil), m.Timings...),
+		snap:      m.PerfSnapshot(),
+		occ:       append([]OccSample(nil), m.OccSamples()...),
+		hists:     m.OccupancyHistograms(),
+		out:       m.Memory().Read(outputAddr, 1<<16),
+	}
+	if err != nil {
+		rc.errStr = err.Error()
+	}
+	if inj != nil {
+		rc.events = append([]fault.Event(nil), inj.Events()...)
+	}
+	jumps, _ := m.SkipStats()
+	if mode == SimTicker && jumps != 0 {
+		t.Fatalf("ticker mode performed %d skip jumps", jumps)
+	}
+	return rc, skippedOf(m)
+}
+
+func skippedOf(m *Machine) int64 {
+	_, skipped := m.SkipStats()
+	return skipped
+}
+
+// TestSkipTickerEquivalenceFuzz is the tentpole proof harness: randomized
+// workloads — profile, pair count, backtrace, aligner count, FIFO depths,
+// perf sampling, fault schedules including hang-inducing and per-tick
+// classes — each run under the naive ticker and the event-skipping core,
+// and every observable compared: cycle counts, registers, per-pair timings,
+// the full perf snapshot, occupancy samples, the output memory image, and
+// the injected-fault schedule.
+func TestSkipTickerEquivalenceFuzz(t *testing.T) {
+	scenarios := 24
+	if testing.Short() {
+		scenarios = 8
+	}
+	rng := rand.New(rand.NewPCG(0xFA51C, 20260808))
+	totalSkipped := int64(0)
+	for i := 0; i < scenarios; i++ {
+		cfg := testConfig()
+		cfg.NumAligners = 1 + rng.IntN(3)
+		cfg.InputFIFODepth = []int{16, 32, 64}[rng.IntN(3)]
+		cfg.OutputFIFODepth = []int{16, 32}[rng.IntN(2)]
+		cfg.WatchdogCycles = 20_000
+		lengths := []int{64, 100, 256}
+		prof := seqgen.Profile{
+			Name:      "fuzz",
+			Length:    lengths[rng.IntN(len(lengths))],
+			ErrorRate: []float64{0.05, 0.2}[rng.IntN(2)],
+			NumPairs:  1 + rng.IntN(5),
+		}
+		set := seqgen.New(rng.Uint64(), rng.Uint64()).Set(prof)
+		bt := rng.IntN(2) == 0
+		sampleEvery := []int64{0, 0, 7, 64}[rng.IntN(4)]
+
+		var fc *fault.Config
+		if i >= 4 { // the first scenarios stay fault-free
+			c := fault.Config{Seed: rng.Uint64()}
+			pick := func(p float64) float64 {
+				if rng.IntN(3) == 0 {
+					return p
+				}
+				return 0
+			}
+			c.ReadErrorProb = pick(0.02)
+			c.WriteErrorProb = pick(0.02)
+			c.LostGrantProb = pick(0.01)
+			c.LatencyProb = pick(0.05)
+			if c.LatencyProb > 0 {
+				c.LatencyMax = 1 + rng.IntN(8)
+			}
+			c.StallStormProb = pick(0.001)
+			if c.StallStormProb > 0 {
+				c.StallStormMax = 1 + rng.IntN(50)
+			}
+			c.DataFlipProb = pick(0.01)
+			c.WavefrontFlipProb = pick(0.01)
+			c.OutputFlipProb = pick(0.02)
+			c.OutputDropProb = pick(0.02)
+			c.IRQDropProb = pick(0.5)
+			c.IRQSpuriousProb = pick(0.0005)
+			if rng.IntN(4) == 0 {
+				c.MaxEvents = 1 + rng.IntN(5)
+			}
+			fc = &c
+		}
+
+		ticker, _ := captureRun(t, cfg, set, bt, SimTicker, fc, sampleEvery, 5_000_000)
+		skip, skipped := captureRun(t, cfg, set, bt, SimSkip, fc, sampleEvery, 5_000_000)
+		totalSkipped += skipped
+
+		if ticker.runCycles != skip.runCycles || ticker.machCycle != skip.machCycle {
+			t.Fatalf("scenario %d: cycle counts diverged: ticker (%d, %d), skip (%d, %d)\nfaults: %+v",
+				i, ticker.runCycles, ticker.machCycle, skip.runCycles, skip.machCycle, fc)
+		}
+		if ticker.errStr != skip.errStr {
+			t.Fatalf("scenario %d: errors diverged: ticker %q, skip %q", i, ticker.errStr, skip.errStr)
+		}
+		if !reflect.DeepEqual(ticker.events, skip.events) {
+			t.Fatalf("scenario %d: fault schedules diverged:\nticker %v\nskip   %v", i, ticker.events, skip.events)
+		}
+		if !bytes.Equal(ticker.out, skip.out) {
+			t.Fatalf("scenario %d: output memory images diverged", i)
+		}
+		skip.events, ticker.events = nil, nil
+		skip.out, ticker.out = nil, nil
+		if !reflect.DeepEqual(ticker, skip) {
+			t.Fatalf("scenario %d: observables diverged:\nticker %+v\nskip   %+v", i, ticker, skip)
+		}
+	}
+	if totalSkipped == 0 {
+		t.Fatal("the event-skipping core never skipped a cycle across the whole fuzz campaign")
+	}
+}
+
+// TestSkipTickInterleaveFuzz interleaves manual SkipTicks jumps and naive
+// ticks mid-job, holding a lock-step naive reference machine to the same
+// cycle count, and compares the event signature at every synchronization
+// point — the horizon contract must hold at arbitrary interior cuts, not
+// just at RunCtx's jump points.
+func TestSkipTickInterleaveFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 88))
+	cfg := testConfig()
+	cfg.NumAligners = 2
+	set := seqgen.New(21, 22).Set(seqgen.Profile{Name: "ilv", Length: 200, ErrorRate: 0.1, NumPairs: 3})
+
+	m, _ := startRegJobAt(t, cfg, set, true, 7)
+	ref, _ := startRegJobAt(t, cfg, set, true, 7)
+	m.SetSimMode(SimSkip)
+	ref.SetSimMode(SimTicker)
+
+	for steps := 0; (m.Regs.startRequested || !m.Regs.Idle()) && steps < 5_000_000; steps++ {
+		if rng.IntN(2) == 0 {
+			if n, ok := m.NextEventIn(); ok && n > 1 {
+				max := n - 1
+				if max > 10_000 {
+					max = 10_000
+				}
+				k := 1 + uint64(rng.Int64N(int64(max)))
+				m.SkipTicks(k)
+			}
+		}
+		m.Tick()
+		for ref.Cycle() < m.Cycle() {
+			ref.Tick()
+		}
+		if a, b := eventSig(m), eventSig(ref); a != b {
+			t.Fatalf("cycle %d: interleaved and naive state diverged:\nskip  %+v\nnaive %+v", m.Cycle(), a, b)
+		}
+		if m.Regs.JobCycles != ref.Regs.JobCycles {
+			t.Fatalf("cycle %d: JobCycles diverged: %d vs %d", m.Cycle(), m.Regs.JobCycles, ref.Regs.JobCycles)
+		}
+	}
+	if !m.Regs.Idle() || !ref.Regs.Idle() {
+		t.Fatal("interleaved run did not finish")
+	}
+	if !reflect.DeepEqual(m.PerfSnapshot(), ref.PerfSnapshot()) {
+		t.Fatal("final perf snapshots diverged")
+	}
+	if !reflect.DeepEqual(m.OccSamples(), ref.OccSamples()) {
+		t.Fatal("occupancy samples diverged")
+	}
+}
+
+// A hang must trip the watchdog on exactly the same cycle, with an
+// identical HangError, in both modes.
+func TestSkipWatchdogEquivalence(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchdogCycles = 5_000
+	set := seqgen.New(31, 32).Set(seqgen.Profile{Name: "wd", Length: 100, ErrorRate: 0.05, NumPairs: 2})
+	fc := &fault.Config{Seed: 9, LostGrantProb: 1}
+	ticker, _ := captureRun(t, cfg, set, false, SimTicker, fc, 0, 50_000_000)
+	skip, skipped := captureRun(t, cfg, set, false, SimSkip, fc, 0, 50_000_000)
+	if ticker.errStr == "" || ticker.errStr != skip.errStr {
+		t.Fatalf("hang outcomes diverged: ticker %q, skip %q", ticker.errStr, skip.errStr)
+	}
+	if ticker.runCycles != skip.runCycles {
+		t.Fatalf("hang cycle counts diverged: ticker %d, skip %d", ticker.runCycles, skip.runCycles)
+	}
+	if skipped == 0 {
+		t.Fatal("skip mode ticked the whole hang naively")
+	}
+}
+
+// With the watchdog disabled, the cycle-budget error must fire on the same
+// cycle in both modes.
+func TestSkipMaxCyclesEquivalence(t *testing.T) {
+	cfg := testConfig()
+	cfg.WatchdogCycles = -1
+	set := seqgen.New(41, 42).Set(seqgen.Profile{Name: "mc", Length: 100, ErrorRate: 0.05, NumPairs: 2})
+	fc := &fault.Config{Seed: 13, LostGrantProb: 1}
+	ticker, _ := captureRun(t, cfg, set, false, SimTicker, fc, 0, 123_456)
+	skip, _ := captureRun(t, cfg, set, false, SimSkip, fc, 0, 123_456)
+	if ticker.errStr == "" || ticker.errStr != skip.errStr {
+		t.Fatalf("budget outcomes diverged: ticker %q, skip %q", ticker.errStr, skip.errStr)
+	}
+	if ticker.runCycles != skip.runCycles {
+		t.Fatalf("budget cycle counts diverged: ticker %d, skip %d", ticker.runCycles, skip.runCycles)
+	}
+}
+
+// WFASIC_SIM_MODE picks the construction-time mode; unknown values fall
+// back to the skip default.
+func TestSimModeFromEnv(t *testing.T) {
+	cases := []struct {
+		env  string
+		want SimMode
+	}{
+		{"", SimSkip}, {"skip", SimSkip}, {"bogus", SimSkip},
+		{"ticker", SimTicker}, {"naive", SimTicker},
+	}
+	for _, tc := range cases {
+		t.Setenv(SimModeEnv, tc.env)
+		if got := SimModeFromEnv(); got != tc.want {
+			t.Fatalf("WFASIC_SIM_MODE=%q: mode %d, want %d", tc.env, got, tc.want)
+		}
+		m, _, err := NewStandaloneMachine(testConfig(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.SimMode() != tc.want {
+			t.Fatalf("WFASIC_SIM_MODE=%q: machine mode %d, want %d", tc.env, m.SimMode(), tc.want)
+		}
+	}
+}

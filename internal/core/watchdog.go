@@ -23,6 +23,8 @@ type HangError struct {
 	Transactions int64 // output transactions produced so far
 }
 
+// Error renders the hang diagnosis with the DMA, FIFO and dispatch state
+// the watchdog captured at the stall.
 func (e *HangError) Error() string {
 	return fmt.Sprintf(
 		"core: watchdog: no forward progress for %d cycles (cycle %d: dma-rd pending=%d outstanding=%d, fifo in=%d out=%d, pairs dispatched=%d, transactions=%d)",

@@ -2,20 +2,23 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
 // DocComment requires every package to carry a package doc comment on at
-// least one of its files. The repo is grown session-by-session with no
-// shared memory between sessions, so the package doc is the only durable
-// statement of what a package is *for* — which paper section it implements,
-// which contracts it upholds. An undocumented package is a finding, reported
-// once at the package clause of its first file (lexicographic, so the
-// position is byte-stable across runs).
+// least one of its files, and every exported top-level type and function
+// (methods included) to carry its own doc comment. The repo is grown
+// session-by-session with no shared memory between sessions, so doc comments
+// are the only durable statement of what an API is *for* — which paper
+// section it implements, which contracts it upholds. An undocumented package
+// is reported once at the package clause of its first file (lexicographic,
+// so the position is byte-stable across runs); an undocumented exported
+// declaration is reported at the declaration.
 func DocComment() *Analyzer {
 	return &Analyzer{
 		Name: "doccomment",
-		Doc:  "every package must have a package doc comment",
+		Doc:  "every package, exported type and exported function must have a doc comment",
 		Run:  runDocComment,
 	}
 }
@@ -24,21 +27,105 @@ func runDocComment(p *Package) []Diagnostic {
 	if len(p.Files) == 0 {
 		return nil
 	}
+	var out []Diagnostic
+	hasPkgDoc := false
 	for _, f := range p.Files {
 		if docText(f) != "" {
-			return nil
+			hasPkgDoc = true
+			break
 		}
 	}
-	first := p.Files[0]
-	for _, f := range p.Files[1:] {
-		if p.Fset.Position(f.Package).Filename < p.Fset.Position(first.Package).Filename {
-			first = f
+	if !hasPkgDoc {
+		first := p.Files[0]
+		for _, f := range p.Files[1:] {
+			if p.Fset.Position(f.Package).Filename < p.Fset.Position(first.Package).Filename {
+				first = f
+			}
+		}
+		d := p.diag(first.Name,
+			"package %s has no package doc comment: document what it models and which paper section it implements", p.Name)
+		d.Pos = p.Fset.Position(first.Package)
+		out = append(out, d)
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		out = append(out, exportedDocDiags(p, f)...)
+	}
+	return out
+}
+
+// exportedDocDiags reports exported top-level declarations of f that carry
+// no doc comment. Types and functions (including methods on exported
+// receivers) are covered; consts and vars are exempt — they usually document
+// as a block, and their names are register offsets and table entries whose
+// meaning the regmap analyzer already pins.
+func exportedDocDiags(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc.Text() != "" {
+				continue
+			}
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue
+			}
+			out = append(out, p.diag(d.Name,
+				"exported function %s has no doc comment: state its contract for the next session", declName(d)))
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				if d.Doc.Text() != "" || ts.Doc.Text() != "" {
+					continue
+				}
+				out = append(out, p.diag(ts.Name,
+					"exported type %s has no doc comment: state what it models for the next session", ts.Name.Name))
+			}
 		}
 	}
-	d := p.diag(first.Name,
-		"package %s has no package doc comment: document what it models and which paper section it implements", p.Name)
-	d.Pos = p.Fset.Position(first.Package)
-	return []Diagnostic{d}
+	return out
+}
+
+// exportedRecv reports whether the method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver FIFO[T]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// declName renders a method as Recv.Name and a function as Name.
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
 }
 
 // docText returns the file's package doc comment text with directive-only

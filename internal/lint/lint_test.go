@@ -262,14 +262,18 @@ func TestCrossPackageTypes(t *testing.T) {
 }
 
 // TestDocCommentFindings: the undocumented fixture package yields exactly
-// one doccomment finding, anchored at its package clause; every documented
-// fixture yields none.
+// one package-doc finding anchored at its package clause plus one finding
+// per undocumented exported declaration (the documented ones stay silent);
+// every documented fixture yields none.
 func TestDocCommentFindings(t *testing.T) {
 	ds := dirDiags(t, "doccomment")["doccomment"]
-	if len(ds) != 1 {
-		t.Fatalf("got %d doccomment findings, want 1: %q", len(ds), messages(ds))
+	if len(ds) != 4 {
+		t.Fatalf("got %d doccomment findings, want 4: %q", len(ds), messages(ds))
 	}
 	wantContains(t, ds, "package nodoc has no package doc comment")
+	wantContains(t, ds, "exported function Widget.Frob has no doc comment")
+	wantContains(t, ds, "exported type Bare has no doc comment")
+	wantContains(t, ds, "exported function Undocumented has no doc comment")
 	if !strings.HasSuffix(ds[0].Pos.Filename, "nodoc.go") {
 		t.Errorf("finding anchored at %s, want nodoc.go", ds[0].Pos.Filename)
 	}

@@ -6,3 +6,12 @@ package nodoc
 
 // Documented is itself documented, so the only finding is the package's.
 func Documented() int { return 1 }
+
+// Widget is documented, but its method and the bare type below are not.
+type Widget struct{}
+
+func (Widget) Frob() {}
+
+type Bare int
+
+func Undocumented() int { return 2 }

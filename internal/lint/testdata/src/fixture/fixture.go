@@ -45,8 +45,10 @@ func (e *Engine) Tick() {
 // resolves the receiver.
 type RegFile struct{}
 
+// Write is a no-op register write the fixtures program against.
 func (r *RegFile) Write(offset, value uint32) error { return nil }
 
+// Read is a no-op register read the fixtures program against.
 func (r *RegFile) Read(offset uint32) (uint32, error) { return 0, nil }
 
 // Program violates magicoffset (bare 0x08 offset, bare 0x24 offset, literal
@@ -82,6 +84,7 @@ func Explode() {
 // Q mimics a FIFO port.
 type Q struct{}
 
+// Push accepts a value; the determinism fixture drives it from a map range.
 func (q *Q) Push(v uint32) {}
 
 // Ports carries the fourth determinism violation: ranging over a map while
@@ -92,6 +95,7 @@ type Ports struct {
 	drained int
 }
 
+// Step drains the pending map into the port in map-iteration order.
 func (p *Ports) Step() {
 	for _, v := range p.pending {
 		p.q.Push(v)

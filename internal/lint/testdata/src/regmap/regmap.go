@@ -33,6 +33,7 @@ type RegFile struct {
 	perfCount  uint32
 }
 
+// Write decodes a subset of the offsets; the gaps are the fixture's point.
 func (r *RegFile) Write(offset, value uint32) {
 	switch offset {
 	case RegA:
@@ -42,6 +43,7 @@ func (r *RegFile) Write(offset, value uint32) {
 	}
 }
 
+// Read decodes a subset of the offsets; the gaps are the fixture's point.
 func (r *RegFile) Read(offset uint32) uint32 {
 	switch offset {
 	case RegB, RegD, RegE:

@@ -11,6 +11,7 @@ type Acc struct {
 	out uint32
 }
 
+// Tick carries the plain same-cycle RAW hazard the analyzer must report.
 func (a *Acc) Tick(in uint32) {
 	a.acc = a.acc + in
 	a.out = a.acc // hazard: reads the value written two lines up
@@ -24,6 +25,7 @@ type Shadow struct {
 	out     uint32
 }
 
+// Step follows the next*/pending* shadow convention and must stay quiet.
 func (s *Shadow) Step(in uint32) {
 	s.nextAcc = s.acc + in
 	s.out = s.nextAcc
@@ -37,6 +39,7 @@ type Forwarded struct {
 	out uint32
 }
 
+// Tick is suppressed by the //vet:allow tickphase comment on its hazard.
 func (f *Forwarded) Tick(in uint32) {
 	f.buf = in
 	f.out = f.buf //vet:allow tickphase write-before-read forwarding is the modeled RAM behavior
@@ -49,6 +52,7 @@ type Branchy struct {
 	out  uint32
 }
 
+// Step carries the branch-join RAW hazard the analyzer must report.
 func (b *Branchy) Step(sel bool) {
 	if sel {
 		b.mode = 1
@@ -62,6 +66,7 @@ type Exclusive struct {
 	out  uint32
 }
 
+// Step writes and reads on exclusive branches and must stay quiet.
 func (e *Exclusive) Step(sel bool) {
 	if sel {
 		e.mode = 1
@@ -77,6 +82,7 @@ type Loopy struct {
 	ptr uint32
 }
 
+// Step carries only a loop-carried dependence and must stay quiet.
 func (l *Loopy) Step(n int) {
 	for i := 0; i < n; i++ {
 		sum := l.ptr

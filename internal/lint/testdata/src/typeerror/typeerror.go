@@ -3,11 +3,13 @@
 // partial type info, never a panic.
 package typeerror
 
+// Mismatch assigns an int to a string: a deliberate type error.
 func Mismatch() int {
 	var s string = 42
 	return s
 }
 
+// Undefined calls a function that does not exist: a deliberate type error.
 func Undefined() {
 	notDeclared(7)
 }

@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The controller's horizon must never overshoot: n-1 ticks deliver nothing,
+// the nth tick completes the predicted beat.
+func TestControllerNextEventInConservative(t *testing.T) {
+	m := NewMemory(1 << 16)
+	c := NewController(m, DefaultTiming)
+	rd := c.NewPort("rd")
+	other := c.NewPort("other")
+
+	if n, ok := c.NextEventIn(); !ok || n != inertForever {
+		t.Fatalf("idle horizon = (%d, %v), want (inertForever, true)", n, ok)
+	}
+
+	rd.RequestRead(0, 4)
+	other.RequestRead(64, 1)
+	if n, ok := c.NextEventIn(); !ok || n != 1 {
+		t.Fatalf("pending horizon = (%d, %v), want (1, true)", n, ok)
+	}
+	c.Tick() // grants rd, opens the burst window
+	n, ok := c.NextEventIn()
+	if !ok || n < 2 {
+		t.Fatalf("active horizon = (%d, %v), want cooldown+1 >= 2", n, ok)
+	}
+	for i := uint64(1); i < n; i++ {
+		c.Tick()
+		if rd.ResponsesPending() {
+			t.Fatalf("beat delivered on inert tick %d of horizon %d", i, n)
+		}
+	}
+	c.Tick()
+	if !rd.ResponsesPending() || rd.BeatsRead != 1 {
+		t.Fatalf("predicted beat did not complete at the horizon (beatsRead=%d)", rd.BeatsRead)
+	}
+}
+
+// SkipTicks must apply exactly the bookkeeping the same number of naive
+// ticks would: cycle count, busy cycles, and the wait accounting of the
+// port queued behind the active transaction.
+func TestControllerSkipTicksMatchesNaive(t *testing.T) {
+	mk := func() (*Controller, *Port, *Port) {
+		m := NewMemory(1 << 16)
+		c := NewController(m, DefaultTiming)
+		rd := c.NewPort("rd")
+		other := c.NewPort("other")
+		rd.RequestRead(0, 4)
+		other.RequestRead(64, 1)
+		c.Tick() // grant rd
+		return c, rd, other
+	}
+	cn, rn, on := mk()
+	cs, rs, os := mk()
+	n, ok := cn.NextEventIn()
+	if !ok || n < 2 {
+		t.Fatalf("horizon = (%d, %v), want >= 2", n, ok)
+	}
+	for i := uint64(1); i < n; i++ {
+		cn.Tick()
+	}
+	cs.SkipTicks(n - 1)
+	if cn.Cycle() != cs.Cycle() || cn.BusyCycles != cs.BusyCycles ||
+		cn.IdleCycles != cs.IdleCycles || cn.StormCycles != cs.StormCycles {
+		t.Fatalf("controller counters diverged: naive cyc=%d busy=%d idle=%d, skip cyc=%d busy=%d idle=%d",
+			cn.Cycle(), cn.BusyCycles, cn.IdleCycles, cs.Cycle(), cs.BusyCycles, cs.IdleCycles)
+	}
+	if on.WaitCycles != os.WaitCycles || rn.WaitCycles != rs.WaitCycles {
+		t.Fatalf("wait accounting diverged: naive (%d,%d), skip (%d,%d)",
+			rn.WaitCycles, on.WaitCycles, rs.WaitCycles, os.WaitCycles)
+	}
+	// Both must complete the beat on the very next tick.
+	cn.Tick()
+	cs.Tick()
+	if rn.BeatsRead != 1 || rs.BeatsRead != 1 {
+		t.Fatalf("beat completion diverged: naive %d, skip %d", rn.BeatsRead, rs.BeatsRead)
+	}
+}
+
+// A per-tick-live injector (stall storms draw every idle controller tick)
+// must force naive ticking.
+func TestControllerDeclinesUnderPerTickFaults(t *testing.T) {
+	m := NewMemory(1 << 16)
+	c := NewController(m, DefaultTiming)
+	c.NewPort("rd")
+	inj, err := fault.New(fault.Config{Seed: 1, StallStormProb: 0.5, StallStormMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachInjector(inj)
+	if _, ok := c.NextEventIn(); ok {
+		t.Fatal("controller promised a horizon despite per-tick fault draws")
+	}
+}

@@ -28,6 +28,7 @@ type ShedError struct {
 	RetryAfter time.Duration
 }
 
+// Error renders the shed reason together with the advised retry delay.
 func (e *ShedError) Error() string {
 	return fmt.Sprintf("%v (retry after %v)", e.Err, e.RetryAfter)
 }

@@ -356,11 +356,14 @@ func New(cfg Config) (*Server, error) {
 		dispatch: make(chan *batch, cfg.Devices+cfg.SoftwareWorkers+1),
 		spill:    make(chan *task, cfg.QueueLimit),
 	}
-	for i := 0; i < cfg.Devices; i++ {
-		sc, err := soc.New(cfg.Core, cfg.MemBytes)
-		if err != nil {
-			return nil, err
-		}
+	// The device backends are a soc.NewFleet: isolated machines built for
+	// exactly the one-goroutine-per-member discipline deviceLoop runs them
+	// under.
+	_, socs, err := soc.NewFleet(cfg.Core, cfg.Devices, cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range socs {
 		d := &device{id: i, soc: sc, probeBackoff: cfg.ProbeBackoffMin}
 		s.devices = append(s.devices, d)
 	}

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// A FIFO with staged pushes must report horizon 1 (the next Tick commits
+// them); an idle FIFO is inert until a producer acts.
+func TestFIFONextEventIn(t *testing.T) {
+	f := NewFIFO[int](4)
+	if n, ok := f.NextEventIn(); !ok || n != inertForever {
+		t.Fatalf("idle FIFO horizon = (%d, %v), want (inertForever, true)", n, ok)
+	}
+	f.Push(7)
+	if n, ok := f.NextEventIn(); !ok || n != 1 {
+		t.Fatalf("staged FIFO horizon = (%d, %v), want (1, true)", n, ok)
+	}
+	f.Tick()
+	if n, ok := f.NextEventIn(); !ok || n != inertForever {
+		t.Fatalf("committed FIFO horizon = (%d, %v), want (inertForever, true)", n, ok)
+	}
+}
+
+// SkipTicks across an inert window must be bit-identical to the same number
+// of naive Tick calls: same contents, same statistics.
+func TestFIFOSkipTicksMatchesNaive(t *testing.T) {
+	mk := func() *FIFO[int] {
+		f := NewFIFO[int](4)
+		f.Push(1)
+		f.Push(2)
+		f.Tick() // commit; MaxOccupancy observed
+		return f
+	}
+	naive, skip := mk(), mk()
+	for i := 0; i < 5; i++ {
+		naive.Tick()
+	}
+	skip.SkipTicks(5)
+	if naive.Len() != skip.Len() || naive.Occupancy() != skip.Occupancy() {
+		t.Fatalf("contents diverged: naive %d/%d, skip %d/%d",
+			naive.Len(), naive.Occupancy(), skip.Len(), skip.Occupancy())
+	}
+	if naive.Pushes != skip.Pushes || naive.Pops != skip.Pops ||
+		naive.StallFull != skip.StallFull || naive.MaxOccupancy != skip.MaxOccupancy {
+		t.Fatalf("stats diverged: naive %+v, skip %+v", *naive, *skip)
+	}
+}

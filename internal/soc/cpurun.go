@@ -25,6 +25,7 @@ const (
 	CPUSWG
 )
 
+// String names the CPU baseline the way the Figure 9 legend does.
 func (m CPUMode) String() string {
 	switch m {
 	case CPUScalar:

@@ -34,6 +34,7 @@ const (
 	numComponents
 )
 
+// String names the component with its conventional WFA letter.
 func (c Component) String() string {
 	switch c {
 	case CompM:

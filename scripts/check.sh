@@ -60,6 +60,19 @@ else
     go test -race ./...
 fi
 
+# The suite above runs in the default event-skipping mode (WFASIC_SIM_MODE
+# unset => skip). Re-running the golden-bearing packages under the naive
+# ticker proves both simulation modes produce identical observables on every
+# golden, chaos campaign and perf-counter snapshot — the equivalence
+# contract of internal/core/skip.go. -count=1 so the cache cannot satisfy
+# the second mode with the first mode's pass.
+echo "== golden suite under the naive ticker (WFASIC_SIM_MODE=ticker) =="
+if [[ "${SKIP_RACE:-0}" == "1" ]]; then
+    WFASIC_SIM_MODE=ticker go test -short -count=1 ./internal/core/ ./internal/soc/
+else
+    WFASIC_SIM_MODE=ticker go test -count=1 ./internal/core/ ./internal/soc/
+fi
+
 # The seeded chaos campaign (internal/soc/chaos_test.go) re-runs explicitly
 # with -count=1 so a cached pass can never mask a schedule regression: every
 # campaign is pinned to a fault seed and must reproduce byte-identical fault
@@ -113,5 +126,17 @@ echo "== SDC-defense cost bench (regen + diff) =="
 go run ./cmd/wfasic-serve -bench-integrity -out integrity-bench.json > /dev/null
 diff BENCH_9.json integrity-bench.json
 rm -f integrity-bench.json
+
+# BENCH_10.json is the committed event-skipping/fleet artifact: per-profile
+# tick-reduction factors (with the ticker-vs-skip equivalence asserted inside
+# the experiment) and the fleet-determinism sweep. Lines carrying the "wall_"
+# key prefix are host wall-clock measurements and are the only sanctioned
+# nondeterminism — they are stripped before the diff; everything else must
+# be byte-stable. Regenerate deliberately with
+# go run ./cmd/wfasic-bench -exp fleet -fleet-json BENCH_10.json.
+echo "== event-skipping/fleet bench (regen + diff, wall_ lines excluded) =="
+go run ./cmd/wfasic-bench -exp fleet -fleet-json fleet-bench.json > /dev/null
+diff <(grep -v '"wall_' BENCH_10.json) <(grep -v '"wall_' fleet-bench.json)
+rm -f fleet-bench.json
 
 echo "all checks passed"
